@@ -1,0 +1,342 @@
+package imobif
+
+// One benchmark per table/figure of the paper's evaluation (§4), plus the
+// DESIGN.md ablations and microbenchmarks of the hot paths. Figure benches
+// run reduced Monte-Carlo sweeps (the full 100-flow sweeps live behind
+// cmd/imobif-figures) and report the figure's headline metrics alongside
+// timing, so `go test -bench=.` doubles as a compact results table.
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/experiments"
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+const benchFlows = 8
+
+func benchParamsFig6(b *testing.B, variant string) experiments.Params {
+	b.Helper()
+	p, err := experiments.ParamsFig6(variant)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.Flows = benchFlows
+	p.MaxFlowBits = 4 * p.MeanFlowBits
+	return p
+}
+
+// BenchmarkFig5Convergence drives a single long flow to steady state under
+// both strategies and reports the convergence quality metrics of the
+// paper's Figure 5 snapshots.
+func BenchmarkFig5Convergence(b *testing.B) {
+	p, err := experiments.ParamsFig6("c")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		last, err = experiments.RunFig5(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(last.MinECollinearity, "minE-offline-m")
+	b.ReportMetric(last.MinESpacingCV, "minE-spacing-cv")
+	b.ReportMetric(last.PowerEnergyRatioCV, "thm1-ratio-cv")
+}
+
+func benchFig6(b *testing.B, variant string) {
+	p := benchParamsFig6(b, variant)
+	var last experiments.Fig6Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		last, err = experiments.RunFig6(p, variant)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(last.AvgRatioCostUnaware, "cost-unaware-ratio")
+	b.ReportMetric(last.AvgRatioInformed, "imobif-ratio")
+}
+
+// BenchmarkFig6a reproduces Figure 6(a): short flows, k=0.5, α=2.
+func BenchmarkFig6a(b *testing.B) { benchFig6(b, "a") }
+
+// BenchmarkFig6b reproduces Figure 6(b): mobility vs transmission energy
+// of the cost-unaware approach on short flows.
+func BenchmarkFig6b(b *testing.B) {
+	p := benchParamsFig6(b, "a")
+	var last experiments.Fig6bResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		last, err = experiments.RunFig6b(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(last.AvgMobility, "mobility-J")
+	b.ReportMetric(last.AvgTransmission, "transmission-J")
+}
+
+// BenchmarkFig6c reproduces Figure 6(c): long flows, k=0.5, α=2.
+func BenchmarkFig6c(b *testing.B) { benchFig6(b, "c") }
+
+// BenchmarkFig6d reproduces Figure 6(d): long flows, k=1.0.
+func BenchmarkFig6d(b *testing.B) { benchFig6(b, "d") }
+
+// BenchmarkFig6e reproduces Figure 6(e): long flows, k=0.1.
+func BenchmarkFig6e(b *testing.B) { benchFig6(b, "e") }
+
+// BenchmarkFig6f reproduces Figure 6(f): long flows, α=3.
+func BenchmarkFig6f(b *testing.B) { benchFig6(b, "f") }
+
+// BenchmarkFig7 reproduces Figure 7: notification packets per flow.
+func BenchmarkFig7(b *testing.B) {
+	p := experiments.ParamsFig7()
+	p.Flows = benchFlows
+	p.MaxFlowBits = 4 * p.MeanFlowBits
+	var last experiments.Fig7Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		last, err = experiments.RunFig7(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(last.Avg, "avg-notifications")
+}
+
+// BenchmarkFig8 reproduces Figure 8: the CDF of the system lifetime ratio
+// under the max-lifetime strategy.
+func BenchmarkFig8(b *testing.B) {
+	p := experiments.ParamsFig8()
+	p.Flows = benchFlows
+	p.MaxFlowBits = 4 * p.MeanFlowBits
+	var last experiments.Fig8Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		last, err = experiments.RunFig8(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(last.AvgRatioCostUnaware, "cost-unaware-lifetime")
+	b.ReportMetric(last.AvgRatioInformed, "imobif-lifetime")
+}
+
+// BenchmarkAblationFlowLength sweeps flow-length estimation error (A1).
+func BenchmarkAblationFlowLength(b *testing.B) {
+	p := benchParamsFig6(b, "a")
+	p.Flows = 4
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFlowLengthSensitivity(p, []float64{0.5, 1, 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRelaySelection compares route planners (A2).
+func BenchmarkAblationRelaySelection(b *testing.B) {
+	p := benchParamsFig6(b, "a")
+	p.Flows = 4
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunRelaySelection(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMultiFlow runs concurrent flows per world (A3).
+func BenchmarkAblationMultiFlow(b *testing.B) {
+	p := benchParamsFig6(b, "a")
+	p.Flows = 4
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunMultiFlow(p, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationControlOverhead charges control traffic (A4).
+func BenchmarkAblationControlOverhead(b *testing.B) {
+	p := benchParamsFig6(b, "a")
+	p.Flows = 4
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunControlOverhead(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationStepSweep sweeps the per-packet movement cap (A5).
+func BenchmarkAblationStepSweep(b *testing.B) {
+	p := benchParamsFig6(b, "a")
+	p.Flows = 4
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunStepSweep(p, []float64{1, 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAlphaPrime compares the α′ approximation with the exact
+// Theorem 1 solve (A6).
+func BenchmarkAblationAlphaPrime(b *testing.B) {
+	p := experiments.ParamsFig8()
+	p.Flows = 4
+	p.MaxFlowBits = 2 * p.MeanFlowBits
+	var last experiments.AlphaPrimeQualityResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		last, err = experiments.RunAlphaPrimeQuality(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(last.AvgRatioApprox, "approx-lifetime")
+	b.ReportMetric(last.AvgRatioExact, "exact-lifetime")
+}
+
+// BenchmarkSimulationRun measures end-to-end simulator throughput on a
+// single 10 MB informed flow over the public API.
+func BenchmarkSimulationRun(b *testing.B) {
+	cfg := DefaultConfig()
+	net, err := NewRandomNetwork(cfg, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, dst, err := net.PickFlowEndpoints(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := NewSimulation(cfg, net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.AddFlow(src, dst, 10<<20); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGreedyRouting measures route planning on a 100-node network.
+func BenchmarkGreedyRouting(b *testing.B) {
+	src := stats.NewSource(1)
+	pts := topo.PlaceUniform(src, 100, 1000, 1000)
+	g, err := topo.NewGraph(pts, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Rotate over node pairs; ignore unroutable ones.
+		a := i % 100
+		c := (i*37 + 13) % 100
+		if a == c {
+			continue
+		}
+		_, _ = g.GreedyPath(a, c)
+	}
+}
+
+// BenchmarkStrategyMinEnergy measures the midpoint strategy's per-packet
+// target computation.
+func BenchmarkStrategyMinEnergy(b *testing.B) {
+	v := mobility.View{
+		Prev:         mobility.Peer{Pos: geom.Pt(0, 0), Residual: 100},
+		Self:         mobility.Peer{Pos: geom.Pt(90, 40), Residual: 80},
+		Next:         mobility.Peer{Pos: geom.Pt(200, 0), Residual: 60},
+		ResidualBits: 8e6,
+	}
+	s := mobility.MinEnergy{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.NextPosition(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStrategyMaxLifetime measures the α′ split computation.
+func BenchmarkStrategyMaxLifetime(b *testing.B) {
+	v := mobility.View{
+		Prev:         mobility.Peer{Pos: geom.Pt(0, 0), Residual: 100},
+		Self:         mobility.Peer{Pos: geom.Pt(90, 40), Residual: 80},
+		Next:         mobility.Peer{Pos: geom.Pt(200, 0), Residual: 60},
+		ResidualBits: 8e6,
+	}
+	s := mobility.MaxLifetime{AlphaPrime: 1.7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.NextPosition(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStrategyMaxLifetimeExact measures the bisection solve.
+func BenchmarkStrategyMaxLifetimeExact(b *testing.B) {
+	v := mobility.View{
+		Prev:         mobility.Peer{Pos: geom.Pt(0, 0), Residual: 100},
+		Self:         mobility.Peer{Pos: geom.Pt(90, 40), Residual: 80},
+		Next:         mobility.Peer{Pos: geom.Pt(200, 0), Residual: 60},
+		ResidualBits: 8e6,
+	}
+	s := mobility.MaxLifetimeExact{Tx: energy.DefaultTxModel()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.NextPosition(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPowerTableLookup measures the Assumption-4 table lookup.
+func BenchmarkPowerTableLookup(b *testing.B) {
+	table, err := energy.NewPowerTable(energy.DefaultTxModel(), 200, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = table.Lookup(float64(i%200) + 0.5)
+	}
+}
+
+// BenchmarkExtensionRecruitment runs the relay-recruitment study
+// (optimal slots + Hungarian assignment + deployment).
+func BenchmarkExtensionRecruitment(b *testing.B) {
+	p := benchParamsFig6(b, "c")
+	p.Flows = 4
+	var last experiments.RecruitmentResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		last, err = experiments.RunRelayRecruitment(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(last.AvgRatioRecruited, "recruited-ratio")
+	b.ReportMetric(last.AvgRatioInformedGreedy, "imobif-ratio")
+}
+
+// BenchmarkExtensionThresholdSweep traces the break-even crossover.
+func BenchmarkExtensionThresholdSweep(b *testing.B) {
+	p := benchParamsFig6(b, "c")
+	p.Flows = 3
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunThresholdSweep(p, []float64{8e4, 8e7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

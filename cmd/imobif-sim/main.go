@@ -1,0 +1,171 @@
+// Command imobif-sim runs a single wireless ad hoc network scenario under
+// a chosen mobility strategy and control mode, printing the energy and
+// lifetime outcome. It is the quick way to poke at the framework without
+// writing code.
+//
+// Usage:
+//
+//	imobif-sim -nodes 100 -flow-kb 1024 -strategy min-energy -mode informed
+//	imobif-sim -mode cost-unaware -k 1.0 -alpha 3 -seed 7
+//	imobif-sim -scenario examples/scenarios/chain.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	imobif "repro"
+	"repro/internal/scenario"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 100, "number of nodes")
+		field    = flag.Float64("field", 1000, "square field side, meters")
+		rng      = flag.Float64("range", 200, "radio range, meters")
+		k        = flag.Float64("k", 0.5, "mobility cost, J/m")
+		alpha    = flag.Float64("alpha", 2, "path-loss exponent")
+		flowKB   = flag.Float64("flow-kb", 1024, "flow length, KB")
+		strategy = flag.String("strategy", "min-energy", "mobility strategy: min-energy, max-lifetime, max-lifetime-exact")
+		mode     = flag.String("mode", "informed", "control mode: no-mobility, cost-unaware, informed")
+		seed     = flag.Int64("seed", 1, "random seed")
+		compare  = flag.Bool("compare", false, "also run the no-mobility baseline and print the energy ratio")
+		deaths   = flag.Bool("stop-on-death", false, "stop at the first node death (lifetime runs)")
+		energyLo = flag.Float64("energy-lo", 5000, "min initial node energy, J")
+		energyHi = flag.Float64("energy-hi", 10000, "max initial node energy, J")
+		scenFile = flag.String("scenario", "", "run a JSON scenario file instead of the flag-driven setup")
+	)
+	flag.Parse()
+
+	var err error
+	if *scenFile != "" {
+		err = runScenario(*scenFile)
+	} else {
+		err = run(*nodes, *field, *rng, *k, *alpha, *flowKB, *strategy, *mode, *seed, *compare, *deaths, *energyLo, *energyHi)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imobif-sim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runScenario loads and executes a declarative JSON scenario.
+func runScenario(path string) error {
+	s, err := scenario.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	w, _, err := s.Build()
+	if err != nil {
+		return err
+	}
+	res, err := w.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario: %s (%s, %s)\n", s.Name, s.Strategy, s.Mode)
+	for i, f := range res.Flows {
+		fmt.Printf("flow %d: completed=%v delivered %.0f KB in %.1f s, %d status change(s)\n",
+			i, f.Completed, f.DeliveredBits/8/1024, float64(f.Duration), f.StatusFlips)
+	}
+	fmt.Printf("energy: %s\n", res.Energy)
+	if res.FirstDeath >= 0 {
+		fmt.Printf("first node death at %.1f s\n", float64(res.FirstDeath))
+	}
+	return nil
+}
+
+func run(nodes int, field, rng, k, alpha, flowKB float64, strategy, mode string, seed int64, compare, deaths bool, energyLo, energyHi float64) error {
+	cfg := imobif.DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.FieldWidth, cfg.FieldHeight = field, field
+	cfg.Range = rng
+	cfg.MobilityCost = k
+	cfg.PathLossExp = alpha
+	cfg.Strategy = imobif.Strategy(strategy)
+	cfg.Mode = imobif.Mode(mode)
+	cfg.StopOnFirstDeath = deaths
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	net, err := buildNetwork(cfg, seed, energyLo, energyHi)
+	if err != nil {
+		return err
+	}
+	src, dst, err := net.PickFlowEndpoints(seed)
+	if err != nil {
+		return err
+	}
+	route, err := net.PlanGreedyRoute(src, dst)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("network: %d nodes on %.0fx%.0f m, range %.0f m\n", nodes, field, field, rng)
+	fmt.Printf("flow: %d -> %d (%.0f KB over %d hops), strategy %s, mode %s\n",
+		src, dst, flowKB, len(route)-1, strategy, mode)
+
+	res, err := runOnce(cfg, net, src, dst, flowKB)
+	if err != nil {
+		return err
+	}
+	report(res)
+
+	if compare {
+		base := cfg
+		base.Mode = imobif.ModeNoMobility
+		baseRes, err := runOnce(base, net, src, dst, flowKB)
+		if err != nil {
+			return err
+		}
+		if t := baseRes.TotalJoules(); t > 0 {
+			fmt.Printf("energy consumption ratio vs no-mobility: %.3f\n", res.TotalJoules()/t)
+		}
+		if deaths && baseRes.Flows[0].LifetimeSeconds > 0 {
+			fmt.Printf("system lifetime ratio vs no-mobility: %.3f\n",
+				res.Flows[0].LifetimeSeconds/baseRes.Flows[0].LifetimeSeconds)
+		}
+	}
+	return nil
+}
+
+func buildNetwork(cfg imobif.Config, seed int64, lo, hi float64) (*imobif.Network, error) {
+	net, err := imobif.NewRandomNetwork(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	if lo == 5000 && hi == 10000 {
+		return net, nil // default energies already match
+	}
+	// Re-scale energies into [lo, hi].
+	nodes := net.Nodes()
+	for i := range nodes {
+		frac := (nodes[i].Joules - 5000) / 5000
+		nodes[i].Joules = lo + frac*(hi-lo)
+	}
+	return imobif.NewNetwork(nodes, cfg.Range)
+}
+
+func runOnce(cfg imobif.Config, net *imobif.Network, src, dst int, flowKB float64) (*imobif.Result, error) {
+	sim, err := imobif.NewSimulation(cfg, net)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sim.AddFlow(src, dst, flowKB*1024); err != nil {
+		return nil, err
+	}
+	return sim.Run()
+}
+
+func report(res *imobif.Result) {
+	f := res.Flows[0]
+	fmt.Printf("completed: %v  delivered: %.0f KB  duration: %.1f s\n",
+		f.Completed, f.DeliveredBytes/1024, f.DurationSeconds)
+	fmt.Printf("energy: tx %.2f J + movement %.2f J + control %.2f J = %.2f J\n",
+		res.TxJoules, res.MoveJoules, res.ControlJoules, res.TotalJoules())
+	fmt.Printf("notifications: %d  status flips: %d\n", f.Notifications, f.StatusFlips)
+	if res.FirstDeathSeconds >= 0 {
+		fmt.Printf("first node death at %.1f s\n", res.FirstDeathSeconds)
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"testing"
+
+	imobif "repro"
+)
+
+func TestRunBasicScenario(t *testing.T) {
+	err := run(40, 800, 200, 0.5, 2, 100, "min-energy", "informed", 3, true, false, 5000, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLifetimeScenario(t *testing.T) {
+	err := run(40, 800, 200, 0.5, 2, 10240, "max-lifetime", "cost-unaware", 3, true, true, 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadStrategy(t *testing.T) {
+	if err := run(40, 800, 200, 0.5, 2, 100, "teleport", "informed", 1, false, false, 5000, 10000); err == nil {
+		t.Error("bad strategy should error")
+	}
+}
+
+func TestRunRejectsBadMode(t *testing.T) {
+	if err := run(40, 800, 200, 0.5, 2, 100, "min-energy", "yolo", 1, false, false, 5000, 10000); err == nil {
+		t.Error("bad mode should error")
+	}
+}
+
+func TestBuildNetworkRescalesEnergy(t *testing.T) {
+	cfg := imobif.DefaultConfig()
+	cfg.Nodes = 10
+	net, err := buildNetwork(cfg, 1, 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range net.Nodes() {
+		if n.Joules < 100 || n.Joules > 200 {
+			t.Errorf("node %d energy %v outside [100, 200]", n.ID, n.Joules)
+		}
+	}
+}
+
+func TestRunScenarioFile(t *testing.T) {
+	if err := runScenario("../../examples/scenarios/chain.json"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunScenarioMissingFile(t *testing.T) {
+	if err := runScenario("/no/such/file.json"); err == nil {
+		t.Error("missing scenario should error")
+	}
+}

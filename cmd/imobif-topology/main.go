@@ -1,0 +1,178 @@
+// Command imobif-topology renders the paper's Figure 5 as ASCII art: a
+// flow path before controlled mobility, after the minimize-total-energy
+// strategy reaches steady state, and after the maximize-system-lifetime
+// strategy reaches steady state. Node glyphs scale with residual energy,
+// mirroring the paper's node-size convention.
+//
+// Usage:
+//
+//	imobif-topology [-seed 1] [-width 100] [-height 24] [-svg fig5.svg]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/geom"
+	"repro/internal/viz"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed selecting the flow instance")
+	width := flag.Int("width", 100, "canvas width, characters")
+	height := flag.Int("height", 24, "canvas height, characters")
+	svgPath := flag.String("svg", "", "also write the three panels as an SVG file")
+	flag.Parse()
+
+	if err := run(*seed, *width, *height, *svgPath); err != nil {
+		fmt.Fprintf(os.Stderr, "imobif-topology: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, width, height int, svgPath string) error {
+	if width < 20 || height < 8 {
+		return fmt.Errorf("canvas %dx%d too small", width, height)
+	}
+	p := experiments.ParamsFig7() // base paper parameters
+	p.Seed = seed
+	res, err := experiments.RunFig5(p)
+	if err != nil {
+		return err
+	}
+	views := []struct {
+		title string
+		pts   []geom.Point
+	}{
+		{"(a) original", res.Original},
+		{"(b) steady state, minimize total energy", res.MinEnergy},
+		{"(c) steady state, maximize system lifetime", res.MaxLifetime},
+	}
+	for _, v := range views {
+		fmt.Printf("%s\n", v.title)
+		fmt.Print(render(v.pts, res.Energies, width, height))
+		fmt.Println()
+	}
+	fmt.Printf("glyphs: o = low energy ... O = high energy (node size ∝ residual energy, as in the paper)\n")
+	fmt.Printf("source is node 0 (left end of the path order), destination is the last node\n")
+	fmt.Printf("collinearity: original %.1f m, min-energy %.2f m, max-lifetime %.2f m\n",
+		res.OrigCollinearity, res.MinECollinearity, res.MaxLCollinearity)
+	fmt.Printf("min-energy spacing cv %.4f; Theorem 1 P(d)/e spread %.3f\n",
+		res.MinESpacingCV, res.PowerEnergyRatioCV)
+	if svgPath != "" {
+		panels := make([]viz.PathView, 0, len(views))
+		for _, v := range views {
+			panels = append(panels, viz.PathView{Title: v.title, Points: v.pts, Energies: res.Energies})
+		}
+		svg, err := viz.RenderPaths(panels, viz.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(svgPath, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", svgPath)
+	}
+	return nil
+}
+
+// render draws points on a width x height canvas, scaled to the bounding
+// box of the path with margins, with glyphs by energy quartile.
+func render(pts []geom.Point, energies []float64, width, height int) string {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	// Avoid zero spans.
+	if maxX-minX < 1 {
+		maxX = minX + 1
+	}
+	if maxY-minY < 1 {
+		maxY = minY + 1
+	}
+	minE, maxE := math.Inf(1), math.Inf(-1)
+	for _, e := range energies {
+		minE, maxE = math.Min(minE, e), math.Max(maxE, e)
+	}
+	glyphs := []byte{'.', 'o', 'e', 'O'}
+	canvas := make([][]byte, height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", width))
+	}
+	// Draw connecting segments first.
+	for i := 1; i < len(pts); i++ {
+		x0, y0 := project(pts[i-1], minX, maxX, minY, maxY, width, height)
+		x1, y1 := project(pts[i], minX, maxX, minY, maxY, width, height)
+		drawLine(canvas, x0, y0, x1, y1)
+	}
+	for i, p := range pts {
+		cx, cy := project(p, minX, maxX, minY, maxY, width, height)
+		g := glyphs[0]
+		if maxE > minE {
+			q := int((energies[i] - minE) / (maxE - minE) * 3.999)
+			if q > 3 {
+				q = 3
+			}
+			g = glyphs[q]
+		}
+		canvas[cy][cx] = g
+	}
+	var sb strings.Builder
+	for _, row := range canvas {
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func project(p geom.Point, minX, maxX, minY, maxY float64, width, height int) (int, int) {
+	x := int((p.X - minX) / (maxX - minX) * float64(width-1))
+	y := int((p.Y - minY) / (maxY - minY) * float64(height-1))
+	return clampInt(x, 0, width-1), clampInt(y, 0, height-1)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// drawLine draws a faint segment between two canvas cells, leaving node
+// glyphs to overwrite it.
+func drawLine(canvas [][]byte, x0, y0 int, x1, y1 int) {
+	steps := maxInt(absInt(x1-x0), absInt(y1-y0))
+	if steps == 0 {
+		return
+	}
+	for s := 0; s <= steps; s++ {
+		x := x0 + (x1-x0)*s/steps
+		y := y0 + (y1-y0)*s/steps
+		if canvas[y][x] == ' ' {
+			canvas[y][x] = '-'
+		}
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestRenderBasics(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(50, 20), geom.Pt(100, 0)}
+	energies := []float64{1, 5, 10}
+	out := render(pts, energies, 40, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("got %d lines, want 10", len(lines))
+	}
+	for i, line := range lines {
+		if len(line) != 40 {
+			t.Errorf("line %d has width %d, want 40", i, len(line))
+		}
+	}
+	// The three glyph tiers must appear (low, mid, high energy).
+	if !strings.Contains(out, "O") {
+		t.Error("high-energy glyph missing")
+	}
+	if !strings.Contains(out, ".") {
+		t.Error("low-energy glyph missing")
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("connecting segments missing")
+	}
+}
+
+func TestRenderDegenerate(t *testing.T) {
+	// Coincident points and equal energies must not panic or divide by
+	// zero.
+	pts := []geom.Point{geom.Pt(5, 5), geom.Pt(5, 5)}
+	out := render(pts, []float64{3, 3}, 30, 8)
+	if out == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestRunWritesSVG(t *testing.T) {
+	dir := t.TempDir()
+	svg := filepath.Join(dir, "fig5.svg")
+	if err := run(1, 60, 12, svg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("not an SVG file")
+	}
+}
+
+func TestRunRejectsTinyCanvas(t *testing.T) {
+	if err := run(1, 5, 2, ""); err == nil {
+		t.Error("tiny canvas should error")
+	}
+}
+
+func TestProjectClamps(t *testing.T) {
+	x, y := project(geom.Pt(-100, 1e9), 0, 10, 0, 10, 20, 10)
+	if x != 0 || y != 9 {
+		t.Errorf("project clamped to (%d,%d), want (0,9)", x, y)
+	}
+}

@@ -1,0 +1,49 @@
+// Package imobif is a Go implementation of iMobif, the informed-mobility
+// framework for energy optimization in wireless ad hoc networks
+// (Tang & McKinley, ICDCS 2005).
+//
+// In networks whose nodes can physically move (robot swarms, vehicular
+// relays, mobile sensors), relocating relay nodes can dramatically cut
+// radio transmission energy — but locomotion itself costs energy. iMobif
+// weighs the two online and in a fully distributed fashion: data-packet
+// headers accumulate the expected performance of the current mobility
+// strategy both with and without movement, the flow destination compares
+// the aggregates, and it notifies the source to enable or disable mobility
+// for the whole path.
+//
+// The package provides:
+//
+//   - a deterministic discrete-event simulator of a wireless ad hoc
+//     network (unit-disk radio with power control, first-order energy
+//     model P(d) = a + b·dᵅ, HELLO neighbor discovery, greedy geographic
+//     routing);
+//   - the iMobif framework itself (flow tables, header aggregation,
+//     enable/disable feedback);
+//   - two mobility strategies from the paper: minimize total transmission
+//     energy (relays converge to evenly spaced positions on the
+//     source–destination line) and maximize system lifetime (relay
+//     spacing proportional to residual energy, Theorem 1);
+//   - the paper's two baselines (no mobility, cost-unaware mobility) and
+//     every experiment from its evaluation section (see EXPERIMENTS.md).
+//
+// # Quick start
+//
+//	cfg := imobif.DefaultConfig()
+//	cfg.Strategy = imobif.StrategyMinEnergy
+//	cfg.Mode = imobif.ModeInformed
+//
+//	net, err := imobif.NewRandomNetwork(cfg, 42)
+//	if err != nil { ... }
+//	sim, err := imobif.NewSimulation(cfg, net)
+//	if err != nil { ... }
+//	src, dst, err := net.PickFlowEndpoints(42)
+//	if err != nil { ... }
+//	if _, err := sim.AddFlow(src, dst, 1<<20); err != nil { ... }
+//	res, err := sim.Run()
+//	if err != nil { ... }
+//	fmt.Printf("tx %.1f J, movement %.1f J\n", res.TxJoules, res.MoveJoules)
+//
+// The examples/ directory contains runnable scenarios, and the
+// cmd/imobif-figures binary regenerates every table and figure of the
+// paper's evaluation.
+package imobif

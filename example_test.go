@@ -1,0 +1,112 @@
+package imobif_test
+
+import (
+	"fmt"
+	"log"
+
+	imobif "repro"
+)
+
+// ExampleSimulation runs one flow over a fixed relay chain under informed
+// mobility and reports whether the relays were allowed to move.
+func ExampleSimulation() {
+	cfg := imobif.DefaultConfig()
+	cfg.Mode = imobif.ModeInformed
+	cfg.Strategy = imobif.StrategyMinEnergy
+
+	nodes := []imobif.Node{
+		{ID: 0, X: 0, Y: 0, Joules: 1e6},
+		{ID: 1, X: 100, Y: 42, Joules: 1e6},
+		{ID: 2, X: 200, Y: 60, Joules: 1e6},
+		{ID: 3, X: 300, Y: 42, Joules: 1e6},
+		{ID: 4, X: 400, Y: 0, Joules: 1e6},
+	}
+	net, err := imobif.NewNetwork(nodes, cfg.Range)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := imobif.NewSimulation(cfg, net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sim.AddFlowPath([]int{0, 1, 2, 3, 4}, 100<<20); err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := res.Flows[0]
+	fmt.Printf("completed: %v\n", f.Completed)
+	fmt.Printf("mobility used: %v\n", res.MoveJoules > 0)
+	// Output:
+	// completed: true
+	// mobility used: true
+}
+
+// ExampleConfig_Validate shows configuration validation catching a
+// misconfigured strategy.
+func ExampleConfig_Validate() {
+	cfg := imobif.DefaultConfig()
+	cfg.Strategy = "antigravity"
+	if err := cfg.Validate(); err != nil {
+		fmt.Println("invalid")
+	}
+	// Output:
+	// invalid
+}
+
+// ExampleNetwork_PlanGreedyRoute plans the paper's greedy geographic route
+// on a simple chain.
+func ExampleNetwork_PlanGreedyRoute() {
+	nodes := []imobif.Node{
+		{ID: 0, X: 0, Y: 0, Joules: 1},
+		{ID: 1, X: 150, Y: 0, Joules: 1},
+		{ID: 2, X: 300, Y: 0, Joules: 1},
+		{ID: 3, X: 450, Y: 0, Joules: 1},
+	}
+	net, err := imobif.NewNetwork(nodes, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	route, err := net.PlanGreedyRoute(0, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(route)
+	// Output:
+	// [0 1 2 3]
+}
+
+// ExampleSimulation_AddConvergecast collects data from two sensors into a
+// sink over shared infrastructure.
+func ExampleSimulation_AddConvergecast() {
+	cfg := imobif.DefaultConfig()
+	cfg.Mode = imobif.ModeNoMobility
+	nodes := []imobif.Node{
+		{ID: 0, X: 300, Y: 0, Joules: 1e5},  // sink
+		{ID: 1, X: 0, Y: 0, Joules: 1e5},    // sensor A
+		{ID: 2, X: 0, Y: 100, Joules: 1e5},  // sensor B
+		{ID: 3, X: 150, Y: 40, Joules: 1e5}, // relay
+	}
+	net, err := imobif.NewNetwork(nodes, cfg.Range)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := imobif.NewSimulation(cfg, net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids, err := sim.AddConvergecast([]int{1, 2}, 0, 50*1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flows: %d, all completed: %v\n", len(ids),
+		res.Flows[0].Completed && res.Flows[1].Completed)
+	// Output:
+	// flows: 2, all completed: true
+}

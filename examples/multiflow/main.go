@@ -1,0 +1,81 @@
+// Multi-flow: concurrent flows sharing a relay (the technical-report
+// extension).
+//
+// Two bulk transfers cross at a shared relay. Under iMobif each flow
+// computes its own preferred position for the relay; the relay moves
+// toward the residual-traffic-weighted compromise between them. The
+// example shows both flows completing and compares network-wide energy
+// against the no-mobility baseline.
+//
+// Run with:
+//
+//	go run ./examples/multiflow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	imobif "repro"
+)
+
+func main() {
+	// Two flows: A (0 -> 3) and B (1 -> 4), crossing at relay 2, which
+	// sits between both flows' ideal positions. The crossing is kept
+	// narrow enough that the weighted compromise stays within radio
+	// range of both flows — with a wide crossing, chasing the heavy
+	// flow's target can break the light flow's link entirely.
+	nodes := []imobif.Node{
+		{ID: 0, X: 0, Y: 0, Joules: 1e5},     // source A
+		{ID: 1, X: 0, Y: 160, Joules: 1e5},   // source B
+		{ID: 2, X: 140, Y: 80, Joules: 1e5},  // shared relay
+		{ID: 3, X: 280, Y: 0, Joules: 1e5},   // destination A
+		{ID: 4, X: 280, Y: 160, Joules: 1e5}, // destination B
+	}
+	// Flow A carries 4x the traffic of flow B, so it pulls the shared
+	// relay harder.
+	const flowABytes = 80 << 20
+	const flowBBytes = 20 << 20
+
+	run := func(mode imobif.Mode) *imobif.Result {
+		cfg := imobif.DefaultConfig()
+		cfg.Mode = mode
+		net, err := imobif.NewNetwork(nodes, cfg.Range)
+		if err != nil {
+			log.Fatalf("network: %v", err)
+		}
+		sim, err := imobif.NewSimulation(cfg, net)
+		if err != nil {
+			log.Fatalf("simulation: %v", err)
+		}
+		if _, err := sim.AddFlowPath([]int{0, 2, 3}, flowABytes); err != nil {
+			log.Fatalf("flow A: %v", err)
+		}
+		if _, err := sim.AddFlowPath([]int{1, 2, 4}, flowBBytes); err != nil {
+			log.Fatalf("flow B: %v", err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			log.Fatalf("run: %v", err)
+		}
+		return res
+	}
+
+	baseline := run(imobif.ModeNoMobility)
+	informed := run(imobif.ModeInformed)
+
+	fmt.Println("two crossing flows sharing relay 2 (flow A carries 4x flow B's traffic)")
+	fmt.Println()
+	for i, f := range informed.Flows {
+		name := string(rune('A' + i))
+		fmt.Printf("flow %s: completed=%v delivered %.0f MB, %d status change(s)\n",
+			name, f.Completed, f.DeliveredBytes/(1<<20), f.StatusFlips)
+	}
+	rb := informed.Before[2]
+	ra := informed.After[2]
+	fmt.Printf("\nshared relay moved (%.1f, %.1f) -> (%.1f, %.1f)\n", rb.X, rb.Y, ra.X, ra.Y)
+	fmt.Println("(the heavier flow A pulls the compromise position toward its own midpoint)")
+	fmt.Printf("\nbaseline energy: %.1f J   informed energy: %.1f J   ratio %.3f\n",
+		baseline.TotalJoules(), informed.TotalJoules(),
+		informed.TotalJoules()/baseline.TotalJoules())
+}

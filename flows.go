@@ -1,0 +1,70 @@
+package imobif
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The paper (§1) supports three flow shapes: one-to-one (AddFlow),
+// many-to-one (AddConvergecast: sensor-style data collection into a sink),
+// and one-to-many (AddMulticast: dissemination from one source). The
+// latter two are built from one-to-one flows that share relays; a relay
+// serving several flows moves toward the residual-traffic-weighted
+// compromise of its per-flow strategy targets (the technical-report
+// multi-flow extension).
+
+// AddConvergecast registers one flow from every source to the sink, each
+// of lengthBytes bytes, routed independently with greedy geographic
+// routing. It returns the flow IDs in source order.
+func (s *Simulation) AddConvergecast(sources []int, sink int, lengthBytes float64) ([]FlowID, error) {
+	if len(sources) == 0 {
+		return nil, errors.New("imobif: convergecast needs at least one source")
+	}
+	ids := make([]FlowID, 0, len(sources))
+	for _, src := range sources {
+		id, err := s.AddFlow(src, sink, lengthBytes)
+		if err != nil {
+			return nil, fmt.Errorf("imobif: convergecast source %d: %w", src, err)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// AddMulticast registers one flow from the source to every destination,
+// each of lengthBytes bytes, routed independently with greedy geographic
+// routing. It returns the flow IDs in destination order.
+//
+// Shared prefix relays carry several flows and position themselves at the
+// weighted compromise of the per-destination targets.
+func (s *Simulation) AddMulticast(src int, destinations []int, lengthBytes float64) ([]FlowID, error) {
+	if len(destinations) == 0 {
+		return nil, errors.New("imobif: multicast needs at least one destination")
+	}
+	ids := make([]FlowID, 0, len(destinations))
+	for _, dst := range destinations {
+		id, err := s.AddFlow(src, dst, lengthBytes)
+		if err != nil {
+			return nil, fmt.Errorf("imobif: multicast destination %d: %w", dst, err)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// DiscoverRoute runs AODV on-demand route discovery (RREQ flood, RREP
+// reverse-path reply) over the simulated radio and returns the discovered
+// path. Unlike PlanGreedyRoute — an oracle computation on the topology
+// snapshot — this exercises the actual routing protocol as network
+// traffic. Use the result with AddFlowPath to pin a flow to it.
+func (s *Simulation) DiscoverRoute(src, dst int) ([]int, error) {
+	return s.world.DiscoverPath(src, dst)
+}
+
+// ScheduleNodeFailure crashes a node at the given virtual time (seconds):
+// it stops transmitting, receiving, moving, and beaconing, with its
+// battery left intact. Flows routed through it stall. Use it to study the
+// framework's behaviour under node failures.
+func (s *Simulation) ScheduleNodeFailure(node int, atSeconds float64) error {
+	return s.world.ScheduleNodeFailure(node, simTime(atSeconds))
+}

@@ -1,0 +1,147 @@
+package imobif
+
+import (
+	"testing"
+)
+
+// starNetwork builds a sink at the center with sources around it and
+// relays between, all in range of their chain neighbors.
+func starNetwork(t *testing.T) *Network {
+	t.Helper()
+	nodes := []Node{
+		{ID: 0, X: 400, Y: 400, Joules: 1e5}, // sink / multicast source
+		{ID: 1, X: 20, Y: 400, Joules: 1e5},  // west endpoint
+		{ID: 2, X: 780, Y: 400, Joules: 1e5}, // east endpoint
+		{ID: 3, X: 400, Y: 20, Joules: 1e5},  // south endpoint
+		{ID: 4, X: 210, Y: 415, Joules: 1e5}, // west relay (off-line)
+		{ID: 5, X: 590, Y: 385, Joules: 1e5}, // east relay (off-line)
+		{ID: 6, X: 415, Y: 210, Joules: 1e5}, // south relay (off-line)
+	}
+	// Radio range must match the Config the simulation will use.
+	net, err := NewNetwork(nodes, DefaultConfig().Range)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestAddConvergecast(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeNoMobility
+	sim, err := NewSimulation(cfg, starNetwork(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := sim.AddConvergecast([]int{1, 2, 3}, 0, 100*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("got %d flows", len(ids))
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range res.Flows {
+		if !f.Completed {
+			t.Errorf("convergecast flow %d incomplete: %+v", i, f)
+		}
+	}
+}
+
+func TestAddMulticast(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeCostUnaware
+	sim, err := NewSimulation(cfg, starNetwork(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := sim.AddMulticast(0, []int{1, 2, 3}, 100*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("got %d flows", len(ids))
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range res.Flows {
+		if !f.Completed {
+			t.Errorf("multicast flow %d incomplete: %+v", i, f)
+		}
+	}
+	// The off-line relays should have moved under cost-unaware mobility.
+	moved := 0.0
+	for _, id := range []int{4, 5, 6} {
+		b, a := res.Before[id], res.After[id]
+		moved += (a.X-b.X)*(a.X-b.X) + (a.Y-b.Y)*(a.Y-b.Y)
+	}
+	if moved == 0 {
+		t.Error("relays did not move")
+	}
+}
+
+func TestConvergecastValidation(t *testing.T) {
+	sim, err := NewSimulation(DefaultConfig(), starNetwork(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.AddConvergecast(nil, 0, 1024); err == nil {
+		t.Error("empty sources should error")
+	}
+	if _, err := sim.AddMulticast(0, nil, 1024); err == nil {
+		t.Error("empty destinations should error")
+	}
+	if _, err := sim.AddConvergecast([]int{0}, 0, 1024); err == nil {
+		t.Error("source == sink should error")
+	}
+}
+
+func TestDiscoverRoutePublicAPI(t *testing.T) {
+	cfg := DefaultConfig()
+	sim, err := NewSimulation(cfg, starNetwork(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := sim.DiscoverRoute(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route[0] != 1 || route[len(route)-1] != 2 {
+		t.Errorf("route = %v", route)
+	}
+	if _, err := sim.AddFlowPath(route, 10*1024); err != nil {
+		t.Errorf("AODV route rejected: %v", err)
+	}
+}
+
+func TestScheduleNodeFailurePublicAPI(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeNoMobility
+	sim, err := NewSimulation(cfg, starNetwork(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.AddFlowPath([]int{1, 4, 0}, 1024*1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.ScheduleNodeFailure(4, 100); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flows[0].Completed {
+		t.Error("flow should stall at the crashed relay")
+	}
+	if res.FirstDeathSeconds != 100 {
+		t.Errorf("FirstDeathSeconds = %v, want 100", res.FirstDeathSeconds)
+	}
+	if err := sim.ScheduleNodeFailure(1, 5); err == nil {
+		t.Error("scheduling after Run should error")
+	}
+}

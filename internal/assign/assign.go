@@ -1,0 +1,121 @@
+// Package assign solves the rectangular minimum-cost assignment problem
+// with the Hungarian algorithm (Kuhn–Munkres, potential formulation,
+// O(n²·m)). The relay-recruitment extension uses it to pick which idle
+// nodes should move into the optimal relay slots of a flow at minimum
+// total locomotion cost.
+package assign
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInfeasible is returned when no finite-cost complete assignment
+// exists (e.g. a row whose every entry is +Inf).
+var ErrInfeasible = errors.New("assign: no finite-cost assignment")
+
+// Solve assigns each row to a distinct column minimizing total cost.
+// cost must be rectangular with rows ≤ columns; +Inf entries mark
+// forbidden pairs. It returns the column chosen for each row and the
+// total cost.
+func Solve(cost [][]float64) ([]int, float64, error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	m := len(cost[0])
+	for i, row := range cost {
+		if len(row) != m {
+			return nil, 0, fmt.Errorf("assign: row %d has %d columns, want %d", i, len(row), m)
+		}
+		for j, c := range row {
+			if math.IsNaN(c) || math.IsInf(c, -1) {
+				return nil, 0, fmt.Errorf("assign: invalid cost at (%d,%d): %v", i, j, c)
+			}
+		}
+	}
+	if n > m {
+		return nil, 0, fmt.Errorf("assign: %d rows exceed %d columns", n, m)
+	}
+
+	const inf = math.MaxFloat64
+	// 1-indexed potentials and matching, per the classic formulation.
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1)   // p[j] = row matched to column j (0 = none)
+	way := make([]int, m+1) // way[j] = previous column on the alternating path
+
+	at := func(i, j int) float64 {
+		c := cost[i-1][j-1]
+		if math.IsInf(c, 1) {
+			return inf / 4 // large but arithmetic-safe
+		}
+		return c
+	}
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := at(i0, j) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if j1 == 0 {
+				return nil, 0, ErrInfeasible
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	result := make([]int, n)
+	var total float64
+	for j := 1; j <= m; j++ {
+		if p[j] == 0 {
+			continue
+		}
+		c := cost[p[j]-1][j-1]
+		if math.IsInf(c, 1) {
+			return nil, 0, ErrInfeasible
+		}
+		result[p[j]-1] = j - 1
+		total += c
+	}
+	return result, total, nil
+}

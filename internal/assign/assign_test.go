@@ -1,0 +1,189 @@
+package assign
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestSolveKnownSquare(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	got, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: row0->col1 (1), row1->col0 (2), row2->col2 (2) = 5.
+	if total != 5 {
+		t.Errorf("total = %v, want 5 (assignment %v)", total, got)
+	}
+	assertValid(t, cost, got, total)
+}
+
+func TestSolveRectangular(t *testing.T) {
+	cost := [][]float64{
+		{10, 2, 8, 9},
+		{7, 3, 4, 6},
+	}
+	got, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// row0->col1 (2), row1->col2 (4) = 6.
+	if total != 6 {
+		t.Errorf("total = %v, want 6 (assignment %v)", total, got)
+	}
+	assertValid(t, cost, got, total)
+}
+
+func TestSolveSingle(t *testing.T) {
+	got, total, err := Solve([][]float64{{7, 3, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 || got[0] != 1 {
+		t.Errorf("got %v total %v", got, total)
+	}
+}
+
+func TestSolveEmpty(t *testing.T) {
+	got, total, err := Solve(nil)
+	if err != nil || got != nil || total != 0 {
+		t.Errorf("empty: %v %v %v", got, total, err)
+	}
+}
+
+func TestSolveForbiddenPairs(t *testing.T) {
+	inf := math.Inf(1)
+	cost := [][]float64{
+		{inf, 1},
+		{1, inf},
+	}
+	got, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 0 || total != 2 {
+		t.Errorf("got %v total %v", got, total)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	inf := math.Inf(1)
+	cost := [][]float64{
+		{inf, inf},
+		{1, 2},
+	}
+	if _, _, err := Solve(cost); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, _, err := Solve([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix should error")
+	}
+	if _, _, err := Solve([][]float64{{1}, {2}}); err == nil {
+		t.Error("more rows than columns should error")
+	}
+	if _, _, err := Solve([][]float64{{math.NaN()}}); err == nil {
+		t.Error("NaN cost should error")
+	}
+	if _, _, err := Solve([][]float64{{math.Inf(-1)}}); err == nil {
+		t.Error("-Inf cost should error")
+	}
+}
+
+func TestSolveNegativeCosts(t *testing.T) {
+	cost := [][]float64{
+		{-5, 0},
+		{0, -5},
+	}
+	got, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != -10 {
+		t.Errorf("total = %v, want -10 (%v)", total, got)
+	}
+}
+
+// bruteForce finds the optimal assignment by exhaustive permutation
+// search (rows ≤ 6).
+func bruteForce(cost [][]float64) float64 {
+	n := len(cost)
+	m := len(cost[0])
+	best := math.Inf(1)
+	used := make([]bool, m)
+	var rec func(row int, acc float64)
+	rec = func(row int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if row == n {
+			best = acc
+			return
+		}
+		for j := 0; j < m; j++ {
+			if used[j] || math.IsInf(cost[row][j], 1) {
+				continue
+			}
+			used[j] = true
+			rec(row+1, acc+cost[row][j])
+			used[j] = false
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := stats.NewSource(5)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(5)
+		m := n + rng.Intn(3)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = math.Floor(rng.Uniform(0, 50))
+			}
+		}
+		got, total, err := Solve(cost)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assertValid(t, cost, got, total)
+		want := bruteForce(cost)
+		if math.Abs(total-want) > 1e-9 {
+			t.Fatalf("trial %d: Solve %v vs brute force %v (cost %v)", trial, total, want, cost)
+		}
+	}
+}
+
+func assertValid(t *testing.T, cost [][]float64, got []int, total float64) {
+	t.Helper()
+	if len(got) != len(cost) {
+		t.Fatalf("assignment length %d, want %d", len(got), len(cost))
+	}
+	seen := make(map[int]bool)
+	var sum float64
+	for i, j := range got {
+		if j < 0 || j >= len(cost[0]) {
+			t.Fatalf("row %d assigned out-of-range column %d", i, j)
+		}
+		if seen[j] {
+			t.Fatalf("column %d assigned twice", j)
+		}
+		seen[j] = true
+		sum += cost[i][j]
+	}
+	if math.Abs(sum-total) > 1e-9 {
+		t.Fatalf("reported total %v != recomputed %v", total, sum)
+	}
+}

@@ -1,0 +1,339 @@
+// Package core implements the iMobif framework itself (paper §2): the
+// flow tables each node maintains, the mobility metadata piggybacked on
+// data-packet headers, the per-relay cost-benefit computation and
+// aggregation of Figure 1, the destination's UpdateMobilityStatus
+// decision, and the source's strategy/status management driven by
+// destination notifications.
+//
+// The package is transport-agnostic: it contains the protocol logic, while
+// internal/netsim moves the resulting messages over the radio medium and
+// executes the movement decisions. This split keeps every line of Figure 1
+// unit-testable without a simulator.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/energy"
+	"repro/internal/geom"
+	"repro/internal/mobility"
+)
+
+// FlowID identifies a flow end-to-end.
+type FlowID uint64
+
+// NodeID identifies a node.
+type NodeID = int
+
+// Header is the iMobif metadata carried in every data packet (paper §2):
+// the flow identity and endpoints, the current mobility strategy and
+// status chosen by the source, the source's expected residual flow length,
+// and the two aggregate performance pairs — with mobility and without —
+// that relays fold their local cost-benefit estimates into.
+type Header struct {
+	Flow FlowID
+	Src  NodeID
+	Dst  NodeID
+	// Seq numbers packets within the flow.
+	Seq uint64
+	// PayloadBits is this packet's data size.
+	PayloadBits float64
+	// ResidualBits is the source's estimate of the flow's remaining
+	// length ℓ in bits (including this packet); relays use it to weigh
+	// mobility benefit against cost.
+	ResidualBits float64
+	// Strategy names the mobility strategy currently selected by the
+	// source.
+	Strategy string
+	// Enabled is the current mobility status disseminated by the source.
+	Enabled bool
+	// With and Without accumulate the aggregate performance of the flow
+	// path under the mobility strategy and under staying put.
+	With    mobility.Perf
+	Without mobility.Perf
+}
+
+// Notification is the destination→source feedback packet requesting a
+// mobility status change, carrying the aggregate information that
+// justified it.
+type Notification struct {
+	Flow   FlowID
+	Src    NodeID
+	Dst    NodeID
+	Enable bool
+	// With and Without are the end-to-end aggregates that triggered the
+	// notification.
+	With    mobility.Perf
+	Without mobility.Perf
+}
+
+// FlowEntry is one row of a node's flow table (paper §2: "for each flow
+// traversing the node, its source, number of residual data bits, previous
+// node, mobility strategy and status, destination, and next node").
+type FlowEntry struct {
+	Flow         FlowID
+	Src          NodeID
+	Dst          NodeID
+	Prev         NodeID
+	Next         NodeID
+	ResidualBits float64
+	Strategy     string
+	Enabled      bool
+	// Target is the relay's current preferred location under the flow's
+	// strategy; valid after the first processed packet.
+	Target geom.Point
+	// HasTarget records whether Target has been computed yet.
+	HasTarget bool
+}
+
+// ErrUnknownFlow is returned when a flow ID is not in the table.
+var ErrUnknownFlow = errors.New("core: unknown flow")
+
+// Table is a node's flow table.
+type Table struct {
+	flows map[FlowID]*FlowEntry
+}
+
+// NewTable returns an empty flow table.
+func NewTable() *Table {
+	return &Table{flows: make(map[FlowID]*FlowEntry)}
+}
+
+// Get returns the entry for the given flow, or ErrUnknownFlow.
+func (t *Table) Get(id FlowID) (*FlowEntry, error) {
+	e, ok := t.flows[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownFlow, id)
+	}
+	return e, nil
+}
+
+// Allocate creates (or returns the existing) entry for the header's flow,
+// recording the previous hop the packet arrived from and the next hop it
+// will leave through (AllocateFlowEntry in Fig 1).
+func (t *Table) Allocate(hdr *Header, prev, next NodeID) *FlowEntry {
+	if e, ok := t.flows[hdr.Flow]; ok {
+		return e
+	}
+	e := &FlowEntry{
+		Flow:         hdr.Flow,
+		Src:          hdr.Src,
+		Dst:          hdr.Dst,
+		Prev:         prev,
+		Next:         next,
+		ResidualBits: hdr.ResidualBits,
+		Strategy:     hdr.Strategy,
+		Enabled:      hdr.Enabled,
+	}
+	t.flows[hdr.Flow] = e
+	return e
+}
+
+// Remove deletes a flow entry; removing an absent flow is a no-op.
+func (t *Table) Remove(id FlowID) { delete(t.flows, id) }
+
+// Len returns the number of flows traversing the node.
+func (t *Table) Len() int { return len(t.flows) }
+
+// Entries returns the table rows in ascending flow-ID order.
+func (t *Table) Entries() []*FlowEntry {
+	ids := make([]FlowID, 0, len(t.flows))
+	for id := range t.flows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*FlowEntry, len(ids))
+	for i, id := range ids {
+		out[i] = t.flows[id]
+	}
+	return out
+}
+
+// RelayDecision is the outcome of processing a data packet at a relay:
+// where the strategy wants the node, and whether it should be moving.
+type RelayDecision struct {
+	Target geom.Point
+	Move   bool
+}
+
+// ProcessRelay executes the relay half of Figure 1 (lines 12–27) for one
+// data packet: computes the strategy's preferred position x′ from the
+// local view, evaluates the expected performance with mobility
+// (position x′, movement cost E_M(d(x, x′)) subtracted) and without
+// (current position, no cost), folds both pairs into the header
+// aggregates, and syncs the local mobility status from the header.
+//
+// The caller supplies the local view (self state plus the flow-neighbor
+// states from its HELLO table) and then physically forwards the packet
+// and executes the movement decision.
+func ProcessRelay(
+	entry *FlowEntry,
+	hdr *Header,
+	strat mobility.Strategy,
+	tx energy.TxModel,
+	mob energy.MobilityModel,
+	v mobility.View,
+) (RelayDecision, error) {
+	if entry == nil || hdr == nil || strat == nil {
+		return RelayDecision{}, errors.New("core: nil entry, header, or strategy")
+	}
+	if entry.Flow != hdr.Flow {
+		return RelayDecision{}, fmt.Errorf("core: entry flow %d does not match header flow %d", entry.Flow, hdr.Flow)
+	}
+	target, err := strat.NextPosition(v)
+	if err != nil {
+		return RelayDecision{}, fmt.Errorf("core: computing next position: %w", err)
+	}
+	moveCost := mob.MoveEnergy(v.Self.Pos.Dist(target))
+	without := mobility.ComputePerf(tx, v.Self.Pos, v.Next.Pos, v.Self.Residual, hdr.ResidualBits, 0)
+	with := mobility.ComputePerf(tx, target, v.Next.Pos, v.Self.Residual, hdr.ResidualBits, moveCost)
+	hdr.With = strat.Aggregate(hdr.With, with)
+	hdr.Without = strat.Aggregate(hdr.Without, without)
+
+	// Sync local state from the source-disseminated header.
+	entry.Enabled = hdr.Enabled
+	entry.ResidualBits = hdr.ResidualBits
+	entry.Target = target
+	entry.HasTarget = true
+	return RelayDecision{Target: target, Move: hdr.Enabled}, nil
+}
+
+// AggregateSource folds the source node's own performance into a freshly
+// seeded header. The source transmits the flow but does not move (flow
+// endpoints are fixed), so its with- and without-mobility pairs coincide.
+func AggregateSource(hdr *Header, strat mobility.Strategy, tx energy.TxModel, selfPos, nextPos geom.Point, residualEnergy float64) {
+	p := mobility.ComputePerf(tx, selfPos, nextPos, residualEnergy, hdr.ResidualBits, 0)
+	hdr.With = strat.Aggregate(hdr.With, p)
+	hdr.Without = strat.Aggregate(hdr.Without, p)
+}
+
+// StatusDecision is the destination's UpdateMobilityStatus outcome.
+type StatusDecision struct {
+	// Notify reports whether a notification should be sent to the source.
+	Notify bool
+	// Enable is the status the notification requests (valid when Notify).
+	Enable bool
+}
+
+// EvaluateStatus implements UpdateMobilityStatus (Fig 1, lines 29–36): if
+// the with-mobility aggregate is strictly worse than the without-mobility
+// aggregate (fewer sustainable bits, or equal bits and lower residual
+// energy) while mobility is enabled, request disable; in the symmetric
+// case while disabled, request enable.
+func EvaluateStatus(hdr *Header) StatusDecision {
+	withWorse := hdr.Without.Better(hdr.With)
+	withBetter := hdr.With.Better(hdr.Without)
+	switch {
+	case withWorse && hdr.Enabled:
+		return StatusDecision{Notify: true, Enable: false}
+	case withBetter && !hdr.Enabled:
+		return StatusDecision{Notify: true, Enable: true}
+	default:
+		return StatusDecision{}
+	}
+}
+
+// Source manages a flow at its source node: it stamps each outgoing data
+// packet with the strategy, status, sequence number, and residual-length
+// estimate, counts down the flow, and applies destination notifications.
+type Source struct {
+	flow     FlowID
+	src, dst NodeID
+	strategy mobility.Strategy
+	enabled  bool
+	// residual is the true remaining flow length in bits.
+	residual float64
+	// estimateScale models inaccurate flow-length estimates (the paper's
+	// §5 future-work study): the advertised ℓ is residual × scale.
+	estimateScale float64
+	seq           uint64
+	notifications int
+}
+
+// NewSource creates the source-side state for a flow of lengthBits total
+// bits. Mobility starts in the given status (the paper's experiments start
+// disabled). estimateScale scales the advertised residual length to model
+// estimation error; pass 1 for a perfect estimate.
+func NewSource(flow FlowID, src, dst NodeID, strat mobility.Strategy, lengthBits float64, startEnabled bool, estimateScale float64) (*Source, error) {
+	if strat == nil {
+		return nil, errors.New("core: nil strategy")
+	}
+	if lengthBits <= 0 {
+		return nil, fmt.Errorf("core: non-positive flow length %v", lengthBits)
+	}
+	if estimateScale <= 0 {
+		return nil, fmt.Errorf("core: non-positive estimate scale %v", estimateScale)
+	}
+	return &Source{
+		flow:          flow,
+		src:           src,
+		dst:           dst,
+		strategy:      strat,
+		enabled:       startEnabled,
+		residual:      lengthBits,
+		estimateScale: estimateScale,
+	}, nil
+}
+
+// Flow returns the flow ID.
+func (s *Source) Flow() FlowID { return s.flow }
+
+// Enabled returns the current mobility status.
+func (s *Source) Enabled() bool { return s.enabled }
+
+// Strategy returns the flow's mobility strategy.
+func (s *Source) Strategy() mobility.Strategy { return s.strategy }
+
+// Residual returns the true remaining flow length in bits.
+func (s *Source) Residual() float64 { return s.residual }
+
+// Done reports whether the flow has been fully transmitted.
+func (s *Source) Done() bool { return s.residual <= 0 }
+
+// Notifications returns how many status-change notifications the source
+// has applied (the paper's Figure 7 metric).
+func (s *Source) Notifications() int { return s.notifications }
+
+// NextHeader stamps the header for the next data packet of up to
+// payloadBits bits (the final packet may be shorter) and decrements the
+// residual length. It returns an error when the flow is already done.
+func (s *Source) NextHeader(payloadBits float64) (Header, error) {
+	if s.Done() {
+		return Header{}, fmt.Errorf("core: flow %d already complete", s.flow)
+	}
+	if payloadBits <= 0 {
+		return Header{}, fmt.Errorf("core: non-positive payload %v", payloadBits)
+	}
+	if payloadBits > s.residual {
+		payloadBits = s.residual
+	}
+	s.seq++
+	hdr := Header{
+		Flow:         s.flow,
+		Src:          s.src,
+		Dst:          s.dst,
+		Seq:          s.seq,
+		PayloadBits:  payloadBits,
+		ResidualBits: s.residual * s.estimateScale,
+		Strategy:     s.strategy.Name(),
+		Enabled:      s.enabled,
+		With:         s.strategy.InitPerf(),
+		Without:      s.strategy.InitPerf(),
+	}
+	s.residual -= payloadBits
+	return hdr, nil
+}
+
+// ApplyNotification applies a destination status-change request; the new
+// status rides on the next data packet. Notifications for other flows are
+// rejected.
+func (s *Source) ApplyNotification(n Notification) error {
+	if n.Flow != s.flow {
+		return fmt.Errorf("core: notification for flow %d applied to flow %d", n.Flow, s.flow)
+	}
+	s.notifications++
+	s.enabled = n.Enable
+	return nil
+}

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/geom"
+	"repro/internal/mobility"
+)
+
+func testModels() (energy.TxModel, energy.MobilityModel) {
+	return energy.TxModel{A: 1e-7, B: 1e-10, Alpha: 2}, energy.MobilityModel{K: 0.5}
+}
+
+func relayView(selfPos geom.Point, eSelf float64) mobility.View {
+	return mobility.View{
+		Prev:         mobility.Peer{ID: 0, Pos: geom.Pt(0, 0), Residual: 10},
+		Self:         mobility.Peer{ID: 1, Pos: selfPos, Residual: eSelf},
+		Next:         mobility.Peer{ID: 2, Pos: geom.Pt(200, 0), Residual: 10},
+		ResidualBits: 8e6,
+	}
+}
+
+func seedHeader(strat mobility.Strategy, bits float64, enabled bool) Header {
+	return Header{
+		Flow: 1, Src: 0, Dst: 2, Seq: 1,
+		PayloadBits:  8192,
+		ResidualBits: bits,
+		Strategy:     strat.Name(),
+		Enabled:      enabled,
+		With:         strat.InitPerf(),
+		Without:      strat.InitPerf(),
+	}
+}
+
+func TestTableAllocateGet(t *testing.T) {
+	tab := NewTable()
+	hdr := seedHeader(mobility.MinEnergy{}, 1e6, true)
+	e := tab.Allocate(&hdr, 7, 9)
+	if e.Flow != 1 || e.Prev != 7 || e.Next != 9 || !e.Enabled || e.Strategy != "min-energy" {
+		t.Errorf("entry = %+v", e)
+	}
+	got, err := tab.Get(1)
+	if err != nil || got != e {
+		t.Errorf("Get = %v, %v", got, err)
+	}
+	// Allocate is idempotent.
+	again := tab.Allocate(&hdr, 99, 99)
+	if again != e {
+		t.Error("second Allocate should return the existing entry")
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tab.Len())
+	}
+}
+
+func TestTableGetUnknown(t *testing.T) {
+	tab := NewTable()
+	if _, err := tab.Get(42); !errors.Is(err, ErrUnknownFlow) {
+		t.Errorf("err = %v, want ErrUnknownFlow", err)
+	}
+}
+
+func TestTableRemoveAndEntries(t *testing.T) {
+	tab := NewTable()
+	for _, id := range []FlowID{5, 1, 3} {
+		hdr := seedHeader(mobility.MinEnergy{}, 1e6, false)
+		hdr.Flow = id
+		tab.Allocate(&hdr, 0, 1)
+	}
+	entries := tab.Entries()
+	if len(entries) != 3 || entries[0].Flow != 1 || entries[1].Flow != 3 || entries[2].Flow != 5 {
+		t.Errorf("Entries order wrong: %v", entries)
+	}
+	tab.Remove(3)
+	if tab.Len() != 2 {
+		t.Errorf("Len after remove = %d", tab.Len())
+	}
+	tab.Remove(999) // no-op
+}
+
+func TestProcessRelayAggregates(t *testing.T) {
+	tx, mob := testModels()
+	strat := mobility.MinEnergy{}
+	const flowBits = 8e9 // long enough that the ℓ cap does not bind
+	hdr := seedHeader(strat, flowBits, true)
+	tab := NewTable()
+	entry := tab.Allocate(&hdr, 0, 2)
+	v := relayView(geom.Pt(60, 80), 100) // off the line; midpoint is (100,0)
+	dec, err := ProcessRelay(entry, &hdr, strat, tx, mob, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Target.Eq(geom.Pt(100, 0)) {
+		t.Errorf("target = %v, want (100,0)", dec.Target)
+	}
+	if !dec.Move {
+		t.Error("mobility enabled: decision should be to move")
+	}
+	if !entry.HasTarget || !entry.Target.Eq(dec.Target) {
+		t.Error("entry target not recorded")
+	}
+
+	// Check the aggregates against hand-computed Fig 1 lines 16-19.
+	moveDist := geom.Pt(60, 80).Dist(geom.Pt(100, 0))
+	moveCost := mob.MoveEnergy(moveDist)
+	dNow := geom.Pt(60, 80).Dist(geom.Pt(200, 0))
+	dNew := geom.Pt(100, 0).Dist(geom.Pt(200, 0))
+	wantWithout := mobility.Perf{
+		Bits: 100 / tx.Power(dNow),
+		Resi: 100 - tx.TxEnergy(dNow, flowBits),
+	}
+	wantWith := mobility.Perf{
+		Bits: (100 - moveCost) / tx.Power(dNew),
+		Resi: 100 - moveCost - tx.TxEnergy(dNew, flowBits),
+	}
+	if math.Abs(hdr.Without.Bits-wantWithout.Bits) > 1 || math.Abs(hdr.Without.Resi-wantWithout.Resi) > 1e-9 {
+		t.Errorf("Without = %+v, want %+v", hdr.Without, wantWithout)
+	}
+	if math.Abs(hdr.With.Bits-wantWith.Bits) > 1 || math.Abs(hdr.With.Resi-wantWith.Resi) > 1e-9 {
+		t.Errorf("With = %+v, want %+v", hdr.With, wantWith)
+	}
+}
+
+func TestProcessRelaySyncsStatusFromHeader(t *testing.T) {
+	tx, mob := testModels()
+	strat := mobility.MinEnergy{}
+	hdr := seedHeader(strat, 8e6, false)
+	tab := NewTable()
+	entry := tab.Allocate(&hdr, 0, 2)
+	entry.Enabled = true // stale local state
+	dec, err := ProcessRelay(entry, &hdr, strat, tx, mob, relayView(geom.Pt(60, 80), 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Move {
+		t.Error("mobility disabled in header: decision should be stay")
+	}
+	if entry.Enabled {
+		t.Error("entry status should sync from header")
+	}
+}
+
+func TestProcessRelayValidation(t *testing.T) {
+	tx, mob := testModels()
+	strat := mobility.MinEnergy{}
+	hdr := seedHeader(strat, 8e6, true)
+	tab := NewTable()
+	entry := tab.Allocate(&hdr, 0, 2)
+	if _, err := ProcessRelay(nil, &hdr, strat, tx, mob, relayView(geom.Pt(0, 0), 1)); err == nil {
+		t.Error("nil entry should error")
+	}
+	if _, err := ProcessRelay(entry, nil, strat, tx, mob, relayView(geom.Pt(0, 0), 1)); err == nil {
+		t.Error("nil header should error")
+	}
+	if _, err := ProcessRelay(entry, &hdr, nil, tx, mob, relayView(geom.Pt(0, 0), 1)); err == nil {
+		t.Error("nil strategy should error")
+	}
+	other := seedHeader(strat, 8e6, true)
+	other.Flow = 99
+	if _, err := ProcessRelay(entry, &other, strat, tx, mob, relayView(geom.Pt(0, 0), 1)); err == nil {
+		t.Error("flow mismatch should error")
+	}
+}
+
+func TestProcessRelayStrategyError(t *testing.T) {
+	tx, mob := testModels()
+	strat := mobility.MaxLifetime{AlphaPrime: 0} // invalid
+	hdr := seedHeader(strat, 8e6, true)
+	tab := NewTable()
+	entry := tab.Allocate(&hdr, 0, 2)
+	if _, err := ProcessRelay(entry, &hdr, strat, tx, mob, relayView(geom.Pt(10, 0), 5)); err == nil {
+		t.Error("strategy error should propagate")
+	}
+}
+
+func TestAggregateSource(t *testing.T) {
+	tx, _ := testModels()
+	strat := mobility.MinEnergy{}
+	hdr := seedHeader(strat, 8e6, true)
+	AggregateSource(&hdr, strat, tx, geom.Pt(0, 0), geom.Pt(100, 0), 10)
+	// Source doesn't move: with == without.
+	if hdr.With != hdr.Without {
+		t.Errorf("source aggregates differ: %+v vs %+v", hdr.With, hdr.Without)
+	}
+	if math.IsInf(hdr.With.Bits, 1) {
+		t.Error("aggregate should no longer be the identity")
+	}
+}
+
+func TestEvaluateStatusDisablesWhenMobilityWorse(t *testing.T) {
+	hdr := Header{
+		Enabled: true,
+		With:    mobility.Perf{Bits: 50, Resi: 1},
+		Without: mobility.Perf{Bits: 100, Resi: 1},
+	}
+	dec := EvaluateStatus(&hdr)
+	if !dec.Notify || dec.Enable {
+		t.Errorf("decision = %+v, want disable notification", dec)
+	}
+}
+
+func TestEvaluateStatusEnablesWhenMobilityBetter(t *testing.T) {
+	hdr := Header{
+		Enabled: false,
+		With:    mobility.Perf{Bits: 100, Resi: 1},
+		Without: mobility.Perf{Bits: 50, Resi: 1},
+	}
+	dec := EvaluateStatus(&hdr)
+	if !dec.Notify || !dec.Enable {
+		t.Errorf("decision = %+v, want enable notification", dec)
+	}
+}
+
+func TestEvaluateStatusTiebreakOnResi(t *testing.T) {
+	hdr := Header{
+		Enabled: true,
+		With:    mobility.Perf{Bits: 100, Resi: 1},
+		Without: mobility.Perf{Bits: 100, Resi: 2},
+	}
+	if dec := EvaluateStatus(&hdr); !dec.Notify || dec.Enable {
+		t.Errorf("decision = %+v, want disable on resi tiebreak", dec)
+	}
+}
+
+func TestEvaluateStatusNoChangeNeeded(t *testing.T) {
+	// Mobility better and already enabled: silence.
+	hdr := Header{
+		Enabled: true,
+		With:    mobility.Perf{Bits: 100, Resi: 1},
+		Without: mobility.Perf{Bits: 50, Resi: 1},
+	}
+	if dec := EvaluateStatus(&hdr); dec.Notify {
+		t.Errorf("decision = %+v, want no notification", dec)
+	}
+	// Mobility worse and already disabled: silence.
+	hdr = Header{
+		Enabled: false,
+		With:    mobility.Perf{Bits: 50, Resi: 1},
+		Without: mobility.Perf{Bits: 100, Resi: 1},
+	}
+	if dec := EvaluateStatus(&hdr); dec.Notify {
+		t.Errorf("decision = %+v, want no notification", dec)
+	}
+	// Exactly equal: silence regardless of status.
+	hdr = Header{
+		Enabled: true,
+		With:    mobility.Perf{Bits: 100, Resi: 1},
+		Without: mobility.Perf{Bits: 100, Resi: 1},
+	}
+	if dec := EvaluateStatus(&hdr); dec.Notify {
+		t.Errorf("decision = %+v, want no notification on tie", dec)
+	}
+}
+
+func TestSourceLifecycle(t *testing.T) {
+	strat := mobility.MinEnergy{}
+	s, err := NewSource(7, 0, 4, strat, 20000, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Flow() != 7 || s.Enabled() || s.Done() {
+		t.Fatalf("fresh source state wrong: %+v", s)
+	}
+	hdr, err := s.NextHeader(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Seq != 1 || hdr.PayloadBits != 8192 || hdr.ResidualBits != 20000 {
+		t.Errorf("first header = %+v", hdr)
+	}
+	if hdr.Strategy != "min-energy" || hdr.Enabled {
+		t.Errorf("header strategy/status = %q/%v", hdr.Strategy, hdr.Enabled)
+	}
+	if !math.IsInf(hdr.With.Bits, 1) {
+		t.Error("header aggregates should start at the strategy identity")
+	}
+	if s.Residual() != 20000-8192 {
+		t.Errorf("residual = %v", s.Residual())
+	}
+	// Second packet advertises the decremented residual.
+	hdr2, err := s.NextHeader(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr2.Seq != 2 || hdr2.ResidualBits != 20000-8192 {
+		t.Errorf("second header = %+v", hdr2)
+	}
+	// Third packet is the short tail.
+	hdr3, err := s.NextHeader(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr3.PayloadBits != 20000-2*8192 {
+		t.Errorf("tail payload = %v", hdr3.PayloadBits)
+	}
+	if !s.Done() {
+		t.Error("flow should be done")
+	}
+	if _, err := s.NextHeader(8192); err == nil {
+		t.Error("NextHeader after completion should error")
+	}
+}
+
+func TestSourceNotification(t *testing.T) {
+	s, err := NewSource(7, 0, 4, mobility.MinEnergy{}, 1e6, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyNotification(Notification{Flow: 7, Enable: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Enabled() || s.Notifications() != 1 {
+		t.Errorf("after enable: enabled=%v notifications=%d", s.Enabled(), s.Notifications())
+	}
+	hdr, err := s.NextHeader(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hdr.Enabled {
+		t.Error("next header should carry the new status")
+	}
+	if err := s.ApplyNotification(Notification{Flow: 9, Enable: false}); err == nil {
+		t.Error("wrong-flow notification should error")
+	}
+}
+
+func TestSourceEstimateScale(t *testing.T) {
+	s, err := NewSource(1, 0, 2, mobility.MinEnergy{}, 1e6, false, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := s.NextHeader(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.ResidualBits != 5e5 {
+		t.Errorf("advertised residual = %v, want half of 1e6", hdr.ResidualBits)
+	}
+	if s.Residual() != 1e6-1000 {
+		t.Errorf("true residual = %v, estimation noise must not affect it", s.Residual())
+	}
+}
+
+func TestNewSourceValidation(t *testing.T) {
+	if _, err := NewSource(1, 0, 2, nil, 1e6, false, 1); err == nil {
+		t.Error("nil strategy should error")
+	}
+	if _, err := NewSource(1, 0, 2, mobility.MinEnergy{}, 0, false, 1); err == nil {
+		t.Error("zero length should error")
+	}
+	if _, err := NewSource(1, 0, 2, mobility.MinEnergy{}, 1e6, false, 0); err == nil {
+		t.Error("zero estimate scale should error")
+	}
+}
+
+func TestSourceInvalidPayload(t *testing.T) {
+	s, err := NewSource(1, 0, 2, mobility.MinEnergy{}, 1e6, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NextHeader(0); err == nil {
+		t.Error("zero payload should error")
+	}
+	if _, err := s.NextHeader(-5); err == nil {
+		t.Error("negative payload should error")
+	}
+}
+
+// TestEndToEndHeaderFlow walks a header down a three-relay chain and
+// checks the destination decision flips status exactly when mobility pays
+// off: a long flow on a bent chain should want mobility on.
+func TestEndToEndHeaderFlow(t *testing.T) {
+	tx, mob := testModels()
+	strat := mobility.MinEnergy{}
+
+	positions := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(50, 120), geom.Pt(100, -90), geom.Pt(150, 100), geom.Pt(200, 0),
+	}
+	energies := []float64{500, 500, 500, 500, 500}
+
+	run := func(flowBits float64) StatusDecision {
+		src, err := NewSource(1, 0, 4, strat, flowBits, false, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hdr, err := src.NextHeader(8192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		AggregateSource(&hdr, strat, tx, positions[0], positions[1], energies[0])
+		for i := 1; i <= 3; i++ {
+			tab := NewTable()
+			entry := tab.Allocate(&hdr, i-1, i+1)
+			v := mobility.View{
+				Prev:         mobility.Peer{ID: i - 1, Pos: positions[i-1], Residual: energies[i-1]},
+				Self:         mobility.Peer{ID: i, Pos: positions[i], Residual: energies[i]},
+				Next:         mobility.Peer{ID: i + 1, Pos: positions[i+1], Residual: energies[i+1]},
+				ResidualBits: hdr.ResidualBits,
+			}
+			if _, err := ProcessRelay(entry, &hdr, strat, tx, mob, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return EvaluateStatus(&hdr)
+	}
+
+	// A very long flow amortizes movement: expect an enable request.
+	long := run(8e8) // 100 MB
+	if !long.Notify || !long.Enable {
+		t.Errorf("long flow decision = %+v, want enable", long)
+	}
+	// A tiny flow cannot: expect silence (mobility stays off).
+	short := run(800) // 100 bytes
+	if short.Notify {
+		t.Errorf("short flow decision = %+v, want no notification", short)
+	}
+}

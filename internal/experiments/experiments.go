@@ -1,0 +1,583 @@
+// Package experiments implements the paper's evaluation (§4): one driver
+// per figure, each regenerating the same rows/series the paper reports,
+// plus the ablations listed in DESIGN.md. Every driver is deterministic in
+// its Params.Seed and compares the three approaches of the paper on
+// identical flow instances: no mobility (baseline), cost-unaware mobility,
+// and informed (iMobif) mobility.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/radio"
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// Params is the sweep-level experiment setup. ParamsFig6* and ParamsFig8
+// return the paper's configurations.
+type Params struct {
+	// Seed drives all randomness (placement, endpoints, lengths,
+	// energies).
+	Seed int64
+	// Flows is the number of Monte-Carlo flow instances.
+	Flows int
+	// Nodes, FieldW, FieldH, Range describe the network.
+	Nodes          int
+	FieldW, FieldH float64
+	Range          float64
+	// Tx is the radio model; K the mobility cost.
+	Tx energy.TxModel
+	K  float64
+	// MeanFlowBits is the mean of the exponential flow-length
+	// distribution.
+	MeanFlowBits float64
+	// MaxFlowBits clamps the exponential tail (0 = 20× mean) to bound
+	// simulation time.
+	MaxFlowBits float64
+	// EnergyLo/EnergyHi bound the uniform initial node energy.
+	EnergyLo, EnergyHi float64
+	// StrategyName selects the mobility strategy ("min-energy",
+	// "max-lifetime", "max-lifetime-exact").
+	StrategyName string
+	// StopOnFirstDeath ends runs at the first depletion (lifetime runs).
+	StopOnFirstDeath bool
+	// EstimateScale models inaccurate flow-length estimates (ablation
+	// A1); 1 = perfect.
+	EstimateScale float64
+	// MaxStep is the per-packet movement cap in meters.
+	MaxStep float64
+	// ChargeControl charges HELLO/notification traffic (ablation A4).
+	ChargeControl bool
+	// Planner overrides the route planner (ablation A2); nil = greedy.
+	Planner routing.Planner
+	// MinPathLen rejects flow instances with fewer nodes on the path
+	// (need at least one relay for mobility to matter).
+	MinPathLen int
+}
+
+func baseParams() Params {
+	return Params{
+		Seed:          1,
+		Flows:         100,
+		Nodes:         100,
+		FieldW:        1000,
+		FieldH:        1000,
+		Range:         200,
+		Tx:            energy.DefaultTxModel(),
+		K:             0.5,
+		MeanFlowBits:  8e7, // 10 MB
+		EnergyLo:      5e3,
+		EnergyHi:      1e4,
+		StrategyName:  "min-energy",
+		EstimateScale: 1,
+		MaxStep:       1,
+		MinPathLen:    3,
+	}
+}
+
+// ParamsFig6 returns the configuration for one Figure 6 panel:
+// variant "a" (k=0.5, α=2, short flows, mean 10 KB), "c" (k=0.5, α=2, long
+// flows, mean 10 MB), "d" (k=1), "e" (k=0.1), "f" (α=3). Panel (b) is
+// derived from panel (a) via RunFig6b. See DESIGN.md §1 for the flow-mean
+// reconstruction.
+func ParamsFig6(variant string) (Params, error) {
+	p := baseParams()
+	switch variant {
+	case "a":
+		p.MeanFlowBits = 8e4 // 10 KB
+	case "c":
+		// base: k=0.5, alpha=2, mean 10 MB
+	case "d":
+		p.K = 1.0
+	case "e":
+		p.K = 0.1
+	case "f":
+		p.Tx.Alpha = 3
+	default:
+		return Params{}, fmt.Errorf("experiments: unknown Fig 6 variant %q", variant)
+	}
+	return p, nil
+}
+
+// ParamsFig7 returns the configuration for Figure 7 (notification counts;
+// the paper uses the long-flow setting).
+func ParamsFig7() Params {
+	return baseParams()
+}
+
+// ParamsFig8 returns the configuration for Figure 8 (system lifetime):
+// max-lifetime strategy, deliberately low node energy, flows long enough
+// that bottleneck relays die. The OCR-damaged text loses the exact energy
+// range ("between 5 and Joules"); U[100, 200] J is calibrated so the
+// cost-unaware lifetime-ratio average lands at the paper's reported ≈0.55
+// (see EXPERIMENTS.md).
+func ParamsFig8() Params {
+	p := baseParams()
+	p.StrategyName = "max-lifetime"
+	p.EnergyLo = 100
+	p.EnergyHi = 200
+	p.StopOnFirstDeath = true
+	return p
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.Flows < 1:
+		return fmt.Errorf("experiments: need at least one flow, got %d", p.Flows)
+	case p.Nodes < 2:
+		return fmt.Errorf("experiments: need at least two nodes, got %d", p.Nodes)
+	case p.FieldW <= 0 || p.FieldH <= 0:
+		return fmt.Errorf("experiments: empty field %vx%v", p.FieldW, p.FieldH)
+	case p.Range <= 0:
+		return fmt.Errorf("experiments: non-positive range %v", p.Range)
+	case p.MeanFlowBits <= 0:
+		return fmt.Errorf("experiments: non-positive mean flow length %v", p.MeanFlowBits)
+	case p.EnergyLo <= 0 || p.EnergyHi < p.EnergyLo:
+		return fmt.Errorf("experiments: bad energy range [%v, %v]", p.EnergyLo, p.EnergyHi)
+	case p.MinPathLen < 2:
+		return fmt.Errorf("experiments: MinPathLen %d below 2", p.MinPathLen)
+	}
+	return p.Tx.Validate()
+}
+
+// strategy materializes the configured strategy, fitting α′ from a power
+// table when the max-lifetime strategy asks for it (paper §3.2).
+func (p Params) strategy() (mobility.Strategy, error) {
+	table, err := energy.NewPowerTable(p.Tx, p.Range, 256)
+	if err != nil {
+		return nil, err
+	}
+	return mobility.ByName(p.StrategyName, p.Tx, table)
+}
+
+func (p Params) netsimConfig(strat mobility.Strategy, mode netsim.Mode) netsim.Config {
+	cfg := netsim.DefaultConfig()
+	cfg.Radio = radio.Config{Tx: p.Tx, Range: p.Range, ChargeControl: p.ChargeControl}
+	cfg.Mobility = energy.MobilityModel{K: p.K}
+	cfg.Strategy = strat
+	cfg.Mode = mode
+	cfg.MaxStep = p.MaxStep
+	cfg.EstimateScale = p.EstimateScale
+	cfg.StopOnFirstDeath = p.StopOnFirstDeath
+	if p.Planner != nil {
+		cfg.Planner = p.Planner
+	}
+	return cfg
+}
+
+// Instance is one Monte-Carlo flow instance: a placement, initial
+// energies, endpoints, and a flow length — identical across the compared
+// modes.
+type Instance struct {
+	Positions []geom.Point
+	Energies  []float64
+	Src, Dst  int
+	FlowBits  float64
+	// Path is the planned route on the initial topology.
+	Path []int
+}
+
+// GenInstances draws the Monte-Carlo instances for the given parameters.
+// Instances whose endpoints greedy routing cannot connect (or whose path
+// is shorter than MinPathLen) are redrawn, as in the paper's setup.
+func GenInstances(p Params) ([]Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	planner := p.Planner
+	if planner == nil {
+		planner = routing.GreedyPlanner{}
+	}
+	maxBits := p.MaxFlowBits
+	if maxBits <= 0 {
+		maxBits = 20 * p.MeanFlowBits
+	}
+	src := stats.NewSource(p.Seed)
+	instances := make([]Instance, 0, p.Flows)
+	const maxAttempts = 10000
+	attempts := 0
+	for len(instances) < p.Flows {
+		attempts++
+		if attempts > maxAttempts {
+			return nil, errors.New("experiments: could not generate routable instances (network too sparse?)")
+		}
+		pos := topo.PlaceUniform(src, p.Nodes, p.FieldW, p.FieldH)
+		g, err := topo.NewGraph(pos, p.Range)
+		if err != nil {
+			return nil, err
+		}
+		a := src.Intn(p.Nodes)
+		b := src.Intn(p.Nodes)
+		if a == b {
+			continue
+		}
+		path, err := planner.PlanRoute(g, a, b)
+		if err != nil || len(path) < p.MinPathLen {
+			continue
+		}
+		bits := src.Exp(p.MeanFlowBits)
+		if bits < 8192 {
+			bits = 8192 // at least one packet
+		}
+		if bits > maxBits {
+			bits = maxBits
+		}
+		energies := make([]float64, p.Nodes)
+		for i := range energies {
+			energies[i] = src.Uniform(p.EnergyLo, p.EnergyHi)
+		}
+		instances = append(instances, Instance{
+			Positions: pos,
+			Energies:  energies,
+			Src:       a,
+			Dst:       b,
+			FlowBits:  bits,
+			Path:      path,
+		})
+	}
+	return instances, nil
+}
+
+// runMode executes one instance under one mode.
+func runMode(p Params, strat mobility.Strategy, inst Instance, mode netsim.Mode) (netsim.Result, error) {
+	w, err := netsim.NewWorld(p.netsimConfig(strat, mode), inst.Positions, inst.Energies)
+	if err != nil {
+		return netsim.Result{}, err
+	}
+	if _, err := w.AddFlow(netsim.FlowSpec{
+		Src: inst.Src, Dst: inst.Dst, LengthBits: inst.FlowBits,
+		Path: append([]int(nil), inst.Path...),
+	}); err != nil {
+		return netsim.Result{}, err
+	}
+	return w.Run()
+}
+
+// EnergyRow is one Figure 6 scatter point: per-approach energy and the
+// paper's energy consumption ratio (approach / no-mobility baseline).
+type EnergyRow struct {
+	FlowBits         float64
+	PathLen          int
+	Baseline         metrics.EnergyBreakdown
+	CostUnaware      metrics.EnergyBreakdown
+	Informed         metrics.EnergyBreakdown
+	RatioCostUnaware float64
+	RatioInformed    float64
+	// InformedFlips counts mobility status changes applied by the source
+	// (feeds Figure 7).
+	InformedFlips int
+	// InformedNotifications counts destination feedback packets.
+	InformedNotifications int
+}
+
+// Fig6Result aggregates one Figure 6 panel.
+type Fig6Result struct {
+	Variant string
+	Params  Params
+	Rows    []EnergyRow
+	// AvgRatioCostUnaware / AvgRatioInformed are the panel averages the
+	// paper prints in each subfigure legend.
+	AvgRatioCostUnaware float64
+	AvgRatioInformed    float64
+}
+
+// RunFig6 reproduces one panel of the paper's Figure 6: for each flow
+// instance, total energy under cost-unaware and informed mobility relative
+// to the no-mobility baseline.
+func RunFig6(p Params, variant string) (Fig6Result, error) {
+	strat, err := p.strategy()
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	instances, err := GenInstances(p)
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	res := Fig6Result{Variant: variant, Params: p}
+	var ratiosCU, ratiosInf []float64
+	for _, inst := range instances {
+		base, err := runMode(p, strat, inst, netsim.ModeNoMobility)
+		if err != nil {
+			return Fig6Result{}, err
+		}
+		cu, err := runMode(p, strat, inst, netsim.ModeCostUnaware)
+		if err != nil {
+			return Fig6Result{}, err
+		}
+		inf, err := runMode(p, strat, inst, netsim.ModeInformed)
+		if err != nil {
+			return Fig6Result{}, err
+		}
+		row := EnergyRow{
+			FlowBits:              inst.FlowBits,
+			PathLen:               len(inst.Path),
+			Baseline:              base.Energy,
+			CostUnaware:           cu.Energy,
+			Informed:              inf.Energy,
+			RatioCostUnaware:      stats.Ratio(cu.Energy.Total(), base.Energy.Total()),
+			RatioInformed:         stats.Ratio(inf.Energy.Total(), base.Energy.Total()),
+			InformedFlips:         inf.Outcome().StatusFlips,
+			InformedNotifications: inf.Outcome().Notifications,
+		}
+		res.Rows = append(res.Rows, row)
+		ratiosCU = append(ratiosCU, row.RatioCostUnaware)
+		ratiosInf = append(ratiosInf, row.RatioInformed)
+	}
+	res.AvgRatioCostUnaware = stats.Mean(ratiosCU)
+	res.AvgRatioInformed = stats.Mean(ratiosInf)
+	return res, nil
+}
+
+// Fig6bResult reproduces Figure 6(b): for the cost-unaware approach on
+// short flows, mobility energy dwarfs transmission energy.
+type Fig6bResult struct {
+	Rows []EnergyRow
+	// AvgMobility and AvgTransmission are the panel averages (the paper
+	// reports ≈9.7 J mobility on 100 KB flows).
+	AvgMobility     float64
+	AvgTransmission float64
+}
+
+// RunFig6b derives the Figure 6(b) comparison from a Figure 6(a)-style
+// run.
+func RunFig6b(p Params) (Fig6bResult, error) {
+	fig6, err := RunFig6(p, "b")
+	if err != nil {
+		return Fig6bResult{}, err
+	}
+	var res Fig6bResult
+	var move, tx []float64
+	for _, row := range fig6.Rows {
+		res.Rows = append(res.Rows, row)
+		move = append(move, row.CostUnaware.Move)
+		tx = append(tx, row.CostUnaware.Tx)
+	}
+	res.AvgMobility = stats.Mean(move)
+	res.AvgTransmission = stats.Mean(tx)
+	return res, nil
+}
+
+// Fig7Result reproduces Figure 7: the number of notification packets per
+// flow under iMobif ("only a few notification packets are sent for most
+// flows").
+type Fig7Result struct {
+	Counts []int
+	Avg    float64
+	Max    int
+}
+
+// RunFig7 runs the informed mode over the Figure 7 configuration and
+// collects notification counts.
+func RunFig7(p Params) (Fig7Result, error) {
+	strat, err := p.strategy()
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	instances, err := GenInstances(p)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	var res Fig7Result
+	var sum int
+	for _, inst := range instances {
+		r, err := runMode(p, strat, inst, netsim.ModeInformed)
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		n := r.Outcome().Notifications
+		res.Counts = append(res.Counts, n)
+		sum += n
+		if n > res.Max {
+			res.Max = n
+		}
+	}
+	res.Avg = float64(sum) / float64(len(res.Counts))
+	return res, nil
+}
+
+// LifetimeRow is one Figure 8 sample: system lifetime under each approach
+// and the lifetime ratios over the baseline.
+type LifetimeRow struct {
+	FlowBits         float64
+	Baseline         float64
+	CostUnaware      float64
+	Informed         float64
+	RatioCostUnaware float64
+	RatioInformed    float64
+}
+
+// Fig8Result reproduces Figure 8: the CDF of the system lifetime ratio for
+// cost-unaware and informed mobility.
+type Fig8Result struct {
+	Params Params
+	Rows   []LifetimeRow
+	// CDFCostUnaware and CDFInformed are (ratio, cumulative fraction)
+	// series — the curves of Figure 8.
+	CDFCostUnaware [][2]float64
+	CDFInformed    [][2]float64
+	// Panel averages (the paper reports cost-unaware ≈ 0.55 and informed
+	// > 1).
+	AvgRatioCostUnaware float64
+	AvgRatioInformed    float64
+	MaxRatioInformed    float64
+}
+
+// RunFig8 reproduces the system-lifetime experiment.
+func RunFig8(p Params) (Fig8Result, error) {
+	strat, err := p.strategy()
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	instances, err := GenInstances(p)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	res := Fig8Result{Params: p}
+	var ratiosCU, ratiosInf []float64
+	for _, inst := range instances {
+		base, err := runMode(p, strat, inst, netsim.ModeNoMobility)
+		if err != nil {
+			return Fig8Result{}, err
+		}
+		cu, err := runMode(p, strat, inst, netsim.ModeCostUnaware)
+		if err != nil {
+			return Fig8Result{}, err
+		}
+		inf, err := runMode(p, strat, inst, netsim.ModeInformed)
+		if err != nil {
+			return Fig8Result{}, err
+		}
+		row := LifetimeRow{
+			FlowBits:    inst.FlowBits,
+			Baseline:    float64(base.Outcome().Lifetime()),
+			CostUnaware: float64(cu.Outcome().Lifetime()),
+			Informed:    float64(inf.Outcome().Lifetime()),
+		}
+		row.RatioCostUnaware = stats.Ratio(row.CostUnaware, row.Baseline)
+		row.RatioInformed = stats.Ratio(row.Informed, row.Baseline)
+		res.Rows = append(res.Rows, row)
+		ratiosCU = append(ratiosCU, row.RatioCostUnaware)
+		ratiosInf = append(ratiosInf, row.RatioInformed)
+		if row.RatioInformed > res.MaxRatioInformed {
+			res.MaxRatioInformed = row.RatioInformed
+		}
+	}
+	res.AvgRatioCostUnaware = stats.Mean(ratiosCU)
+	res.AvgRatioInformed = stats.Mean(ratiosInf)
+	res.CDFCostUnaware = stats.NewCDF(ratiosCU).Points()
+	res.CDFInformed = stats.NewCDF(ratiosInf).Points()
+	return res, nil
+}
+
+// Fig5Result reproduces Figure 5: a flow path before mobility, at the
+// min-energy steady state, and at the max-lifetime steady state, plus the
+// structural metrics the paper's plots convey visually.
+type Fig5Result struct {
+	// Energies are the residual energies of the path nodes (node size in
+	// the paper's plots).
+	Energies []float64
+	// Original, MinEnergy, MaxLifetime are the path-node positions in
+	// path order.
+	Original    []geom.Point
+	MinEnergy   []geom.Point
+	MaxLifetime []geom.Point
+	// Collinearity and spacing metrics quantify "on the line" and
+	// "evenly spaced" (min-energy) / "energy-proportionally spaced"
+	// (max-lifetime).
+	OrigCollinearity   float64
+	MinECollinearity   float64
+	MaxLCollinearity   float64
+	MinESpacingCV      float64
+	OrigSpacingCV      float64
+	PowerEnergyRatioCV float64
+}
+
+// RunFig5 drives a single long flow to steady state under both strategies
+// (cost-unaware mode isolates placement from the enable/disable logic, as
+// the paper's snapshots do) and returns the three topology views.
+func RunFig5(p Params) (Fig5Result, error) {
+	if err := p.Validate(); err != nil {
+		return Fig5Result{}, err
+	}
+	p.Flows = 1
+	p.MeanFlowBits = 8e7 // long enough to converge
+	p.MaxFlowBits = 8e7
+	p.EnergyLo, p.EnergyHi = 5e3, 1e4
+	p.StopOnFirstDeath = false
+	instances, err := GenInstances(p)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	inst := instances[0]
+	inst.FlowBits = 8e7
+
+	var res Fig5Result
+	res.Original = make([]geom.Point, len(inst.Path))
+	for i, id := range inst.Path {
+		res.Original[i] = inst.Positions[id]
+		res.Energies = append(res.Energies, inst.Energies[id])
+	}
+	res.OrigCollinearity = geom.Collinearity(res.Original)
+	res.OrigSpacingCV = geom.SpacingVariation(res.Original)
+
+	table, err := energy.NewPowerTable(p.Tx, p.Range, 256)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	alpha, err := table.FitAlphaPrime()
+	if err != nil {
+		return Fig5Result{}, err
+	}
+
+	runWith := func(strat mobility.Strategy) ([]geom.Point, error) {
+		w, err := netsim.NewWorld(p.netsimConfig(strat, netsim.ModeCostUnaware), inst.Positions, inst.Energies)
+		if err != nil {
+			return nil, err
+		}
+		id, err := w.AddFlow(netsim.FlowSpec{
+			Src: inst.Src, Dst: inst.Dst, LengthBits: inst.FlowBits,
+			Path: append([]int(nil), inst.Path...),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := w.Run(); err != nil {
+			return nil, err
+		}
+		return w.PathSnapshot(id)
+	}
+
+	if res.MinEnergy, err = runWith(mobility.MinEnergy{}); err != nil {
+		return Fig5Result{}, err
+	}
+	if res.MaxLifetime, err = runWith(mobility.MaxLifetime{AlphaPrime: alpha}); err != nil {
+		return Fig5Result{}, err
+	}
+	res.MinECollinearity = geom.Collinearity(res.MinEnergy)
+	res.MaxLCollinearity = geom.Collinearity(res.MaxLifetime)
+	res.MinESpacingCV = geom.SpacingVariation(res.MinEnergy)
+
+	// Theorem 1 check on the max-lifetime steady state: the coefficient
+	// of variation of P(d_i)/e_i across transmitters (0 at the optimum).
+	var ratios []float64
+	for i := 0; i+1 < len(res.MaxLifetime); i++ {
+		d := res.MaxLifetime[i].Dist(res.MaxLifetime[i+1])
+		e := res.Energies[i]
+		if e > 0 {
+			ratios = append(ratios, p.Tx.Power(d)/e)
+		}
+	}
+	if m := stats.Mean(ratios); m > 0 {
+		res.PowerEnergyRatioCV = stats.StdDev(ratios) / m
+	}
+	return res, nil
+}

@@ -1,0 +1,550 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// small returns paper params scaled down for test runtime.
+func small(p Params) Params {
+	p.Flows = 12
+	p.MaxFlowBits = 4 * p.MeanFlowBits
+	return p
+}
+
+func TestParamsFig6Variants(t *testing.T) {
+	tests := []struct {
+		variant string
+		check   func(Params) bool
+	}{
+		{"a", func(p Params) bool { return p.MeanFlowBits == 8e4 && p.K == 0.5 && p.Tx.Alpha == 2 }},
+		{"c", func(p Params) bool { return p.MeanFlowBits == 8e7 && p.K == 0.5 && p.Tx.Alpha == 2 }},
+		{"d", func(p Params) bool { return p.K == 1.0 }},
+		{"e", func(p Params) bool { return p.K == 0.1 }},
+		{"f", func(p Params) bool { return p.Tx.Alpha == 3 }},
+	}
+	for _, tt := range tests {
+		p, err := ParamsFig6(tt.variant)
+		if err != nil {
+			t.Fatalf("variant %s: %v", tt.variant, err)
+		}
+		if !tt.check(p) {
+			t.Errorf("variant %s params wrong: %+v", tt.variant, p)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("variant %s invalid: %v", tt.variant, err)
+		}
+	}
+	if _, err := ParamsFig6("z"); err == nil {
+		t.Error("unknown variant should error")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	base := baseParams()
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero flows", func(p *Params) { p.Flows = 0 }},
+		{"one node", func(p *Params) { p.Nodes = 1 }},
+		{"empty field", func(p *Params) { p.FieldW = 0 }},
+		{"zero range", func(p *Params) { p.Range = 0 }},
+		{"zero mean", func(p *Params) { p.MeanFlowBits = 0 }},
+		{"bad energy", func(p *Params) { p.EnergyHi = p.EnergyLo - 1 }},
+		{"bad minpath", func(p *Params) { p.MinPathLen = 1 }},
+		{"bad tx", func(p *Params) { p.Tx.B = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := base
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("base params invalid: %v", err)
+	}
+}
+
+func TestGenInstancesDeterministic(t *testing.T) {
+	p := small(baseParams())
+	a, err := GenInstances(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenInstances(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != p.Flows {
+		t.Fatalf("got %d instances, want %d", len(a), p.Flows)
+	}
+	for i := range a {
+		if a[i].Src != b[i].Src || a[i].Dst != b[i].Dst || a[i].FlowBits != b[i].FlowBits {
+			t.Fatalf("instance %d differs across same-seed generations", i)
+		}
+	}
+	// Different seed differs.
+	p2 := p
+	p2.Seed = 999
+	c, err := GenInstances(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i].Src != c[i].Src || a[i].FlowBits != c[i].FlowBits {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical instances")
+	}
+}
+
+func TestGenInstancesProperties(t *testing.T) {
+	p := small(baseParams())
+	instances, err := GenInstances(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, inst := range instances {
+		if inst.Src == inst.Dst {
+			t.Errorf("instance %d: src == dst", i)
+		}
+		if len(inst.Path) < p.MinPathLen {
+			t.Errorf("instance %d: path len %d < %d", i, len(inst.Path), p.MinPathLen)
+		}
+		if inst.FlowBits < 8192 {
+			t.Errorf("instance %d: flow %v below one packet", i, inst.FlowBits)
+		}
+		if inst.FlowBits > 4*p.MeanFlowBits {
+			t.Errorf("instance %d: flow %v above clamp", i, inst.FlowBits)
+		}
+		for _, e := range inst.Energies {
+			if e < p.EnergyLo || e >= p.EnergyHi {
+				t.Errorf("instance %d: energy %v outside [%v,%v)", i, e, p.EnergyLo, p.EnergyHi)
+			}
+		}
+	}
+}
+
+func TestRunFig6ShortFlows(t *testing.T) {
+	p, err := ParamsFig6("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFig6(small(p), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	// Paper Fig 6(a): cost-unaware much worse than baseline on short
+	// flows; iMobif at or below baseline.
+	if res.AvgRatioCostUnaware <= 1.5 {
+		t.Errorf("cost-unaware avg ratio = %v, want substantially > 1", res.AvgRatioCostUnaware)
+	}
+	if res.AvgRatioInformed > 1.01 {
+		t.Errorf("informed avg ratio = %v, want <= 1", res.AvgRatioInformed)
+	}
+	for i, row := range res.Rows {
+		if row.RatioInformed > 1.01 {
+			t.Errorf("row %d: informed ratio %v > 1", i, row.RatioInformed)
+		}
+	}
+}
+
+func TestRunFig6LongFlows(t *testing.T) {
+	p, err := ParamsFig6("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFig6(small(p), "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: at the long-flow mean, cost-unaware is higher than baseline
+	// in most cases; iMobif is at or below baseline for almost all
+	// instances, with any overshoot bounded by the adaptive disable
+	// ("the adverse impact of incorrect initial mobility status is
+	// limited").
+	above, infAbove := 0, 0
+	for _, row := range res.Rows {
+		if row.RatioCostUnaware > 1 {
+			above++
+		}
+		if row.RatioInformed > 1.01 {
+			infAbove++
+		}
+		if row.RatioInformed > 1.15 {
+			t.Errorf("informed ratio %v not bounded", row.RatioInformed)
+		}
+	}
+	if above <= len(res.Rows)/2 {
+		t.Errorf("cost-unaware above baseline on %d/%d flows, want most", above, len(res.Rows))
+	}
+	if infAbove > len(res.Rows)/4 {
+		t.Errorf("informed above baseline on %d/%d flows, want few", infAbove, len(res.Rows))
+	}
+	if res.AvgRatioInformed > 1.02 {
+		t.Errorf("informed avg ratio = %v, want ≈<= 1", res.AvgRatioInformed)
+	}
+}
+
+func TestRunFig6MobilityCostOrdering(t *testing.T) {
+	// Larger k must not make cost-unaware cheaper (same instances).
+	pd, err := ParamsFig6("d") // k=1
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := ParamsFig6("e") // k=0.1
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := RunFig6(small(pd), "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := RunFig6(small(pe), "e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.AvgRatioCostUnaware <= re.AvgRatioCostUnaware {
+		t.Errorf("k=1 cost-unaware ratio (%v) should exceed k=0.1 (%v)",
+			rd.AvgRatioCostUnaware, re.AvgRatioCostUnaware)
+	}
+}
+
+func TestRunFig6b(t *testing.T) {
+	p, err := ParamsFig6("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFig6b(small(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Fig 6(b): on short flows, the cost-unaware approach's
+	// mobility energy dwarfs its transmission energy.
+	if res.AvgMobility <= res.AvgTransmission {
+		t.Errorf("mobility avg %v should exceed transmission avg %v",
+			res.AvgMobility, res.AvgTransmission)
+	}
+	if res.AvgMobility <= 0 {
+		t.Error("mobility energy should be positive")
+	}
+}
+
+func TestRunFig7(t *testing.T) {
+	p := small(ParamsFig7())
+	res, err := RunFig7(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Counts) != p.Flows {
+		t.Fatalf("got %d counts", len(res.Counts))
+	}
+	// Paper Fig 7: few notifications per flow, no oscillation storms.
+	if res.Avg > 5 {
+		t.Errorf("avg notifications = %v, want small", res.Avg)
+	}
+	if res.Max > 20 {
+		t.Errorf("max notifications = %d, want bounded", res.Max)
+	}
+}
+
+func TestRunFig8(t *testing.T) {
+	p := small(ParamsFig8())
+	res, err := RunFig8(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != p.Flows {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	// Paper Fig 8 shape: cost-unaware shortens lifetime on average;
+	// informed does not (and helps on some instances).
+	if res.AvgRatioCostUnaware >= 1 {
+		t.Errorf("cost-unaware lifetime ratio = %v, want < 1", res.AvgRatioCostUnaware)
+	}
+	if res.AvgRatioInformed < 0.95 {
+		t.Errorf("informed lifetime ratio = %v, want ≈>= 1", res.AvgRatioInformed)
+	}
+	if res.AvgRatioInformed <= res.AvgRatioCostUnaware {
+		t.Error("informed should beat cost-unaware on lifetime")
+	}
+	if len(res.CDFInformed) != p.Flows || len(res.CDFCostUnaware) != p.Flows {
+		t.Error("CDF series should have one point per flow")
+	}
+	// CDF cumulative fractions end at 1.
+	if res.CDFInformed[p.Flows-1][1] != 1 {
+		t.Error("CDF should end at fraction 1")
+	}
+}
+
+func TestRunFig5(t *testing.T) {
+	p := baseParams()
+	res, err := RunFig5(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Original) < 3 {
+		t.Fatalf("path too short: %d", len(res.Original))
+	}
+	if len(res.Original) != len(res.MinEnergy) || len(res.Original) != len(res.MaxLifetime) {
+		t.Fatal("snapshot lengths differ")
+	}
+	// Endpoints stay put.
+	if !res.Original[0].Eq(res.MinEnergy[0]) || !res.Original[0].Eq(res.MaxLifetime[0]) {
+		t.Error("source moved")
+	}
+	last := len(res.Original) - 1
+	if !res.Original[last].Eq(res.MinEnergy[last]) || !res.Original[last].Eq(res.MaxLifetime[last]) {
+		t.Error("destination moved")
+	}
+	// Fig 5(b): min-energy straightens and evens the path.
+	if res.MinECollinearity >= res.OrigCollinearity && res.OrigCollinearity > 1 {
+		t.Errorf("min-energy did not straighten: %v -> %v", res.OrigCollinearity, res.MinECollinearity)
+	}
+	if res.MinESpacingCV > 0.1 {
+		t.Errorf("min-energy spacing cv = %v, want near 0", res.MinESpacingCV)
+	}
+	// Fig 5(c): max-lifetime also converges onto the line, but spacing
+	// tracks energy (checked via the Theorem 1 ratio spread).
+	if res.MaxLCollinearity > 5 {
+		t.Errorf("max-lifetime collinearity = %v, want small", res.MaxLCollinearity)
+	}
+	if res.PowerEnergyRatioCV > 0.35 {
+		t.Errorf("P(d)/e spread = %v, want small (Theorem 1)", res.PowerEnergyRatioCV)
+	}
+	// The two steady states must differ (paper: "Figure 5(c) is actually
+	// different from Figure 5(b)").
+	diff := 0.0
+	for i := range res.MinEnergy {
+		diff += res.MinEnergy[i].Dist(res.MaxLifetime[i])
+	}
+	if diff < 1 {
+		t.Error("min-energy and max-lifetime steady states should differ")
+	}
+}
+
+func TestRunFlowLengthSensitivity(t *testing.T) {
+	p, err := ParamsFig6("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = small(p)
+	p.Flows = 6
+	points, err := RunFlowLengthSensitivity(p, []float64{0.5, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, pt := range points {
+		// Informed must stay safe (<= 1+eps) even with bad estimates on
+		// short flows: over- or under-estimating ℓ cannot make it pay
+		// for movement that never pays off at these lengths... except
+		// overestimation, which can trigger spurious movement; even
+		// then the damage is bounded by the adaptive disable.
+		if pt.AvgRatioInformed > 1.5 {
+			t.Errorf("scale %v: informed ratio %v blew up", pt.EstimateScale, pt.AvgRatioInformed)
+		}
+	}
+	if _, err := RunFlowLengthSensitivity(p, []float64{0}); err == nil {
+		t.Error("zero scale should error")
+	}
+}
+
+func TestRunRelaySelection(t *testing.T) {
+	p, err := ParamsFig6("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = small(p)
+	p.Flows = 6
+	res, err := RunRelaySelection(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Planners) != 3 {
+		t.Fatalf("got %d planners", len(res.Planners))
+	}
+	names := map[string]bool{}
+	for _, pl := range res.Planners {
+		names[pl.Name] = true
+		if pl.AvgPathLen < 2 {
+			t.Errorf("%s: avg path len %v", pl.Name, pl.AvgPathLen)
+		}
+		if pl.AvgInformedTotal <= 0 {
+			t.Errorf("%s: non-positive energy", pl.Name)
+		}
+	}
+	for _, want := range []string{"greedy", "minhop", "minenergy"} {
+		if !names[want] {
+			t.Errorf("missing planner %s", want)
+		}
+	}
+}
+
+func TestRunControlOverhead(t *testing.T) {
+	p, err := ParamsFig6("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = small(p)
+	p.Flows = 6
+	res, err := RunControlOverhead(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ChargedAvgRatio < res.FreeAvgRatio-1e-9 {
+		t.Errorf("charging control traffic should not reduce the ratio: %v vs %v",
+			res.ChargedAvgRatio, res.FreeAvgRatio)
+	}
+	if res.AvgControlJoules < 0 {
+		t.Errorf("negative control energy %v", res.AvgControlJoules)
+	}
+}
+
+func TestRunStepSweep(t *testing.T) {
+	p, err := ParamsFig6("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = small(p)
+	p.Flows = 6
+	points, err := RunStepSweep(p, []float64{5, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, pt := range points {
+		if math.IsNaN(pt.AvgRatioInformed) || pt.AvgRatioInformed <= 0 {
+			t.Errorf("step %v: bad ratio %v", pt.MaxStep, pt.AvgRatioInformed)
+		}
+	}
+	if _, err := RunStepSweep(p, []float64{-1}); err == nil {
+		t.Error("negative step should error")
+	}
+}
+
+func TestRunAlphaPrimeQuality(t *testing.T) {
+	p := small(ParamsFig8())
+	p.Flows = 6
+	res, err := RunAlphaPrimeQuality(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AlphaPrime <= 0 || res.AlphaPrime > p.Tx.Alpha {
+		t.Errorf("α′ = %v out of range", res.AlphaPrime)
+	}
+	// The approximation should be within shouting distance of exact.
+	if math.Abs(res.AvgRatioApprox-res.AvgRatioExact) > 0.5 {
+		t.Errorf("approx %v vs exact %v too far apart", res.AvgRatioApprox, res.AvgRatioExact)
+	}
+}
+
+func TestRunMultiFlow(t *testing.T) {
+	p, err := ParamsFig6("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = small(p)
+	p.Flows = 4
+	res, err := RunMultiFlow(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total == 0 {
+		t.Fatal("no flows ran")
+	}
+	if res.Completed != res.Total {
+		t.Errorf("completed %d/%d flows", res.Completed, res.Total)
+	}
+	if res.AvgRatioInformed <= 0 || res.AvgRatioInformed > 1.5 {
+		t.Errorf("multi-flow informed ratio = %v", res.AvgRatioInformed)
+	}
+	if _, err := RunMultiFlow(p, 0); err == nil {
+		t.Error("zero flows per world should error")
+	}
+}
+
+func TestFig5EnergiesMatchPath(t *testing.T) {
+	p := baseParams()
+	res, err := RunFig5(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Energies) != len(res.Original) {
+		t.Errorf("energies %d vs path %d", len(res.Energies), len(res.Original))
+	}
+	for _, e := range res.Energies {
+		if e <= 0 {
+			t.Errorf("non-positive initial energy %v", e)
+		}
+	}
+	_ = geom.Point{}
+}
+
+func TestRunThresholdSweep(t *testing.T) {
+	p, err := ParamsFig6("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Flows = 5
+	lengths := []float64{8e4, 8e6, 4e8}
+	points, err := RunThresholdSweep(p, lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// Cost-unaware ratio must fall monotonically with flow length: the
+	// same movement amortizes over more bits.
+	for i := 1; i < len(points); i++ {
+		if points[i].AvgRatioCostUnaware >= points[i-1].AvgRatioCostUnaware {
+			t.Errorf("cost-unaware ratio did not fall: %v -> %v at %v bits",
+				points[i-1].AvgRatioCostUnaware, points[i].AvgRatioCostUnaware, points[i].FlowBits)
+		}
+	}
+	// Activation never happens on tiny flows and rises with length.
+	if points[0].ActivationRate != 0 {
+		t.Errorf("activation on 10 KB flows: %v", points[0].ActivationRate)
+	}
+	if points[2].ActivationRate <= points[0].ActivationRate {
+		t.Errorf("activation rate should rise with flow length: %v", points)
+	}
+	// Informed never above the safety bound at any length.
+	for _, pt := range points {
+		if pt.AvgRatioInformed > 1.1 {
+			t.Errorf("informed ratio %v at %v bits", pt.AvgRatioInformed, pt.FlowBits)
+		}
+	}
+}
+
+func TestRunThresholdSweepValidation(t *testing.T) {
+	p, err := ParamsFig6("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Flows = 2
+	if _, err := RunThresholdSweep(p, nil); err == nil {
+		t.Error("empty lengths should error")
+	}
+	if _, err := RunThresholdSweep(p, []float64{0}); err == nil {
+		t.Error("zero length should error")
+	}
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/assign"
+	"repro/internal/energy"
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+)
+
+// Relay recruitment (ablation A2+, the full form of the paper's §5 future
+// work "optimize both the selection and positions of the intermediate flow
+// nodes"): instead of repositioning whatever relays greedy routing
+// happened to pick, choose the *optimal relay slots* on the
+// source–destination line (optimal count from the radio model, even
+// spacing) and recruit the idle nodes that can reach those slots at
+// minimum total locomotion cost — a minimum-cost assignment solved with
+// the Hungarian algorithm. The recruited chain is deployed first
+// (locomotion energy charged up front), then carries the flow without
+// further mobility.
+
+// RecruitmentPlan is the deployment decision for one flow.
+type RecruitmentPlan struct {
+	// Slots are the interior relay positions on the src–dst line.
+	Slots []geom.Point
+	// Relays are the recruited node IDs, in slot order.
+	Relays []int
+	// DeployCost is the total locomotion energy to move every recruited
+	// node to its slot.
+	DeployCost float64
+	// PerRelayCost is the locomotion energy per recruited node, in slot
+	// order.
+	PerRelayCost []float64
+}
+
+// PlanRecruitment computes the optimal relay slots for a src→dst flow and
+// the minimum-locomotion-cost assignment of candidate nodes to them.
+// Candidates are all nodes except the endpoints. The slot count is the
+// radio model's optimal hop count, raised as needed so each hop fits the
+// communication range.
+func PlanRecruitment(tx energy.TxModel, mob energy.MobilityModel, pos []geom.Point, src, dst int, rangeM float64) (RecruitmentPlan, error) {
+	if src == dst {
+		return RecruitmentPlan{}, errors.New("experiments: src == dst")
+	}
+	if src < 0 || src >= len(pos) || dst < 0 || dst >= len(pos) {
+		return RecruitmentPlan{}, fmt.Errorf("experiments: endpoints (%d,%d) out of range", src, dst)
+	}
+	if rangeM <= 0 {
+		return RecruitmentPlan{}, fmt.Errorf("experiments: non-positive range %v", rangeM)
+	}
+	D := pos[src].Dist(pos[dst])
+	hops, err := mobility.OptimalRelayCount(tx, D)
+	if err != nil {
+		return RecruitmentPlan{}, err
+	}
+	// Every hop must fit the radio range (with margin for later drift).
+	if minHops := int(math.Ceil(D / (0.95 * rangeM))); hops < minHops {
+		hops = minHops
+	}
+	slots := make([]geom.Point, 0, hops-1)
+	for i := 1; i < hops; i++ {
+		slots = append(slots, pos[src].Lerp(pos[dst], float64(i)/float64(hops)))
+	}
+	if len(slots) == 0 {
+		return RecruitmentPlan{Slots: nil, Relays: nil}, nil // direct hop
+	}
+	var candidates []int
+	for id := range pos {
+		if id != src && id != dst {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) < len(slots) {
+		return RecruitmentPlan{}, fmt.Errorf("experiments: %d candidates for %d slots", len(candidates), len(slots))
+	}
+	cost := make([][]float64, len(slots))
+	for i, slot := range slots {
+		cost[i] = make([]float64, len(candidates))
+		for j, id := range candidates {
+			cost[i][j] = mob.MoveEnergy(pos[id].Dist(slot))
+		}
+	}
+	chosen, total, err := assign.Solve(cost)
+	if err != nil {
+		return RecruitmentPlan{}, fmt.Errorf("experiments: assigning relays: %w", err)
+	}
+	plan := RecruitmentPlan{Slots: slots, DeployCost: total}
+	for i, col := range chosen {
+		plan.Relays = append(plan.Relays, candidates[col])
+		plan.PerRelayCost = append(plan.PerRelayCost, cost[i][col])
+	}
+	return plan, nil
+}
+
+// RecruitmentRow is one flow instance's comparison.
+type RecruitmentRow struct {
+	FlowBits float64
+	// Baseline is the no-mobility greedy-path energy.
+	Baseline float64
+	// InformedGreedy is standard iMobif on the greedy path.
+	InformedGreedy float64
+	// Recruited is deployment locomotion plus transmission on the
+	// recruited chain.
+	Recruited  float64
+	DeployCost float64
+	// Slots is the recruited chain's interior relay count.
+	Slots int
+}
+
+// RecruitmentResult aggregates the relay-recruitment study.
+type RecruitmentResult struct {
+	Rows []RecruitmentRow
+	// Average energy ratios over the no-mobility greedy baseline.
+	AvgRatioInformedGreedy float64
+	AvgRatioRecruited      float64
+	AvgDeployCost          float64
+	Skipped                int
+}
+
+// RunRelayRecruitment compares, on common instances: (1) the no-mobility
+// greedy baseline, (2) standard iMobif on the greedy path, and (3) the
+// recruited optimal chain with up-front deployment.
+func RunRelayRecruitment(p Params) (RecruitmentResult, error) {
+	strat, err := p.strategy()
+	if err != nil {
+		return RecruitmentResult{}, err
+	}
+	instances, err := GenInstances(p)
+	if err != nil {
+		return RecruitmentResult{}, err
+	}
+	mob := energy.MobilityModel{K: p.K}
+	var res RecruitmentResult
+	var rg, rr, dc []float64
+	for _, inst := range instances {
+		base, err := runMode(p, strat, inst, netsim.ModeNoMobility)
+		if err != nil {
+			return RecruitmentResult{}, err
+		}
+		informed, err := runMode(p, strat, inst, netsim.ModeInformed)
+		if err != nil {
+			return RecruitmentResult{}, err
+		}
+		plan, err := PlanRecruitment(p.Tx, mob, inst.Positions, inst.Src, inst.Dst, p.Range)
+		if err != nil {
+			res.Skipped++
+			continue
+		}
+		recruited, ok, err := runRecruited(p, inst, plan)
+		if err != nil {
+			return RecruitmentResult{}, err
+		}
+		if !ok {
+			res.Skipped++
+			continue
+		}
+		row := RecruitmentRow{
+			FlowBits:       inst.FlowBits,
+			Baseline:       base.Energy.Total(),
+			InformedGreedy: informed.Energy.Total(),
+			Recruited:      recruited,
+			DeployCost:     plan.DeployCost,
+			Slots:          len(plan.Slots),
+		}
+		res.Rows = append(res.Rows, row)
+		rg = append(rg, stats.Ratio(row.InformedGreedy, row.Baseline))
+		rr = append(rr, stats.Ratio(row.Recruited, row.Baseline))
+		dc = append(dc, row.DeployCost)
+	}
+	res.AvgRatioInformedGreedy = stats.Mean(rg)
+	res.AvgRatioRecruited = stats.Mean(rr)
+	res.AvgDeployCost = stats.Mean(dc)
+	return res, nil
+}
+
+// runRecruited deploys the plan (moving recruited nodes to their slots and
+// charging locomotion up front) and runs the flow over the recruited chain
+// without further mobility. It reports ok=false when a recruited node
+// cannot afford its deployment move.
+func runRecruited(p Params, inst Instance, plan RecruitmentPlan) (total float64, ok bool, err error) {
+	positions := append([]geom.Point(nil), inst.Positions...)
+	energies := append([]float64(nil), inst.Energies...)
+	for i, id := range plan.Relays {
+		cost := plan.PerRelayCost[i]
+		if energies[id] <= cost {
+			return 0, false, nil
+		}
+		energies[id] -= cost
+		positions[id] = plan.Slots[i]
+	}
+	path := append([]int{inst.Src}, plan.Relays...)
+	path = append(path, inst.Dst)
+
+	cfg := p.netsimConfig(mobility.Stationary{}, netsim.ModeNoMobility)
+	w, err := netsim.NewWorld(cfg, positions, energies)
+	if err != nil {
+		return 0, false, err
+	}
+	if _, err := w.AddFlow(netsim.FlowSpec{
+		Src: inst.Src, Dst: inst.Dst, LengthBits: inst.FlowBits, Path: path,
+	}); err != nil {
+		return 0, false, err
+	}
+	r, err := w.Run()
+	if err != nil {
+		return 0, false, err
+	}
+	return r.Energy.Total() + plan.DeployCost, true, nil
+}

@@ -1,0 +1,221 @@
+// Package geom provides the planar geometry primitives used throughout the
+// simulator: points, vectors, segments, and the step-capped motion helper
+// that models controlled node movement.
+//
+// All coordinates are in meters. The package is purely computational and
+// allocation-free on the hot paths.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Epsilon is the tolerance used by approximate comparisons in this package.
+// Distances below Epsilon are considered zero; it is far below the spatial
+// resolution that matters for the simulation (millimeters vs. meters).
+const Epsilon = 1e-9
+
+// Point is a location in the plane, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.3f, %.3f)", p.X, p.Y) }
+
+// Add returns p translated by v.
+func (p Point) Add(v Vec) Point { return Point{X: p.X + v.X, Y: p.Y + v.Y} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Vec { return Vec{X: p.X - q.X, Y: p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root for comparisons on hot paths such as greedy forwarding.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Eq reports whether p and q coincide within Epsilon.
+func (p Point) Eq(q Point) bool { return p.Dist(q) < Epsilon }
+
+// Lerp returns the point a fraction t of the way from p to q.
+// t is not clamped; t=0 yields p and t=1 yields q.
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{
+		X: p.X + (q.X-p.X)*t,
+		Y: p.Y + (q.Y-p.Y)*t,
+	}
+}
+
+// Mid returns the midpoint of p and q.
+func (p Point) Mid(q Point) Point { return p.Lerp(q, 0.5) }
+
+// IsFinite reports whether both coordinates are finite numbers.
+func (p Point) IsFinite() bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) &&
+		!math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}
+
+// Vec is a displacement in the plane, in meters.
+type Vec struct {
+	X, Y float64
+}
+
+// Len returns the Euclidean length of v.
+func (v Vec) Len() float64 { return math.Hypot(v.X, v.Y) }
+
+// Len2 returns the squared length of v.
+func (v Vec) Len2() float64 { return v.X*v.X + v.Y*v.Y }
+
+// Scale returns v scaled by s.
+func (v Vec) Scale(s float64) Vec { return Vec{X: v.X * s, Y: v.Y * s} }
+
+// Add returns the sum of v and w.
+func (v Vec) Add(w Vec) Vec { return Vec{X: v.X + w.X, Y: v.Y + w.Y} }
+
+// Dot returns the dot product of v and w.
+func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Cross returns the z component of the cross product of v and w.
+func (v Vec) Cross(w Vec) float64 { return v.X*w.Y - v.Y*w.X }
+
+// Unit returns v normalized to unit length. The zero vector is returned
+// unchanged (there is no meaningful direction to normalize to).
+func (v Vec) Unit() Vec {
+	l := v.Len()
+	if l < Epsilon {
+		return Vec{}
+	}
+	return Vec{X: v.X / l, Y: v.Y / l}
+}
+
+// StepToward returns the point reached by moving from `from` toward `to`,
+// traveling at most maxStep meters, together with the distance actually
+// traveled. If the target is within maxStep the target itself is returned.
+// A non-positive maxStep yields no movement.
+//
+// This is the kinematic primitive behind the paper's packet-paced controlled
+// mobility: each data packet lets a relay advance at most one step toward
+// the location its mobility strategy prescribes.
+func StepToward(from, to Point, maxStep float64) (Point, float64) {
+	if maxStep <= 0 {
+		return from, 0
+	}
+	d := from.Dist(to)
+	if d <= maxStep {
+		return to, d
+	}
+	t := maxStep / d
+	return from.Lerp(to, t), maxStep
+}
+
+// Clamp limits x to the inclusive range [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ClampToRect clamps p into the axis-aligned rectangle [0,w]×[0,h].
+// Simulated nodes never leave the deployment field.
+func ClampToRect(p Point, w, h float64) Point {
+	return Point{X: Clamp(p.X, 0, w), Y: Clamp(p.Y, 0, h)}
+}
+
+// Segment is the directed line segment from A to B.
+type Segment struct {
+	A, B Point
+}
+
+// Len returns the length of the segment.
+func (s Segment) Len() float64 { return s.A.Dist(s.B) }
+
+// At returns the point a fraction t along the segment (t unclamped).
+func (s Segment) At(t float64) Point { return s.A.Lerp(s.B, t) }
+
+// DistToPoint returns the distance from p to the closest point of the
+// segment.
+func (s Segment) DistToPoint(p Point) float64 {
+	ab := s.B.Sub(s.A)
+	l2 := ab.Len2()
+	if l2 < Epsilon*Epsilon {
+		return s.A.Dist(p)
+	}
+	t := Clamp(p.Sub(s.A).Dot(ab)/l2, 0, 1)
+	return s.At(t).Dist(p)
+}
+
+// Project returns the fraction t in [0,1] of the point on the segment
+// closest to p.
+func (s Segment) Project(p Point) float64 {
+	ab := s.B.Sub(s.A)
+	l2 := ab.Len2()
+	if l2 < Epsilon*Epsilon {
+		return 0
+	}
+	return Clamp(p.Sub(s.A).Dot(ab)/l2, 0, 1)
+}
+
+// Collinearity measures how close the points are to lying on the segment
+// from first to last: it returns the maximum perpendicular distance of any
+// interior point from that chord. Zero means perfectly collinear. Fewer
+// than three points are trivially collinear.
+//
+// The paper's Figure 5 claims relays converge onto the source–destination
+// line; tests use this metric to verify convergence.
+func Collinearity(pts []Point) float64 {
+	if len(pts) < 3 {
+		return 0
+	}
+	chord := Segment{A: pts[0], B: pts[len(pts)-1]}
+	var worst float64
+	for _, p := range pts[1 : len(pts)-1] {
+		if d := chord.DistToPoint(p); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// SpacingVariation returns the coefficient of variation (stddev/mean) of
+// the consecutive gap lengths along the polyline pts. Zero means perfectly
+// even spacing. It returns 0 for fewer than two gaps or a zero mean gap.
+//
+// The minimum-total-energy optimum places relays evenly spaced; tests use
+// this metric to verify the Figure 5(b) steady state.
+func SpacingVariation(pts []Point) float64 {
+	if len(pts) < 3 {
+		return 0
+	}
+	gaps := make([]float64, 0, len(pts)-1)
+	var sum float64
+	for i := 1; i < len(pts); i++ {
+		g := pts[i-1].Dist(pts[i])
+		gaps = append(gaps, g)
+		sum += g
+	}
+	mean := sum / float64(len(gaps))
+	if mean < Epsilon {
+		return 0
+	}
+	var ss float64
+	for _, g := range gaps {
+		d := g - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(gaps))) / mean
+}

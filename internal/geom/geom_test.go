@@ -1,0 +1,308 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPointDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"zero", Pt(0, 0), Pt(0, 0), 0},
+		{"unit x", Pt(0, 0), Pt(1, 0), 1},
+		{"unit y", Pt(0, 0), Pt(0, 1), 1},
+		{"345", Pt(0, 0), Pt(3, 4), 5},
+		{"negative", Pt(-1, -1), Pt(2, 3), 5},
+		{"symmetric", Pt(2, 3), Pt(-1, -1), 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Dist(tt.q); !almostEq(got, tt.want, 1e-12) {
+				t.Errorf("Dist(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.want)
+			}
+			if got := tt.p.Dist2(tt.q); !almostEq(got, tt.want*tt.want, 1e-9) {
+				t.Errorf("Dist2(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.want*tt.want)
+			}
+		})
+	}
+}
+
+func TestPointLerp(t *testing.T) {
+	p, q := Pt(0, 0), Pt(10, 20)
+	tests := []struct {
+		t    float64
+		want Point
+	}{
+		{0, Pt(0, 0)},
+		{1, Pt(10, 20)},
+		{0.5, Pt(5, 10)},
+		{0.25, Pt(2.5, 5)},
+		{2, Pt(20, 40)}, // unclamped extrapolation
+	}
+	for _, tt := range tests {
+		got := p.Lerp(q, tt.t)
+		if !got.Eq(tt.want) {
+			t.Errorf("Lerp(t=%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestMid(t *testing.T) {
+	got := Pt(2, 2).Mid(Pt(4, 6))
+	if !got.Eq(Pt(3, 4)) {
+		t.Errorf("Mid = %v, want (3,4)", got)
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	v := Vec{X: 3, Y: 4}
+	if got := v.Len(); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Len = %v, want 5", got)
+	}
+	if got := v.Len2(); !almostEq(got, 25, 1e-12) {
+		t.Errorf("Len2 = %v, want 25", got)
+	}
+	if got := v.Scale(2); got != (Vec{X: 6, Y: 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Add(Vec{X: 1, Y: 1}); got != (Vec{X: 4, Y: 5}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Dot(Vec{X: 1, Y: 2}); !almostEq(got, 11, 1e-12) {
+		t.Errorf("Dot = %v, want 11", got)
+	}
+	if got := v.Cross(Vec{X: 1, Y: 2}); !almostEq(got, 2, 1e-12) {
+		t.Errorf("Cross = %v, want 2", got)
+	}
+}
+
+func TestVecUnit(t *testing.T) {
+	u := Vec{X: 3, Y: 4}.Unit()
+	if !almostEq(u.Len(), 1, 1e-12) {
+		t.Errorf("Unit length = %v, want 1", u.Len())
+	}
+	if z := (Vec{}).Unit(); z != (Vec{}) {
+		t.Errorf("Unit of zero vector = %v, want zero", z)
+	}
+}
+
+func TestStepToward(t *testing.T) {
+	tests := []struct {
+		name     string
+		from, to Point
+		max      float64
+		wantPos  Point
+		wantDist float64
+	}{
+		{"reaches target", Pt(0, 0), Pt(3, 4), 10, Pt(3, 4), 5},
+		{"exactly at max", Pt(0, 0), Pt(3, 4), 5, Pt(3, 4), 5},
+		{"capped", Pt(0, 0), Pt(10, 0), 4, Pt(4, 0), 4},
+		{"no budget", Pt(0, 0), Pt(10, 0), 0, Pt(0, 0), 0},
+		{"negative budget", Pt(0, 0), Pt(10, 0), -1, Pt(0, 0), 0},
+		{"already there", Pt(5, 5), Pt(5, 5), 3, Pt(5, 5), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, d := StepToward(tt.from, tt.to, tt.max)
+			if !got.Eq(tt.wantPos) || !almostEq(d, tt.wantDist, 1e-12) {
+				t.Errorf("StepToward = %v, %v; want %v, %v", got, d, tt.wantPos, tt.wantDist)
+			}
+		})
+	}
+}
+
+func TestStepTowardNeverOvershoots(t *testing.T) {
+	f := func(fx, fy, tx, ty, rawStep float64) bool {
+		from, to := Pt(fx, fy), Pt(tx, ty)
+		if !from.IsFinite() || !to.IsFinite() {
+			return true
+		}
+		step := math.Abs(rawStep)
+		if math.IsInf(step, 0) || math.IsNaN(step) {
+			return true
+		}
+		// Restrict to simulation-scale magnitudes; extremes overflow the
+		// intermediate differences and say nothing about the kinematics.
+		lim := 1e6
+		if math.Abs(fx) > lim || math.Abs(fy) > lim || math.Abs(tx) > lim || math.Abs(ty) > lim || step > lim {
+			return true
+		}
+		got, d := StepToward(from, to, step)
+		// Traveled distance never exceeds the budget (tolerate rounding).
+		if d > step*(1+1e-9)+1e-9 {
+			return false
+		}
+		// Final position is never farther from the target than the start.
+		return got.Dist(to) <= from.Dist(to)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct {
+		x, lo, hi, want float64
+	}{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 10, 0},
+		{10, 0, 10, 10},
+	}
+	for _, tt := range tests {
+		if got := Clamp(tt.x, tt.lo, tt.hi); got != tt.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", tt.x, tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}
+
+func TestClampToRect(t *testing.T) {
+	got := ClampToRect(Pt(-5, 2000), 1000, 1000)
+	if !got.Eq(Pt(0, 1000)) {
+		t.Errorf("ClampToRect = %v, want (0,1000)", got)
+	}
+	inside := ClampToRect(Pt(500, 500), 1000, 1000)
+	if !inside.Eq(Pt(500, 500)) {
+		t.Errorf("ClampToRect moved an interior point: %v", inside)
+	}
+}
+
+func TestSegmentDistToPoint(t *testing.T) {
+	s := Segment{A: Pt(0, 0), B: Pt(10, 0)}
+	tests := []struct {
+		name string
+		p    Point
+		want float64
+	}{
+		{"above middle", Pt(5, 3), 3},
+		{"beyond B", Pt(13, 4), 5},
+		{"before A", Pt(-3, 4), 5},
+		{"on segment", Pt(7, 0), 0},
+		{"at endpoint", Pt(10, 0), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := s.DistToPoint(tt.p); !almostEq(got, tt.want, 1e-12) {
+				t.Errorf("DistToPoint(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSegmentDegenerate(t *testing.T) {
+	s := Segment{A: Pt(2, 2), B: Pt(2, 2)}
+	if got := s.DistToPoint(Pt(5, 6)); !almostEq(got, 5, 1e-12) {
+		t.Errorf("degenerate DistToPoint = %v, want 5", got)
+	}
+	if got := s.Project(Pt(5, 6)); got != 0 {
+		t.Errorf("degenerate Project = %v, want 0", got)
+	}
+}
+
+func TestSegmentProject(t *testing.T) {
+	s := Segment{A: Pt(0, 0), B: Pt(10, 0)}
+	if got := s.Project(Pt(5, 7)); !almostEq(got, 0.5, 1e-12) {
+		t.Errorf("Project = %v, want 0.5", got)
+	}
+	if got := s.Project(Pt(-5, 7)); got != 0 {
+		t.Errorf("Project before A = %v, want 0", got)
+	}
+	if got := s.Project(Pt(50, 7)); got != 1 {
+		t.Errorf("Project beyond B = %v, want 1", got)
+	}
+}
+
+func TestCollinearity(t *testing.T) {
+	line := []Point{Pt(0, 0), Pt(1, 1), Pt(2, 2), Pt(3, 3)}
+	if got := Collinearity(line); !almostEq(got, 0, 1e-9) {
+		t.Errorf("Collinearity of a line = %v, want 0", got)
+	}
+	bent := []Point{Pt(0, 0), Pt(5, 4), Pt(10, 0)}
+	if got := Collinearity(bent); !almostEq(got, 4, 1e-9) {
+		t.Errorf("Collinearity of bent path = %v, want 4", got)
+	}
+	if got := Collinearity([]Point{Pt(0, 0), Pt(1, 5)}); got != 0 {
+		t.Errorf("Collinearity of two points = %v, want 0", got)
+	}
+	if got := Collinearity(nil); got != 0 {
+		t.Errorf("Collinearity of nil = %v, want 0", got)
+	}
+}
+
+func TestSpacingVariation(t *testing.T) {
+	even := []Point{Pt(0, 0), Pt(1, 0), Pt(2, 0), Pt(3, 0)}
+	if got := SpacingVariation(even); !almostEq(got, 0, 1e-12) {
+		t.Errorf("SpacingVariation even = %v, want 0", got)
+	}
+	uneven := []Point{Pt(0, 0), Pt(1, 0), Pt(4, 0)}
+	// gaps 1 and 3: mean 2, stddev 1 => cv = 0.5
+	if got := SpacingVariation(uneven); !almostEq(got, 0.5, 1e-12) {
+		t.Errorf("SpacingVariation uneven = %v, want 0.5", got)
+	}
+	if got := SpacingVariation([]Point{Pt(0, 0), Pt(1, 0)}); got != 0 {
+		t.Errorf("SpacingVariation short = %v, want 0", got)
+	}
+	coincident := []Point{Pt(1, 1), Pt(1, 1), Pt(1, 1)}
+	if got := SpacingVariation(coincident); got != 0 {
+		t.Errorf("SpacingVariation coincident = %v, want 0", got)
+	}
+}
+
+func TestLerpPropertyEndpoints(t *testing.T) {
+	f := func(px, py, qx, qy float64) bool {
+		p, q := Pt(px, py), Pt(qx, qy)
+		if !p.IsFinite() || !q.IsFinite() {
+			return true
+		}
+		// Extreme magnitudes overflow the q-p difference; irrelevant to
+		// kilometre-scale simulation coordinates.
+		lim := 1e6
+		if math.Abs(px) > lim || math.Abs(py) > lim || math.Abs(qx) > lim || math.Abs(qy) > lim {
+			return true
+		}
+		return p.Lerp(q, 0).Eq(p) && p.Lerp(q, 1).Eq(q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistSymmetryProperty(t *testing.T) {
+	f := func(px, py, qx, qy float64) bool {
+		p, q := Pt(px, py), Pt(qx, qy)
+		if !p.IsFinite() || !q.IsFinite() {
+			return true
+		}
+		return p.Dist(q) == q.Dist(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a, b, c := Pt(ax, ay), Pt(bx, by), Pt(cx, cy)
+		if !a.IsFinite() || !b.IsFinite() || !c.IsFinite() {
+			return true
+		}
+		// Guard against overflow in the generated extremes.
+		lim := 1e6
+		for _, p := range []Point{a, b, c} {
+			if math.Abs(p.X) > lim || math.Abs(p.Y) > lim {
+				return true
+			}
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

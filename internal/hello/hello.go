@@ -1,0 +1,177 @@
+// Package hello implements the neighbor-discovery protocol of paper §2:
+// each node periodically broadcasts a HELLO beacon carrying its identity,
+// current location, and residual energy; receivers maintain a neighbor
+// table from which mobility strategies read the previous/next node state
+// they need. Entries expire if not refreshed, so departed or dead
+// neighbors age out.
+package hello
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// NodeID identifies a node.
+type NodeID = int
+
+// Beacon is the HELLO message payload. The paper embeds location and
+// residual energy in the periodic HELLO messages of the underlying routing
+// protocol (AODV-style).
+type Beacon struct {
+	ID       NodeID
+	Position geom.Point
+	Residual float64
+}
+
+// Entry is a neighbor-table row: the last known state of a neighbor.
+type Entry struct {
+	Beacon
+	LastSeen sim.Time
+}
+
+// Table is a node's neighbor table. The zero value is not usable; use
+// NewTable.
+type Table struct {
+	ttl     sim.Time
+	entries map[NodeID]Entry
+}
+
+// NewTable creates a neighbor table whose entries expire ttl seconds after
+// their last refresh. A non-positive ttl disables expiry.
+func NewTable(ttl sim.Time) *Table {
+	return &Table{ttl: ttl, entries: make(map[NodeID]Entry)}
+}
+
+// Update records a received beacon at the given time.
+func (t *Table) Update(b Beacon, now sim.Time) {
+	t.entries[b.ID] = Entry{Beacon: b, LastSeen: now}
+}
+
+// Get returns the freshest entry for the given neighbor, if present and
+// not expired as of now.
+func (t *Table) Get(id NodeID, now sim.Time) (Entry, bool) {
+	e, ok := t.entries[id]
+	if !ok {
+		return Entry{}, false
+	}
+	if t.expired(e, now) {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// Remove deletes a neighbor entry (e.g. on an explicit failure signal).
+func (t *Table) Remove(id NodeID) { delete(t.entries, id) }
+
+// Len returns the number of live entries as of now, purging expired ones.
+func (t *Table) Len(now sim.Time) int {
+	t.purge(now)
+	return len(t.entries)
+}
+
+// IDs returns the live neighbor IDs in ascending order as of now.
+func (t *Table) IDs(now sim.Time) []NodeID {
+	t.purge(now)
+	ids := make([]NodeID, 0, len(t.entries))
+	for id := range t.entries {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Snapshot returns the live entries in ascending ID order as of now.
+func (t *Table) Snapshot(now sim.Time) []Entry {
+	ids := t.IDs(now)
+	out := make([]Entry, len(ids))
+	for i, id := range ids {
+		out[i] = t.entries[id]
+	}
+	return out
+}
+
+func (t *Table) expired(e Entry, now sim.Time) bool {
+	return t.ttl > 0 && now-e.LastSeen > t.ttl
+}
+
+func (t *Table) purge(now sim.Time) {
+	if t.ttl <= 0 {
+		return
+	}
+	for id, e := range t.entries {
+		if t.expired(e, now) {
+			delete(t.entries, id)
+		}
+	}
+}
+
+// SendFunc broadcasts the node's current beacon. It is supplied by the
+// network layer; returning an error stops the beaconer (the node died).
+type SendFunc func() error
+
+// Beaconer periodically invokes a SendFunc on the simulation scheduler.
+type Beaconer struct {
+	sched    *sim.Scheduler
+	interval sim.Time
+	send     SendFunc
+	running  bool
+	handle   sim.Handle
+}
+
+// NewBeaconer creates a beaconer firing every interval seconds.
+func NewBeaconer(sched *sim.Scheduler, interval sim.Time, send SendFunc) (*Beaconer, error) {
+	if sched == nil {
+		return nil, errors.New("hello: nil scheduler")
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("hello: non-positive beacon interval %v", interval)
+	}
+	if send == nil {
+		return nil, errors.New("hello: nil send function")
+	}
+	return &Beaconer{sched: sched, interval: interval, send: send}, nil
+}
+
+// Start sends the first beacon immediately and schedules the rest.
+// Starting an already-running beaconer is a no-op.
+func (b *Beaconer) Start() error {
+	if b.running {
+		return nil
+	}
+	b.running = true
+	return b.tick()
+}
+
+// Stop cancels future beacons.
+func (b *Beaconer) Stop() {
+	b.running = false
+	b.handle.Cancel()
+}
+
+// Running reports whether the beaconer is active.
+func (b *Beaconer) Running() bool { return b.running }
+
+func (b *Beaconer) tick() error {
+	if !b.running {
+		return nil
+	}
+	if err := b.send(); err != nil {
+		b.running = false
+		return fmt.Errorf("hello: beacon send: %w", err)
+	}
+	h, err := b.sched.After(b.interval, func() {
+		// Errors inside scheduled ticks stop the beaconer silently; the
+		// node-level death handling owns the failure.
+		_ = b.tick()
+	})
+	if err != nil {
+		b.running = false
+		return fmt.Errorf("hello: scheduling beacon: %w", err)
+	}
+	b.handle = h
+	return nil
+}

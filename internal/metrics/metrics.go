@@ -1,0 +1,149 @@
+// Package metrics provides the measurement types shared by the simulator
+// and the experiment harness: per-category energy breakdowns, network
+// snapshots (positions + residual energies, the raw material of the
+// paper's Figure 5), and flow outcome records.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/energy"
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// EnergyBreakdown decomposes consumption by category, mirroring the
+// paper's Figure 6(b) comparison of mobility versus transmission energy.
+type EnergyBreakdown struct {
+	Tx      float64
+	Move    float64
+	Control float64
+	Rx      float64
+}
+
+// Total returns the sum over all categories.
+func (b EnergyBreakdown) Total() float64 { return b.Tx + b.Move + b.Control + b.Rx }
+
+// Add returns the element-wise sum of two breakdowns.
+func (b EnergyBreakdown) Add(o EnergyBreakdown) EnergyBreakdown {
+	return EnergyBreakdown{
+		Tx:      b.Tx + o.Tx,
+		Move:    b.Move + o.Move,
+		Control: b.Control + o.Control,
+		Rx:      b.Rx + o.Rx,
+	}
+}
+
+// String implements fmt.Stringer.
+func (b EnergyBreakdown) String() string {
+	return fmt.Sprintf("tx=%.4g J move=%.4g J control=%.4g J rx=%.4g J total=%.4g J",
+		b.Tx, b.Move, b.Control, b.Rx, b.Total())
+}
+
+// FromBattery extracts a breakdown from a battery's ledger.
+func FromBattery(b *energy.Battery) EnergyBreakdown {
+	return EnergyBreakdown{
+		Tx:      b.Spent(energy.CatTx),
+		Move:    b.Spent(energy.CatMove),
+		Control: b.Spent(energy.CatControl),
+		Rx:      b.Spent(energy.CatRx),
+	}
+}
+
+// NodeSnapshot is one node's observable state at a point in time. Node
+// "size" in the paper's Figure 5 plots is proportional to Residual.
+type NodeSnapshot struct {
+	ID       int
+	Pos      geom.Point
+	Residual float64
+}
+
+// Snapshot is the whole network's state at one instant.
+type Snapshot struct {
+	At    sim.Time
+	Nodes []NodeSnapshot
+}
+
+// Positions returns the node positions in snapshot order.
+func (s Snapshot) Positions() []geom.Point {
+	out := make([]geom.Point, len(s.Nodes))
+	for i, n := range s.Nodes {
+		out[i] = n.Pos
+	}
+	return out
+}
+
+// PathPositions returns the positions of the given node IDs, in path
+// order. Unknown IDs return an error.
+func (s Snapshot) PathPositions(path []int) ([]geom.Point, error) {
+	byID := make(map[int]geom.Point, len(s.Nodes))
+	for _, n := range s.Nodes {
+		byID[n.ID] = n.Pos
+	}
+	out := make([]geom.Point, len(path))
+	for i, id := range path {
+		p, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("metrics: node %d not in snapshot", id)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// MinResidual returns the lowest residual energy in the snapshot, or +Inf
+// for an empty snapshot.
+func (s Snapshot) MinResidual() float64 {
+	minE := math.Inf(1)
+	for _, n := range s.Nodes {
+		if n.Residual < minE {
+			minE = n.Residual
+		}
+	}
+	return minE
+}
+
+// TotalResidual returns the summed residual energy of all nodes.
+func (s Snapshot) TotalResidual() float64 {
+	var sum float64
+	for _, n := range s.Nodes {
+		sum += n.Residual
+	}
+	return sum
+}
+
+// FlowOutcome records how one simulated flow ended — the raw row behind
+// every figure of the paper's evaluation.
+type FlowOutcome struct {
+	// Completed reports whether every flow bit reached the destination.
+	Completed bool
+	// DeliveredBits counts payload bits that arrived.
+	DeliveredBits float64
+	// Duration is the virtual time from first packet to completion or to
+	// the event that ended the run (first node death, stall, horizon).
+	Duration sim.Time
+	// FirstDeath is the virtual time of the first node death, or a
+	// negative value if no node died. System lifetime in the paper's
+	// Figure 8 sense.
+	FirstDeath sim.Time
+	// Energy is the network-wide consumption during the flow.
+	Energy EnergyBreakdown
+	// Notifications counts destination→source status-change packets
+	// (Figure 7).
+	Notifications int
+	// StatusFlips counts mobility status changes applied at the source.
+	StatusFlips int
+	// PathLen is the number of nodes on the flow path.
+	PathLen int
+}
+
+// Lifetime returns the system lifetime under the paper's definition: the
+// time of the first node death, or — when no node died during the run —
+// the run duration (every node outlived the flow).
+func (o FlowOutcome) Lifetime() sim.Time {
+	if o.FirstDeath >= 0 {
+		return o.FirstDeath
+	}
+	return o.Duration
+}

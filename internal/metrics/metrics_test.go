@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/geom"
+)
+
+func TestEnergyBreakdown(t *testing.T) {
+	b := EnergyBreakdown{Tx: 1, Move: 2, Control: 3}
+	if b.Total() != 6 {
+		t.Errorf("Total = %v, want 6", b.Total())
+	}
+	sum := b.Add(EnergyBreakdown{Tx: 10, Move: 20, Control: 30})
+	if sum != (EnergyBreakdown{Tx: 11, Move: 22, Control: 33}) {
+		t.Errorf("Add = %+v", sum)
+	}
+	if b.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestFromBattery(t *testing.T) {
+	bat := energy.NewBattery(100)
+	if err := bat.Draw(5, energy.CatTx); err != nil {
+		t.Fatal(err)
+	}
+	if err := bat.Draw(7, energy.CatMove); err != nil {
+		t.Fatal(err)
+	}
+	if err := bat.Draw(2, energy.CatControl); err != nil {
+		t.Fatal(err)
+	}
+	got := FromBattery(bat)
+	want := EnergyBreakdown{Tx: 5, Move: 7, Control: 2}
+	if got != want {
+		t.Errorf("FromBattery = %+v, want %+v", got, want)
+	}
+}
+
+func TestSnapshotHelpers(t *testing.T) {
+	s := Snapshot{
+		At: 10,
+		Nodes: []NodeSnapshot{
+			{ID: 0, Pos: geom.Pt(0, 0), Residual: 5},
+			{ID: 1, Pos: geom.Pt(1, 1), Residual: 3},
+			{ID: 2, Pos: geom.Pt(2, 2), Residual: 9},
+		},
+	}
+	if got := s.MinResidual(); got != 3 {
+		t.Errorf("MinResidual = %v, want 3", got)
+	}
+	if got := s.TotalResidual(); got != 17 {
+		t.Errorf("TotalResidual = %v, want 17", got)
+	}
+	pos := s.Positions()
+	if len(pos) != 3 || !pos[1].Eq(geom.Pt(1, 1)) {
+		t.Errorf("Positions = %v", pos)
+	}
+	path, err := s.PathPositions([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !path[0].Eq(geom.Pt(2, 2)) || !path[1].Eq(geom.Pt(0, 0)) {
+		t.Errorf("PathPositions = %v", path)
+	}
+	if _, err := s.PathPositions([]int{42}); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestEmptySnapshotMinResidual(t *testing.T) {
+	if got := (Snapshot{}).MinResidual(); !math.IsInf(got, 1) {
+		t.Errorf("empty MinResidual = %v, want +Inf", got)
+	}
+}
+
+func TestFlowOutcomeLifetime(t *testing.T) {
+	died := FlowOutcome{Duration: 100, FirstDeath: 42}
+	if got := died.Lifetime(); got != 42 {
+		t.Errorf("Lifetime = %v, want 42", got)
+	}
+	survived := FlowOutcome{Duration: 100, FirstDeath: -1}
+	if got := survived.Lifetime(); got != 100 {
+		t.Errorf("Lifetime = %v, want run duration 100", got)
+	}
+	diedAtZero := FlowOutcome{Duration: 100, FirstDeath: 0}
+	if got := diedAtZero.Lifetime(); got != 0 {
+		t.Errorf("Lifetime = %v, want 0 (death at t=0 counts)", got)
+	}
+}

@@ -1,0 +1,347 @@
+// Package mobility implements the paper's mobility strategies and their
+// cost-benefit accounting:
+//
+//   - MinEnergy (paper §3.1, Fig 3, after Goldenberg et al.): each relay
+//     moves toward the midpoint of its previous and next flow nodes,
+//     converging to evenly spaced relays on the source-destination line —
+//     the minimum-total-transmission-energy configuration.
+//   - MaxLifetime (paper §3.2, Fig 4, novel in the paper): each relay
+//     moves to the point dividing the prev→next segment so that
+//     transmission power is proportional to residual energy (Theorem 1),
+//     using the approximation (d′)^α′/(d″)^α′ = e_prev/e_self with α′
+//     obtained by regression (see energy.PowerTable.FitAlphaPrime).
+//   - MaxLifetimeExact: the same optimum solved numerically on the full
+//     P(d)=a+b·dᵅ model by bisection (ablation A6, quantifying the α′
+//     approximation's quality).
+//
+// It also provides the per-node performance pair of the Fig 1 algorithm —
+// the number of sustainable data bits and the expected residual energy —
+// and each strategy's AggregateMobilityPerformance fold.
+package mobility
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/energy"
+	"repro/internal/geom"
+)
+
+// Peer is a node's locally known state of a flow neighbor (from the HELLO
+// neighbor table) or of itself.
+type Peer struct {
+	ID       int
+	Pos      geom.Point
+	Residual float64
+}
+
+// View is the local information a relay has when executing the Fig 1
+// algorithm for one flow: its own state, the flow-adjacent peers, and the
+// expected residual flow length in bits.
+type View struct {
+	Self, Prev, Next Peer
+	// ResidualBits is the source-estimated remaining flow length ℓ.
+	ResidualBits float64
+}
+
+// Perf is the paper's application-independent performance pair: the number
+// of sustainable data bits and the expected residual energy. An
+// energy-efficient strategy should maximize both (paper §2).
+type Perf struct {
+	// Bits is how many flow bits the node can still transmit.
+	Bits float64
+	// Resi is the node's expected residual energy once the flow's
+	// remaining bits have been transmitted (can be negative when the
+	// node cannot finish the flow).
+	Resi float64
+}
+
+// Better reports whether p is strictly better than q under the paper's
+// lexicographic comparison (UpdateMobilityStatus, Fig 1): more sustainable
+// bits wins; equal bits fall back to higher expected residual energy.
+func (p Perf) Better(q Perf) bool {
+	if p.Bits != q.Bits {
+		return p.Bits > q.Bits
+	}
+	return p.Resi > q.Resi
+}
+
+// ComputePerf evaluates the Fig 1 performance pair for a transmitter that
+// is (hypothetically) at pos with moveCost already spent getting there:
+//
+//	resi = e − moveCost − E_T(d(pos, next), ℓ)
+//	bits = min(ℓ, (e − moveCost) / E_T(d(pos, next), 1))
+//
+// With moveCost = 0 and pos = the current position this is the
+// "without mobility" row (lines 16–17); with pos = the strategy target and
+// moveCost = E_M(d(x, x′)) it is the "with mobility" row (lines 18–19).
+//
+// Bits is capped at the residual flow length ℓ: the metric is "the amount
+// of flow traffic the node can support" (paper §2), and a flow only has ℓ
+// bits left to support. The cap is what produces the paper's threshold
+// behaviour — for a short flow every candidate position sustains all of ℓ,
+// the bits comparison ties, and the decision falls through to expected
+// residual energy, where the movement cost makes mobility lose; only when
+// the flow is long enough that the current position cannot sustain it does
+// the bits improvement from moving win.
+func ComputePerf(tx energy.TxModel, pos, nextPos geom.Point, residualEnergy, residualBits, moveCost float64) Perf {
+	avail := residualEnergy - moveCost
+	if avail < 0 {
+		avail = 0
+	}
+	d := pos.Dist(nextPos)
+	bits := tx.SustainableBits(avail, d)
+	if residualBits >= 0 && bits > residualBits {
+		bits = residualBits
+	}
+	return Perf{
+		Bits: bits,
+		Resi: avail - tx.TxEnergy(d, residualBits),
+	}
+}
+
+// Strategy is an application-specific mobility strategy: where a relay
+// should be, and how per-node performance folds into the aggregate carried
+// in packet headers (paper §2, Assumption 1: each node maintains a list of
+// strategies and aggregate functions).
+type Strategy interface {
+	// Name identifies the strategy in packet headers and output.
+	Name() string
+	// NextPosition returns the relay's preferred location given its
+	// local view (GetNextPosition in Figs 3 and 4).
+	NextPosition(v View) (geom.Point, error)
+	// InitPerf returns the aggregation identity the source seeds the
+	// header with.
+	InitPerf() Perf
+	// Aggregate folds one node's performance pair into the running
+	// aggregate (AggregateMobilityPerformance in Figs 3 and 4).
+	Aggregate(agg, node Perf) Perf
+}
+
+// MinEnergy is the minimize-total-energy strategy (paper §3.1).
+type MinEnergy struct{}
+
+var _ Strategy = MinEnergy{}
+
+// Name implements Strategy.
+func (MinEnergy) Name() string { return "min-energy" }
+
+// NextPosition implements Strategy: the midpoint of the previous and next
+// flow nodes (Fig 3).
+func (MinEnergy) NextPosition(v View) (geom.Point, error) {
+	return v.Prev.Pos.Mid(v.Next.Pos), nil
+}
+
+// InitPerf implements Strategy: identity for (min, sum).
+func (MinEnergy) InitPerf() Perf {
+	return Perf{Bits: math.Inf(1), Resi: 0}
+}
+
+// Aggregate implements Strategy: the flow sustains the minimum of the
+// per-node sustainable bits, and total residual energy is the sum (Fig 3).
+func (MinEnergy) Aggregate(agg, node Perf) Perf {
+	return Perf{
+		Bits: math.Min(agg.Bits, node.Bits),
+		Resi: agg.Resi + node.Resi,
+	}
+}
+
+// MaxLifetime is the maximize-system-lifetime strategy (paper §3.2).
+type MaxLifetime struct {
+	// AlphaPrime is the regression-fitted exponent α′ of the pure
+	// power-law approximation P(d) ≈ c·d^α′. Obtain it from
+	// energy.PowerTable.FitAlphaPrime.
+	AlphaPrime float64
+}
+
+var _ Strategy = MaxLifetime{}
+
+// Name implements Strategy.
+func (MaxLifetime) Name() string { return "max-lifetime" }
+
+// NextPosition implements Strategy. Solving d′+d″ = D and
+// (d′)^α′/(d″)^α′ = e_prev/e_self places the relay a fraction
+// t = r/(1+r) along prev→next with r = (e_prev/e_self)^(1/α′): a
+// high-energy upstream node takes the longer hop (Fig 4).
+func (s MaxLifetime) NextPosition(v View) (geom.Point, error) {
+	if s.AlphaPrime <= 0 {
+		return geom.Point{}, fmt.Errorf("mobility: non-positive α′ %v", s.AlphaPrime)
+	}
+	t, err := energySplitFraction(v.Prev.Residual, v.Self.Residual, s.AlphaPrime)
+	if err != nil {
+		return geom.Point{}, err
+	}
+	return v.Prev.Pos.Lerp(v.Next.Pos, t), nil
+}
+
+// InitPerf implements Strategy: identity for (min, min).
+func (MaxLifetime) InitPerf() Perf {
+	return Perf{Bits: math.Inf(1), Resi: math.Inf(1)}
+}
+
+// Aggregate implements Strategy: system lifetime is determined by the
+// bottleneck node, so both fields take the minimum (Fig 4) — the resulting
+// Resi at the destination is the residual energy of the expected
+// bottleneck node.
+func (MaxLifetime) Aggregate(agg, node Perf) Perf {
+	return Perf{
+		Bits: math.Min(agg.Bits, node.Bits),
+		Resi: math.Min(agg.Resi, node.Resi),
+	}
+}
+
+// energySplitFraction returns t ∈ [0,1] such that d′ = t·D, d″ = (1−t)·D
+// satisfy d′/d″ = (ePrev/eSelf)^(1/alpha). Depleted peers degenerate
+// gracefully: a dead upstream node takes a zero-length hop.
+func energySplitFraction(ePrev, eSelf, alpha float64) (float64, error) {
+	if ePrev < 0 || eSelf < 0 {
+		return 0, fmt.Errorf("mobility: negative residual energy (prev %v, self %v)", ePrev, eSelf)
+	}
+	switch {
+	case ePrev == 0 && eSelf == 0:
+		return 0.5, nil
+	case ePrev == 0:
+		return 0, nil
+	case eSelf == 0:
+		return 1, nil
+	}
+	r := math.Pow(ePrev/eSelf, 1/alpha)
+	return r / (1 + r), nil
+}
+
+// MaxLifetimeExact solves the Theorem 1 split on the exact radio model
+// P(d) = A + B·dᵅ by bisection instead of the α′ power-law approximation.
+// It shares MaxLifetime's aggregation.
+type MaxLifetimeExact struct {
+	Tx energy.TxModel
+}
+
+var _ Strategy = MaxLifetimeExact{}
+
+// Name implements Strategy.
+func (MaxLifetimeExact) Name() string { return "max-lifetime-exact" }
+
+// NextPosition implements Strategy: finds d′ ∈ [0, D] with
+// P(d′)·e_self = P(D−d′)·e_prev by bisection (the left side increases and
+// the right side decreases in d′, so the root is unique).
+func (s MaxLifetimeExact) NextPosition(v View) (geom.Point, error) {
+	if err := s.Tx.Validate(); err != nil {
+		return geom.Point{}, fmt.Errorf("mobility: exact lifetime strategy: %w", err)
+	}
+	ePrev, eSelf := v.Prev.Residual, v.Self.Residual
+	if ePrev < 0 || eSelf < 0 {
+		return geom.Point{}, fmt.Errorf("mobility: negative residual energy (prev %v, self %v)", ePrev, eSelf)
+	}
+	D := v.Prev.Pos.Dist(v.Next.Pos)
+	if D < geom.Epsilon {
+		return v.Prev.Pos, nil
+	}
+	switch {
+	case ePrev == 0 && eSelf == 0:
+		return v.Prev.Pos.Mid(v.Next.Pos), nil
+	case ePrev == 0:
+		return v.Prev.Pos, nil
+	case eSelf == 0:
+		return v.Next.Pos, nil
+	}
+	// f(d') = P(d')*eSelf - P(D-d')*ePrev is strictly increasing.
+	f := func(dp float64) float64 {
+		return s.Tx.Power(dp)*eSelf - s.Tx.Power(D-dp)*ePrev
+	}
+	lo, hi := 0.0, D
+	if f(lo) >= 0 {
+		return v.Prev.Pos, nil
+	}
+	if f(hi) <= 0 {
+		return v.Next.Pos, nil
+	}
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return v.Prev.Pos.Lerp(v.Next.Pos, (lo+hi)/2/D), nil
+}
+
+// InitPerf implements Strategy.
+func (MaxLifetimeExact) InitPerf() Perf { return MaxLifetime{}.InitPerf() }
+
+// Aggregate implements Strategy.
+func (MaxLifetimeExact) Aggregate(agg, node Perf) Perf {
+	return MaxLifetime{}.Aggregate(agg, node)
+}
+
+// Stationary is the null strategy: the preferred position is the current
+// position. It models the no-mobility baseline inside machinery that
+// expects a Strategy.
+type Stationary struct{}
+
+var _ Strategy = Stationary{}
+
+// Name implements Strategy.
+func (Stationary) Name() string { return "stationary" }
+
+// NextPosition implements Strategy.
+func (Stationary) NextPosition(v View) (geom.Point, error) { return v.Self.Pos, nil }
+
+// InitPerf implements Strategy.
+func (Stationary) InitPerf() Perf { return Perf{Bits: math.Inf(1), Resi: 0} }
+
+// Aggregate implements Strategy.
+func (Stationary) Aggregate(agg, node Perf) Perf {
+	return Perf{Bits: math.Min(agg.Bits, node.Bits), Resi: agg.Resi + node.Resi}
+}
+
+// ByName returns the named strategy configured from the given radio model
+// and power table. Recognized names: "min-energy", "max-lifetime",
+// "max-lifetime-exact", "stationary".
+func ByName(name string, tx energy.TxModel, table *energy.PowerTable) (Strategy, error) {
+	switch name {
+	case MinEnergy{}.Name():
+		return MinEnergy{}, nil
+	case MaxLifetime{}.Name():
+		if table == nil {
+			return nil, errors.New("mobility: max-lifetime requires a power table for the α′ fit")
+		}
+		alpha, err := table.FitAlphaPrime()
+		if err != nil {
+			return nil, err
+		}
+		return MaxLifetime{AlphaPrime: alpha}, nil
+	case MaxLifetimeExact{}.Name():
+		return MaxLifetimeExact{Tx: tx}, nil
+	case Stationary{}.Name():
+		return Stationary{}, nil
+	default:
+		return nil, fmt.Errorf("mobility: unknown strategy %q", name)
+	}
+}
+
+// WeightedTarget combines per-flow preferred positions for a relay that
+// serves multiple flows (the technical-report extension): the target is
+// the centroid of the per-flow targets weighted by each flow's residual
+// bits — flows with more traffic left pull harder. Zero total weight
+// returns the fallback position.
+func WeightedTarget(targets []geom.Point, weights []float64, fallback geom.Point) (geom.Point, error) {
+	if len(targets) != len(weights) {
+		return geom.Point{}, fmt.Errorf("mobility: %d targets vs %d weights", len(targets), len(weights))
+	}
+	var wx, wy, wsum float64
+	for i, p := range targets {
+		w := weights[i]
+		if w < 0 {
+			return geom.Point{}, fmt.Errorf("mobility: negative weight %v", w)
+		}
+		wx += p.X * w
+		wy += p.Y * w
+		wsum += w
+	}
+	if wsum == 0 {
+		return fallback, nil
+	}
+	return geom.Pt(wx/wsum, wy/wsum), nil
+}

@@ -1,0 +1,461 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/energy"
+	"repro/internal/geom"
+)
+
+func view(prevPos, selfPos, nextPos geom.Point, ePrev, eSelf, eNext, bits float64) View {
+	return View{
+		Prev:         Peer{ID: 0, Pos: prevPos, Residual: ePrev},
+		Self:         Peer{ID: 1, Pos: selfPos, Residual: eSelf},
+		Next:         Peer{ID: 2, Pos: nextPos, Residual: eNext},
+		ResidualBits: bits,
+	}
+}
+
+func TestPerfBetter(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Perf
+		want bool
+	}{
+		{"more bits wins", Perf{Bits: 10, Resi: 0}, Perf{Bits: 5, Resi: 100}, true},
+		{"fewer bits loses", Perf{Bits: 5, Resi: 100}, Perf{Bits: 10, Resi: 0}, false},
+		{"equal bits, more resi", Perf{Bits: 5, Resi: 2}, Perf{Bits: 5, Resi: 1}, true},
+		{"equal bits, less resi", Perf{Bits: 5, Resi: 1}, Perf{Bits: 5, Resi: 2}, false},
+		{"identical is not better", Perf{Bits: 5, Resi: 1}, Perf{Bits: 5, Resi: 1}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Better(tt.q); got != tt.want {
+				t.Errorf("Better = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestComputePerf(t *testing.T) {
+	tx := energy.TxModel{A: 1e-7, B: 1e-10, Alpha: 2}
+	pos, next := geom.Pt(0, 0), geom.Pt(100, 0)
+	const e, bits = 10.0, 1e9
+	p := ComputePerf(tx, pos, next, e, bits, 0)
+	power := tx.Power(100)
+	if math.Abs(p.Bits-e/power) > 1e-6 {
+		t.Errorf("Bits = %v, want %v", p.Bits, e/power)
+	}
+	if math.Abs(p.Resi-(e-bits*power)) > 1e-6 {
+		t.Errorf("Resi = %v, want %v", p.Resi, e-bits*power)
+	}
+}
+
+func TestComputePerfBitsCappedAtFlowLength(t *testing.T) {
+	// A node that can sustain far more than the flow's residual length
+	// reports exactly the residual length: "sustainable flow traffic"
+	// cannot exceed the traffic that exists.
+	tx := energy.TxModel{A: 1e-7, B: 1e-10, Alpha: 2}
+	p := ComputePerf(tx, geom.Pt(0, 0), geom.Pt(100, 0), 10, 800, 0)
+	if p.Bits != 800 {
+		t.Errorf("Bits = %v, want capped at 800", p.Bits)
+	}
+}
+
+func TestComputePerfWithMoveCost(t *testing.T) {
+	tx := energy.TxModel{A: 1e-7, B: 1e-10, Alpha: 2}
+	pos, next := geom.Pt(0, 0), geom.Pt(100, 0)
+	const e, bits, move = 10.0, 1e9, 3.0
+	p := ComputePerf(tx, pos, next, e, bits, move)
+	power := tx.Power(100)
+	if math.Abs(p.Bits-(e-move)/power) > 1e-6 {
+		t.Errorf("Bits = %v, want %v", p.Bits, (e-move)/power)
+	}
+	if math.Abs(p.Resi-(e-move-bits*power)) > 1e-6 {
+		t.Errorf("Resi = %v, want %v", p.Resi, e-move-bits*power)
+	}
+}
+
+func TestComputePerfMoveExceedsEnergy(t *testing.T) {
+	tx := energy.DefaultTxModel()
+	p := ComputePerf(tx, geom.Pt(0, 0), geom.Pt(100, 0), 5, 1e6, 50)
+	if p.Bits != 0 {
+		t.Errorf("Bits = %v, want 0 when movement exhausts the battery", p.Bits)
+	}
+	if p.Resi > 0 {
+		t.Errorf("Resi = %v, want <= 0", p.Resi)
+	}
+}
+
+func TestMinEnergyNextPosition(t *testing.T) {
+	v := view(geom.Pt(0, 0), geom.Pt(30, 70), geom.Pt(100, 0), 10, 10, 10, 1e6)
+	got, err := (MinEnergy{}).NextPosition(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Eq(geom.Pt(50, 0)) {
+		t.Errorf("NextPosition = %v, want midpoint (50,0)", got)
+	}
+}
+
+func TestMinEnergyAggregate(t *testing.T) {
+	s := MinEnergy{}
+	agg := s.InitPerf()
+	agg = s.Aggregate(agg, Perf{Bits: 100, Resi: 5})
+	agg = s.Aggregate(agg, Perf{Bits: 50, Resi: 3})
+	agg = s.Aggregate(agg, Perf{Bits: 200, Resi: 2})
+	if agg.Bits != 50 {
+		t.Errorf("Bits = %v, want min 50", agg.Bits)
+	}
+	if agg.Resi != 10 {
+		t.Errorf("Resi = %v, want sum 10", agg.Resi)
+	}
+}
+
+func TestMaxLifetimeAggregate(t *testing.T) {
+	s := MaxLifetime{AlphaPrime: 2}
+	agg := s.InitPerf()
+	agg = s.Aggregate(agg, Perf{Bits: 100, Resi: 5})
+	agg = s.Aggregate(agg, Perf{Bits: 50, Resi: 3})
+	agg = s.Aggregate(agg, Perf{Bits: 200, Resi: 8})
+	if agg.Bits != 50 {
+		t.Errorf("Bits = %v, want min 50", agg.Bits)
+	}
+	if agg.Resi != 3 {
+		t.Errorf("Resi = %v, want min 3 (bottleneck)", agg.Resi)
+	}
+}
+
+func TestMaxLifetimeNextPositionEqualEnergy(t *testing.T) {
+	// Equal residual energy: the split degenerates to the midpoint.
+	s := MaxLifetime{AlphaPrime: 2}
+	v := view(geom.Pt(0, 0), geom.Pt(10, 50), geom.Pt(100, 0), 7, 7, 7, 1e6)
+	got, err := s.NextPosition(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Eq(geom.Pt(50, 0)) {
+		t.Errorf("NextPosition = %v, want (50,0)", got)
+	}
+}
+
+func TestMaxLifetimeNextPositionRichPrev(t *testing.T) {
+	// Upstream node has 4x the energy; with α′=2 it should take a hop
+	// 2x as long: t = sqrt(4)/(1+sqrt(4)) = 2/3.
+	s := MaxLifetime{AlphaPrime: 2}
+	v := view(geom.Pt(0, 0), geom.Pt(50, 0), geom.Pt(90, 0), 8, 2, 5, 1e6)
+	got, err := s.NextPosition(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := geom.Pt(60, 0)
+	if got.Dist(want) > 1e-9 {
+		t.Errorf("NextPosition = %v, want %v", got, want)
+	}
+}
+
+func TestMaxLifetimeDegenerateEnergies(t *testing.T) {
+	s := MaxLifetime{AlphaPrime: 2}
+	prev, next := geom.Pt(0, 0), geom.Pt(100, 0)
+	tests := []struct {
+		name         string
+		ePrev, eSelf float64
+		want         geom.Point
+	}{
+		{"dead prev", 0, 5, prev},
+		{"dead self", 5, 0, next},
+		{"both dead", 0, 0, geom.Pt(50, 0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v := view(prev, geom.Pt(30, 30), next, tt.ePrev, tt.eSelf, 1, 1e6)
+			got, err := s.NextPosition(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Eq(tt.want) {
+				t.Errorf("NextPosition = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMaxLifetimeErrors(t *testing.T) {
+	v := view(geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0), 1, 1, 1, 10)
+	if _, err := (MaxLifetime{AlphaPrime: 0}).NextPosition(v); err == nil {
+		t.Error("zero α′ should error")
+	}
+	bad := v
+	bad.Prev.Residual = -1
+	if _, err := (MaxLifetime{AlphaPrime: 2}).NextPosition(bad); err == nil {
+		t.Error("negative energy should error")
+	}
+}
+
+func TestMaxLifetimeExactMatchesTheorem(t *testing.T) {
+	// At the exact solution, P(d')/e_prev == P(d'')/e_self.
+	tx := energy.TxModel{A: 1e-7, B: 1e-10, Alpha: 2}
+	s := MaxLifetimeExact{Tx: tx}
+	v := view(geom.Pt(0, 0), geom.Pt(40, 20), geom.Pt(100, 0), 9, 3, 1, 1e6)
+	got, err := s.NextPosition(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dPrev := v.Prev.Pos.Dist(got)
+	dNext := got.Dist(v.Next.Pos)
+	lhs := tx.Power(dPrev) / v.Prev.Residual
+	rhs := tx.Power(dNext) / v.Self.Residual
+	if math.Abs(lhs-rhs)/lhs > 1e-6 {
+		t.Errorf("Theorem 1 violated: P(d')/e1 = %v, P(d'')/e2 = %v", lhs, rhs)
+	}
+	// Richer prev takes the longer hop.
+	if dPrev <= dNext {
+		t.Errorf("rich prev should take the longer hop: %v vs %v", dPrev, dNext)
+	}
+}
+
+func TestMaxLifetimeExactDegenerate(t *testing.T) {
+	tx := energy.DefaultTxModel()
+	s := MaxLifetimeExact{Tx: tx}
+	prev, next := geom.Pt(0, 0), geom.Pt(100, 0)
+	tests := []struct {
+		name         string
+		ePrev, eSelf float64
+		want         geom.Point
+	}{
+		{"dead prev", 0, 5, prev},
+		{"dead self", 5, 0, next},
+		{"both dead", 0, 0, geom.Pt(50, 0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v := view(prev, geom.Pt(30, 30), next, tt.ePrev, tt.eSelf, 1, 1e6)
+			got, err := s.NextPosition(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Eq(tt.want) {
+				t.Errorf("NextPosition = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	// Coincident prev and next collapse to that point.
+	v := view(prev, geom.Pt(30, 30), prev, 5, 5, 5, 1e6)
+	got, err := s.NextPosition(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Eq(prev) {
+		t.Errorf("coincident peers: NextPosition = %v, want %v", got, prev)
+	}
+}
+
+func TestMaxLifetimeApproximationCloseToExact(t *testing.T) {
+	// Ablation A6: the α′ approximation should land near the exact
+	// bisection solution across energy ratios.
+	tx := energy.TxModel{A: 1e-7, B: 1e-10, Alpha: 2}
+	pt, err := energy.NewPowerTable(tx, 200, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, err := pt.FitAlphaPrime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := MaxLifetime{AlphaPrime: alpha}
+	exact := MaxLifetimeExact{Tx: tx}
+	for _, ratio := range []float64{0.25, 0.5, 1, 2, 4} {
+		v := view(geom.Pt(0, 0), geom.Pt(50, 10), geom.Pt(100, 0), 4*ratio, 4, 4, 1e6)
+		pa, err := approx.NextPosition(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pe, err := exact.NextPosition(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := pa.Dist(pe); d > 15 {
+			t.Errorf("ratio %v: approximation %v vs exact %v differ by %v m", ratio, pa, pe, d)
+		}
+	}
+}
+
+func TestEnergySplitFractionProperty(t *testing.T) {
+	// t is always in [0,1] and monotone in ePrev.
+	f := func(e1, e2 float64) bool {
+		e1, e2 = math.Abs(e1), math.Abs(e2)
+		if math.IsNaN(e1) || math.IsNaN(e2) || e1 > 1e12 || e2 > 1e12 {
+			// Joule-scale energies only; extremes overflow e1*2 below.
+			return true
+		}
+		t1, err := energySplitFraction(e1, e2, 2)
+		if err != nil {
+			return false
+		}
+		if t1 < 0 || t1 > 1 || math.IsNaN(t1) {
+			return false
+		}
+		t2, err := energySplitFraction(e1*2, e2, 2)
+		if err != nil {
+			return false
+		}
+		return t2 >= t1-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStationary(t *testing.T) {
+	s := Stationary{}
+	v := view(geom.Pt(0, 0), geom.Pt(3, 4), geom.Pt(10, 0), 1, 1, 1, 10)
+	got, err := s.NextPosition(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Eq(geom.Pt(3, 4)) {
+		t.Errorf("Stationary target = %v, want own position", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	tx := energy.DefaultTxModel()
+	pt, err := energy.NewPowerTable(tx, 200, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"min-energy", "max-lifetime", "max-lifetime-exact", "stationary"} {
+		s, err := ByName(name, tx, pt)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if s.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := ByName("bogus", tx, pt); err == nil {
+		t.Error("unknown name should error")
+	}
+	if _, err := ByName("max-lifetime", tx, nil); err == nil {
+		t.Error("max-lifetime without power table should error")
+	}
+}
+
+func TestWeightedTarget(t *testing.T) {
+	targets := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)}
+	got, err := WeightedTarget(targets, []float64{1, 3}, geom.Pt(-1, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Eq(geom.Pt(7.5, 0)) {
+		t.Errorf("WeightedTarget = %v, want (7.5,0)", got)
+	}
+	// Zero weights fall back.
+	got, err = WeightedTarget(targets, []float64{0, 0}, geom.Pt(-1, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Eq(geom.Pt(-1, -1)) {
+		t.Errorf("zero-weight WeightedTarget = %v, want fallback", got)
+	}
+	if _, err := WeightedTarget(targets, []float64{1}, geom.Point{}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, err := WeightedTarget(targets, []float64{1, -1}, geom.Point{}); err == nil {
+		t.Error("negative weight should error")
+	}
+}
+
+// iterateChain repeatedly applies the strategy to every interior node of a
+// relay chain (endpoints fixed), moving nodes all the way to their targets
+// each round, and returns the final positions.
+func iterateChain(t *testing.T, s Strategy, pos []geom.Point, res []float64, rounds int) []geom.Point {
+	t.Helper()
+	cur := append([]geom.Point(nil), pos...)
+	for r := 0; r < rounds; r++ {
+		next := append([]geom.Point(nil), cur...)
+		for i := 1; i < len(cur)-1; i++ {
+			v := View{
+				Prev:         Peer{ID: i - 1, Pos: cur[i-1], Residual: res[i-1]},
+				Self:         Peer{ID: i, Pos: cur[i], Residual: res[i]},
+				Next:         Peer{ID: i + 1, Pos: cur[i+1], Residual: res[i+1]},
+				ResidualBits: 1e6,
+			}
+			p, err := s.NextPosition(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			next[i] = p
+		}
+		cur = next
+	}
+	return cur
+}
+
+func TestMinEnergyConvergesToEvenLine(t *testing.T) {
+	// Paper Fig 5(b): the min-energy strategy straightens a bent chain
+	// into evenly spaced relays on the source-destination line.
+	start := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(80, 90), geom.Pt(150, -60), geom.Pt(260, 70), geom.Pt(400, 0),
+	}
+	res := []float64{10, 10, 10, 10, 10}
+	final := iterateChain(t, MinEnergy{}, start, res, 200)
+	if c := geom.Collinearity(final); c > 0.5 {
+		t.Errorf("chain not straightened: collinearity = %v", c)
+	}
+	if v := geom.SpacingVariation(final); v > 0.01 {
+		t.Errorf("spacing not even: cv = %v", v)
+	}
+	// Endpoints must not move.
+	if !final[0].Eq(start[0]) || !final[4].Eq(start[4]) {
+		t.Error("endpoints moved")
+	}
+}
+
+func TestMaxLifetimeConvergesToTheorem1(t *testing.T) {
+	// Paper Fig 5(c) / Theorem 1: at steady state P(d_i)/e_i is equal
+	// across transmitters.
+	tx := energy.TxModel{A: 0, B: 1e-10, Alpha: 2} // A=0 makes α′ exact
+	pt, err := energy.NewPowerTable(tx, 500, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, err := pt.FitAlphaPrime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MaxLifetime{AlphaPrime: alpha}
+	start := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(90, 40), geom.Pt(180, -30), geom.Pt(300, 20), geom.Pt(400, 0),
+	}
+	res := []float64{8, 2, 4, 6, 5} // deliberately unequal
+	final := iterateChain(t, s, start, res, 400)
+	if c := geom.Collinearity(final); c > 0.5 {
+		t.Errorf("chain not straightened: collinearity = %v", c)
+	}
+	// Check the equal power/energy ratio across the transmitting nodes
+	// (0..3; node 4 is the destination and does not transmit).
+	var ratios []float64
+	for i := 0; i+1 < len(final); i++ {
+		d := final[i].Dist(final[i+1])
+		ratios = append(ratios, tx.Power(d)/res[i])
+	}
+	mean := 0.0
+	for _, r := range ratios {
+		mean += r
+	}
+	mean /= float64(len(ratios))
+	for i, r := range ratios {
+		if math.Abs(r-mean)/mean > 0.05 {
+			t.Errorf("ratio[%d] = %v deviates from mean %v (all %v)", i, r, mean, ratios)
+		}
+	}
+	// Spacing must correlate with energy: node 0 (e=8) takes a longer
+	// hop than node 1 (e=2).
+	if final[0].Dist(final[1]) <= final[1].Dist(final[2]) {
+		t.Error("higher-energy transmitter should take the longer hop")
+	}
+}

@@ -1,0 +1,121 @@
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/energy"
+)
+
+// Analytic optimality results for relay chains under the radio model
+// P(d) = A + B·dᵅ (Goldenberg et al., whose minimize-total-energy strategy
+// the paper adopts). These give closed-form references that the simulator's
+// converged states are tested against, and power the relay-selection
+// extension (paper §5 future work: "optimize both the selection and
+// positions of the intermediate flow nodes").
+
+// OptimalHopLength returns the per-hop distance d* minimizing energy per
+// meter of progress, P(d)/d. For A = 0 the optimum degenerates to
+// arbitrarily short hops; this returns 0 in that case.
+//
+// Derivation: d/dd [(A + B·dᵅ)/d] = 0 ⇒ d* = (A / (B·(α−1)))^(1/α).
+func OptimalHopLength(tx energy.TxModel) (float64, error) {
+	if err := tx.Validate(); err != nil {
+		return 0, err
+	}
+	if tx.Alpha <= 1 {
+		return 0, fmt.Errorf("mobility: no interior optimum for α = %v <= 1", tx.Alpha)
+	}
+	if tx.A == 0 {
+		return 0, nil
+	}
+	return math.Pow(tx.A/(tx.B*(tx.Alpha-1)), 1/tx.Alpha), nil
+}
+
+// OptimalRelayCount returns the number of transmitters (hops) minimizing
+// total transmission energy for an end-to-end distance D: the integer
+// neighbor of D/d* that yields the lower total. It returns at least 1.
+func OptimalRelayCount(tx energy.TxModel, D float64) (int, error) {
+	if D <= 0 {
+		return 0, fmt.Errorf("mobility: non-positive distance %v", D)
+	}
+	dstar, err := OptimalHopLength(tx)
+	if err != nil {
+		return 0, err
+	}
+	if dstar <= 0 {
+		return 0, fmt.Errorf("mobility: degenerate optimal hop length (A = 0)")
+	}
+	raw := D / dstar
+	lo := int(math.Floor(raw))
+	if lo < 1 {
+		lo = 1
+	}
+	hi := lo + 1
+	if chainPowerSum(tx, D, lo) <= chainPowerSum(tx, D, hi) {
+		return lo, nil
+	}
+	return hi, nil
+}
+
+// chainPowerSum returns the total per-bit power of n evenly spaced hops
+// covering distance D.
+func chainPowerSum(tx energy.TxModel, D float64, n int) float64 {
+	return float64(n) * tx.Power(D/float64(n))
+}
+
+// OptimalChainEnergy returns the minimum total transmission energy to move
+// `bits` across distance D using the optimal number of evenly spaced
+// relays — the analytic floor that the min-energy strategy's converged
+// chain approaches when relay count matches the optimum.
+func OptimalChainEnergy(tx energy.TxModel, D, bits float64) (float64, error) {
+	n, err := OptimalRelayCount(tx, D)
+	if err != nil {
+		return 0, err
+	}
+	if bits < 0 {
+		return 0, fmt.Errorf("mobility: negative bits %v", bits)
+	}
+	return chainPowerSum(tx, D, n) * bits, nil
+}
+
+// EvenChainEnergy returns the total transmission energy of a fixed-count
+// evenly spaced chain (the paper's setting, where the relay set is given
+// and only positions are optimized).
+func EvenChainEnergy(tx energy.TxModel, D, bits float64, hops int) (float64, error) {
+	if hops < 1 {
+		return 0, fmt.Errorf("mobility: need at least one hop, got %d", hops)
+	}
+	if D < 0 || bits < 0 {
+		return 0, fmt.Errorf("mobility: negative distance %v or bits %v", D, bits)
+	}
+	return chainPowerSum(tx, D, hops) * bits, nil
+}
+
+// ChainEnergy returns the total transmission energy of an arbitrary relay
+// chain (positions in path order) carrying `bits` end-to-end.
+func ChainEnergy(tx energy.TxModel, positions []float64, bits float64) (float64, error) {
+	if len(positions) < 2 {
+		return 0, fmt.Errorf("mobility: chain needs at least two positions")
+	}
+	var total float64
+	for i := 1; i < len(positions); i++ {
+		d := math.Abs(positions[i] - positions[i-1])
+		total += tx.TxEnergy(d, bits)
+	}
+	return total, nil
+}
+
+// MobilityBreakEvenBits returns the flow length (bits) above which moving
+// a single relay from its current next-hop distance dNow to distance dNew
+// pays for the locomotion cost: the threshold of the paper's §1
+// observation that "the benefit outweighs the cost when the number of flow
+// data bits surpasses a certain threshold". It returns +Inf when the move
+// never pays (dNew ≥ dNow).
+func MobilityBreakEvenBits(tx energy.TxModel, mob energy.MobilityModel, dNow, dNew, moveDist float64) float64 {
+	saving := tx.Power(dNow) - tx.Power(dNew)
+	if saving <= 0 {
+		return math.Inf(1)
+	}
+	return mob.MoveEnergy(moveDist) / saving
+}

@@ -1,0 +1,228 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/energy"
+	"repro/internal/geom"
+)
+
+func TestOptimalHopLength(t *testing.T) {
+	// α=2: d* = sqrt(A/B).
+	tx := energy.TxModel{A: 1e-7, B: 1e-10, Alpha: 2}
+	got, err := OptimalHopLength(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(1e-7 / 1e-10)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("d* = %v, want %v", got, want)
+	}
+}
+
+func TestOptimalHopLengthIsMinimum(t *testing.T) {
+	// P(d)/d at d* must beat nearby distances.
+	tx := energy.TxModel{A: 1e-7, B: 1e-10, Alpha: 3}
+	dstar, err := OptimalHopLength(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := func(d float64) float64 { return tx.Power(d) / d }
+	for _, d := range []float64{dstar * 0.5, dstar * 0.9, dstar * 1.1, dstar * 2} {
+		if eff(dstar) > eff(d)+1e-18 {
+			t.Errorf("P(d)/d at d*=%v (%v) worse than at %v (%v)", dstar, eff(dstar), d, eff(d))
+		}
+	}
+}
+
+func TestOptimalHopLengthEdgeCases(t *testing.T) {
+	if _, err := OptimalHopLength(energy.TxModel{A: 1, B: 1, Alpha: 1}); err == nil {
+		t.Error("α = 1 should error (no interior optimum)")
+	}
+	got, err := OptimalHopLength(energy.TxModel{A: 0, B: 1e-10, Alpha: 2})
+	if err != nil || got != 0 {
+		t.Errorf("A=0: got %v, %v; want 0, nil", got, err)
+	}
+	if _, err := OptimalHopLength(energy.TxModel{A: -1, B: 1, Alpha: 2}); err == nil {
+		t.Error("invalid model should error")
+	}
+}
+
+func TestOptimalRelayCount(t *testing.T) {
+	tx := energy.TxModel{A: 1e-7, B: 1e-10, Alpha: 2} // d* ≈ 31.6 m
+	tests := []struct {
+		D    float64
+		want int
+	}{
+		{31.6, 1},
+		{63.2, 2},
+		{316, 10},
+	}
+	for _, tt := range tests {
+		got, err := OptimalRelayCount(tx, tt.D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("OptimalRelayCount(%v) = %d, want %d", tt.D, got, tt.want)
+		}
+	}
+	// Very short distances: a single hop.
+	got, err := OptimalRelayCount(tx, 1)
+	if err != nil || got != 1 {
+		t.Errorf("short distance count = %d, %v; want 1", got, err)
+	}
+	if _, err := OptimalRelayCount(tx, 0); err == nil {
+		t.Error("zero distance should error")
+	}
+}
+
+func TestOptimalRelayCountBeatsNeighborsProperty(t *testing.T) {
+	tx := energy.TxModel{A: 1e-7, B: 1e-10, Alpha: 2}
+	f := func(rawD float64) bool {
+		D := 1 + math.Mod(math.Abs(rawD), 1000)
+		if math.IsNaN(D) {
+			return true
+		}
+		n, err := OptimalRelayCount(tx, D)
+		if err != nil {
+			return false
+		}
+		best := chainPowerSum(tx, D, n)
+		for _, m := range []int{n - 1, n + 1} {
+			if m >= 1 && chainPowerSum(tx, D, m) < best-1e-18 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalChainEnergy(t *testing.T) {
+	tx := energy.TxModel{A: 1e-7, B: 1e-10, Alpha: 2}
+	const D, bits = 316.0, 1e6
+	opt, err := OptimalChainEnergy(tx, D, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimum must not exceed any fixed hop count's energy.
+	for hops := 1; hops <= 20; hops++ {
+		fixed, err := EvenChainEnergy(tx, D, bits, hops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt > fixed+1e-12 {
+			t.Errorf("optimal %v exceeds %d-hop chain %v", opt, hops, fixed)
+		}
+	}
+}
+
+func TestEvenChainBeatsUnevenProperty(t *testing.T) {
+	// For convex P, even spacing minimizes energy at fixed hop count.
+	tx := energy.TxModel{A: 1e-7, B: 1e-10, Alpha: 2}
+	const D, bits = 400.0, 1e6
+	even, err := EvenChainEnergy(tx, D, bits, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, c float64) bool {
+		// Random interior positions, sorted.
+		xs := []float64{0,
+			math.Mod(math.Abs(a), D),
+			math.Mod(math.Abs(b), D),
+			math.Mod(math.Abs(c), D),
+			D}
+		for i := 1; i < len(xs); i++ {
+			for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+				xs[j], xs[j-1] = xs[j-1], xs[j]
+			}
+		}
+		uneven, err := ChainEnergy(tx, xs, bits)
+		if err != nil {
+			return true
+		}
+		return uneven >= even-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChainEnergy(t *testing.T) {
+	tx := energy.TxModel{A: 1e-7, B: 1e-10, Alpha: 2}
+	got, err := ChainEnergy(tx, []float64{0, 100, 200}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * tx.TxEnergy(100, 1000)
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("ChainEnergy = %v, want %v", got, want)
+	}
+	if _, err := ChainEnergy(tx, []float64{0}, 1000); err == nil {
+		t.Error("single position should error")
+	}
+}
+
+func TestEvenChainEnergyValidation(t *testing.T) {
+	tx := energy.DefaultTxModel()
+	if _, err := EvenChainEnergy(tx, 100, 1000, 0); err == nil {
+		t.Error("zero hops should error")
+	}
+	if _, err := EvenChainEnergy(tx, -1, 1000, 2); err == nil {
+		t.Error("negative distance should error")
+	}
+	if _, err := OptimalChainEnergy(tx, 100, -1); err == nil {
+		t.Error("negative bits should error")
+	}
+	if _, err := OptimalChainEnergy(energy.TxModel{A: 0, B: 1e-10, Alpha: 2}, 100, 1); err == nil {
+		t.Error("A=0 (degenerate optimum) should error")
+	}
+}
+
+func TestMobilityBreakEvenBits(t *testing.T) {
+	tx := energy.TxModel{A: 1e-7, B: 1e-10, Alpha: 2}
+	mob := energy.MobilityModel{K: 0.5}
+	// Moving 50 m to halve a 200 m hop to 100 m: cost 25 J, saving
+	// 3e-5 J/bit => threshold 25/3e-5 ≈ 8.3e5 bits.
+	got := MobilityBreakEvenBits(tx, mob, 200, 100, 50)
+	saving := tx.Power(200) - tx.Power(100)
+	want := 25.0 / saving
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("break-even = %v, want %v", got, want)
+	}
+	// A move that worsens the hop never pays.
+	if got := MobilityBreakEvenBits(tx, mob, 100, 200, 50); !math.IsInf(got, 1) {
+		t.Errorf("worsening move break-even = %v, want +Inf", got)
+	}
+}
+
+func TestBreakEvenMatchesPerfComparison(t *testing.T) {
+	// Cross-check: at flow lengths above the break-even threshold, the
+	// Fig 1 performance comparison (resi tiebreak) prefers mobility, and
+	// below it prefers staying.
+	tx := energy.TxModel{A: 1e-7, B: 1e-10, Alpha: 2}
+	mob := energy.MobilityModel{K: 0.5}
+	next := geom.Pt(200, 0)
+	cur := geom.Pt(0, 0)
+	target := geom.Pt(100, 0)
+	moveDist := cur.Dist(target)
+	threshold := MobilityBreakEvenBits(tx, mob, 200, 100, moveDist)
+
+	const e = 1e9 // ample energy so bits stay ℓ-capped and resi decides
+	for _, mult := range []float64{0.5, 2} {
+		ell := threshold * mult
+		with := ComputePerf(tx, target, next, e, ell, mob.MoveEnergy(moveDist))
+		without := ComputePerf(tx, cur, next, e, ell, 0)
+		if mult > 1 && !with.Better(without) {
+			t.Errorf("above threshold (x%v): mobility should win", mult)
+		}
+		if mult < 1 && !without.Better(with) {
+			t.Errorf("below threshold (x%v): staying should win", mult)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+func TestDiscoverPathChain(t *testing.T) {
+	cfg := DefaultConfig()
+	w := chainWorld(t, cfg, 5, 0, 1000)
+	path, err := w.DiscoverPath(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[0] != 0 || path[len(path)-1] != 4 {
+		t.Fatalf("path = %v", path)
+	}
+	g, err := w.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every hop must be a radio link.
+	for i := 1; i < len(path); i++ {
+		if !g.Connected(path[i-1], path[i]) {
+			t.Errorf("hop %d -> %d not connected", path[i-1], path[i])
+		}
+	}
+}
+
+func TestDiscoverPathFeedsFlow(t *testing.T) {
+	// An AODV-discovered path can pin a flow end-to-end.
+	cfg := DefaultConfig()
+	cfg.Mode = ModeNoMobility
+	w := chainWorld(t, cfg, 5, 20, 1000)
+	path, err := w.DiscoverPath(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddFlow(FlowSpec{Src: 0, Dst: 4, LengthBits: 8e4, Path: path}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Outcome().Completed {
+		t.Error("flow over AODV-discovered path did not complete")
+	}
+}
+
+func TestDiscoverPathRandomNetworkMatchesGraph(t *testing.T) {
+	// On a random connected network, discovery must return a valid path
+	// whenever BFS finds one.
+	src := stats.NewSource(11)
+	var pts []geom.Point
+	for {
+		pts = topo.PlaceUniform(src, 60, 800, 800)
+		g, err := topo.NewGraph(pts, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.IsConnected() {
+			break
+		}
+	}
+	energies := make([]float64, len(pts))
+	for i := range energies {
+		energies[i] = 1000
+	}
+	w, err := NewWorld(DefaultConfig(), pts, energies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := w.DiscoverPath(3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := w.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(path); i++ {
+		if !g.Connected(path[i-1], path[i]) {
+			t.Fatalf("invalid AODV hop in %v", path)
+		}
+	}
+	// AODV (BFS-like flood) should find a path close to min-hop.
+	hop, err := g.HopPath(3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) > len(hop)+2 {
+		t.Errorf("AODV path %d hops vs BFS %d", len(path)-1, len(hop)-1)
+	}
+}
+
+func TestDiscoverPathPartitioned(t *testing.T) {
+	cfg := DefaultConfig()
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(100, 0), geom.Pt(5000, 0)}
+	w, err := NewWorld(cfg, pts, []float64{100, 100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.DiscoverPath(0, 2); err == nil {
+		t.Error("discovery across a partition should fail")
+	}
+}
+
+func TestDiscoverPathBadIDs(t *testing.T) {
+	w := chainWorld(t, DefaultConfig(), 3, 0, 100)
+	if _, err := w.DiscoverPath(-1, 2); err == nil {
+		t.Error("negative id should error")
+	}
+	if _, err := w.DiscoverPath(0, 99); err == nil {
+		t.Error("out-of-range id should error")
+	}
+}
+
+func TestDiscoveryControlTrafficFreeByDefault(t *testing.T) {
+	cfg := DefaultConfig()
+	w := chainWorld(t, cfg, 5, 0, 1000)
+	if _, err := w.DiscoverPath(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range w.nodes {
+		if got := n.battery.TotalSpent(); got != 0 {
+			t.Errorf("node %d spent %v J on free control traffic", i, got)
+		}
+	}
+}
+
+func TestScheduledFailureStallsFlow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeNoMobility
+	w := chainWorld(t, cfg, 5, 0, 1e6)
+	if _, err := w.AddFlow(FlowSpec{Src: 0, Dst: 4, LengthBits: 8e6}); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the middle relay halfway through the ~1000 s flow.
+	if err := w.ScheduleNodeFailure(2, 500); err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Outcome()
+	if out.Completed {
+		t.Error("flow should not complete across a crashed relay")
+	}
+	if out.DeliveredBits == 0 {
+		t.Error("bits delivered before the crash should count")
+	}
+	if out.DeliveredBits >= 8e6 {
+		t.Error("crash should have cut the flow short")
+	}
+	if res.FirstDeath != 500 {
+		t.Errorf("FirstDeath = %v, want 500", res.FirstDeath)
+	}
+	// The crashed node keeps its battery: it failed, it didn't deplete.
+	if res.Final.Nodes[2].Residual <= 0 {
+		t.Error("crashed node's battery should be untouched")
+	}
+}
+
+func TestScheduledFailureOfSourceEndsRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeNoMobility
+	w := chainWorld(t, cfg, 4, 0, 1e6)
+	if _, err := w.AddFlow(FlowSpec{Src: 0, Dst: 3, LengthBits: 8e6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ScheduleNodeFailure(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The run must end promptly (stalled flow), not at the horizon.
+	if res.Duration > 200 {
+		t.Errorf("run idled to %v s after the source died", res.Duration)
+	}
+}
+
+func TestScheduleNodeFailureValidation(t *testing.T) {
+	w := chainWorld(t, DefaultConfig(), 3, 0, 100)
+	if err := w.ScheduleNodeFailure(99, 1); err == nil {
+		t.Error("bad id should error")
+	}
+	if err := w.ScheduleNodeFailure(0, -1); err == nil {
+		t.Error("negative time should error")
+	}
+	if _, err := w.AddFlow(FlowSpec{Src: 0, Dst: 2, LengthBits: 8192}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ScheduleNodeFailure(0, 1); err == nil {
+		t.Error("scheduling after Run should error")
+	}
+}

@@ -1,0 +1,172 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// TestInvariantSweep runs many randomized small scenarios across modes and
+// strategies and checks the simulator's global invariants on every one:
+//
+//	I1  energy conservation: initial = residual + categorized consumption
+//	I2  no negative residual energy
+//	I3  delivered bits never exceed the flow length
+//	I4  a completed flow delivered exactly its length
+//	I5  no movement energy in no-mobility mode
+//	I6  positions stay finite and nodes never teleport beyond the
+//	    per-packet step bound times the packet count
+//	I7  the run terminates before the horizon
+func TestInvariantSweep(t *testing.T) {
+	rng := stats.NewSource(99)
+	modes := []Mode{ModeNoMobility, ModeCostUnaware, ModeInformed}
+	strategies := []mobility.Strategy{
+		mobility.MinEnergy{},
+		mobility.MaxLifetime{AlphaPrime: 1.7},
+	}
+	for trial := 0; trial < 30; trial++ {
+		nNodes := 10 + rng.Intn(20)
+		pts := topo.PlaceUniform(rng, nNodes, 600, 600)
+		g, err := topo.NewGraph(pts, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := rng.Intn(nNodes)
+		b := rng.Intn(nNodes)
+		if a == b {
+			continue
+		}
+		path, err := g.GreedyPath(a, b)
+		if err != nil || len(path) < 3 {
+			continue
+		}
+		energies := make([]float64, nNodes)
+		for i := range energies {
+			energies[i] = rng.Uniform(10, 2000)
+		}
+		flowBits := rng.Uniform(8192, 8e6)
+
+		mode := modes[trial%len(modes)]
+		strat := strategies[trial%len(strategies)]
+
+		cfg := DefaultConfig()
+		cfg.Mode = mode
+		cfg.Strategy = strat
+		cfg.Horizon = 5e6
+		w, err := NewWorld(cfg, pts, energies)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.AddFlow(FlowSpec{Src: a, Dst: b, LengthBits: flowBits, Path: path}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := w.Run()
+		if err != nil {
+			t.Fatalf("trial %d (%v/%s): %v", trial, mode, strat.Name(), err)
+		}
+
+		label := func(inv string) string {
+			return inv + " violated in trial " + string(rune('0'+trial%10)) + " mode " + mode.String()
+		}
+		// I1: conservation.
+		initial := res.Initial.TotalResidual()
+		final := res.Final.TotalResidual()
+		if math.Abs(initial-(final+res.Energy.Total())) > 1e-6*math.Max(1, initial) {
+			t.Error(label("I1 conservation"), initial, final, res.Energy.Total())
+		}
+		// I2: no negative residuals.
+		for _, n := range res.Final.Nodes {
+			if n.Residual < 0 {
+				t.Error(label("I2 negative residual"), n.ID, n.Residual)
+			}
+		}
+		out := res.Outcome()
+		// I3/I4: delivery accounting.
+		if out.DeliveredBits > flowBits+1e-6 {
+			t.Error(label("I3 overdelivery"), out.DeliveredBits, flowBits)
+		}
+		if out.Completed && math.Abs(out.DeliveredBits-flowBits) > 1e-6 {
+			t.Error(label("I4 completed but short"), out.DeliveredBits, flowBits)
+		}
+		// I5: mode semantics.
+		if mode == ModeNoMobility && res.Energy.Move != 0 {
+			t.Error(label("I5 movement in no-mobility"), res.Energy.Move)
+		}
+		// I6: positions finite and displacement bounded.
+		packets := math.Ceil(flowBits / cfg.PacketBits)
+		maxDisp := cfg.MaxStep * packets
+		for i := range res.Final.Nodes {
+			p := res.Final.Nodes[i].Pos
+			if !p.IsFinite() {
+				t.Error(label("I6 non-finite position"), i)
+			}
+			if d := res.Initial.Nodes[i].Pos.Dist(p); d > maxDisp+1e-6 {
+				t.Error(label("I6 teleport"), i, d, maxDisp)
+			}
+		}
+		// I7: termination.
+		if res.Duration >= cfg.Horizon {
+			t.Error(label("I7 ran to horizon"), res.Duration)
+		}
+	}
+}
+
+// TestInformedNeverMuchWorseSweep asserts the framework's safety property
+// across random instances: informed mobility's total energy never exceeds
+// the baseline by more than the bounded overshoot of a mid-flow disable.
+func TestInformedNeverMuchWorseSweep(t *testing.T) {
+	rng := stats.NewSource(7)
+	for trial := 0; trial < 12; trial++ {
+		nNodes := 30
+		pts := topo.PlaceUniform(rng, nNodes, 700, 700)
+		g, err := topo.NewGraph(pts, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := rng.Intn(nNodes)
+		b := rng.Intn(nNodes)
+		if a == b {
+			continue
+		}
+		path, err := g.GreedyPath(a, b)
+		if err != nil || len(path) < 3 {
+			continue
+		}
+		energies := make([]float64, nNodes)
+		for i := range energies {
+			energies[i] = 5000
+		}
+		flowBits := rng.Uniform(8192, 4e7)
+
+		run := func(mode Mode) Result {
+			cfg := DefaultConfig()
+			cfg.Mode = mode
+			w, err := NewWorld(cfg, pts, energies)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := w.AddFlow(FlowSpec{Src: a, Dst: b, LengthBits: flowBits, Path: append([]int(nil), path...)}); err != nil {
+				t.Fatal(err)
+			}
+			res, err := w.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		base := run(ModeNoMobility)
+		inf := run(ModeInformed)
+		if base.Energy.Total() <= 0 {
+			continue
+		}
+		ratio := inf.Energy.Total() / base.Energy.Total()
+		if ratio > 1.2 {
+			t.Errorf("trial %d: informed ratio %v exceeds safety bound", trial, ratio)
+		}
+		_ = geom.Point{}
+	}
+}

@@ -1,0 +1,490 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/geom"
+	"repro/internal/hello"
+	"repro/internal/metrics"
+	"repro/internal/radio"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+type dataPacket struct {
+	hdr core.Header
+}
+
+// FlowSpec describes one flow to simulate.
+type FlowSpec struct {
+	Src, Dst NodeID
+	// LengthBits is the total flow length.
+	LengthBits float64
+	// Path optionally pins an explicit node path (src..dst inclusive);
+	// when nil the world's planner computes it on the initial topology.
+	Path []NodeID
+}
+
+// flowRuntime tracks one flow's live state.
+type flowRuntime struct {
+	id            core.FlowID
+	spec          FlowSpec
+	path          []NodeID
+	source        *core.Source
+	delivered     float64
+	drops         int
+	emitted       int
+	notifications int
+	statusFlips   int
+	lastDelivery  sim.Time
+	inflight      int
+	// stalled marks a flow that can never finish (its source died).
+	stalled bool
+}
+
+// World is a single simulation scenario.
+type World struct {
+	cfg    Config
+	sched  *sim.Scheduler
+	medium *radio.Medium
+	nodes  []*node
+	flows  []*flowRuntime
+
+	beaconer   *hello.Beaconer
+	failures   []failure
+	firstDeath sim.Time // negative until a node dies
+	// lastActivity is the time of the most recent flow event (emission,
+	// delivery, or drop); the beacon-round watchdog uses it to end runs
+	// whose in-flight accounting was broken by silent packet loss (e.g. a
+	// receiver dying mid-reception under the rx-cost model).
+	lastActivity sim.Time
+	started      bool
+}
+
+// failure is a scheduled node crash (failure injection).
+type failure struct {
+	node NodeID
+	at   sim.Time
+}
+
+// beaconRound runs one HELLO round: every live node whose advertised
+// state has drifted re-broadcasts its beacon.
+func (w *World) beaconRound() error {
+	for _, n := range w.nodes {
+		if n.dead {
+			continue
+		}
+		n.maybeBeacon()
+	}
+	// Watchdog: when every source has finished (or died) and no flow
+	// event has happened for a while, the run is over even if in-flight
+	// accounting lost a packet to silent loss.
+	const quietPeriod = 120
+	if w.sched.Now()-w.lastActivity > quietPeriod {
+		allDone := true
+		for _, fr := range w.flows {
+			if !fr.stalled && !fr.source.Done() {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			w.sched.Stop()
+		}
+	}
+	return nil
+}
+
+// NewWorld builds a world with the given node positions and initial
+// energies (parallel slices).
+func NewWorld(cfg Config, positions []geom.Point, energies []float64) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(positions) != len(energies) {
+		return nil, fmt.Errorf("netsim: %d positions vs %d energies", len(positions), len(energies))
+	}
+	if len(positions) < 2 {
+		return nil, errors.New("netsim: need at least two nodes")
+	}
+	sched := sim.NewScheduler()
+	medium, err := radio.NewMedium(sched, cfg.Radio)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{cfg: cfg, sched: sched, medium: medium, firstDeath: -1}
+	for i, pos := range positions {
+		if energies[i] < 0 {
+			return nil, fmt.Errorf("netsim: negative energy %v for node %d", energies[i], i)
+		}
+		n := &node{
+			id:        i,
+			world:     w,
+			pos:       pos,
+			battery:   energy.NewBattery(energies[i]),
+			neighbors: hello.NewTable(cfg.NeighborTTL),
+			flows:     core.NewTable(),
+		}
+		w.nodes = append(w.nodes, n)
+		if err := medium.Register(i, n); err != nil {
+			return nil, err
+		}
+	}
+	w.seedNeighborTables()
+	return w, nil
+}
+
+// seedNeighborTables performs the initial HELLO exchange: every node
+// learns its in-range neighbors' position and energy at t=0.
+func (w *World) seedNeighborTables() {
+	for _, n := range w.nodes {
+		n.lastAdvert = n.beacon()
+		for _, m := range w.nodes {
+			if n.id == m.id {
+				continue
+			}
+			if n.pos.Dist(m.pos) <= w.cfg.Radio.Range {
+				n.neighbors.Update(m.beacon(), 0)
+			}
+		}
+	}
+}
+
+// Graph returns the unit-disk connectivity graph over current positions.
+func (w *World) Graph() (*topo.Graph, error) {
+	pos := make([]geom.Point, len(w.nodes))
+	for i, n := range w.nodes {
+		pos[i] = n.pos
+	}
+	return topo.NewGraph(pos, w.cfg.Radio.Range)
+}
+
+// aodvTransport carries AODV control messages hop-by-hop with FIFO
+// (per-round) propagation: each transmission is queued and delivered in
+// order, so an RREQ flood expands breadth-first, as per-hop MAC latency
+// makes it do in a real network. Delivering inline through the
+// zero-latency medium would instead expand the flood depth-first and
+// discover serpentine routes. Control energy is charged only when the
+// world charges control traffic.
+
+func (w *World) AddFlow(spec FlowSpec) (core.FlowID, error) {
+	if w.started {
+		return 0, errors.New("netsim: cannot add flows after Run")
+	}
+	if spec.Src == spec.Dst {
+		return 0, errors.New("netsim: flow source equals destination")
+	}
+	if spec.Src < 0 || spec.Src >= len(w.nodes) || spec.Dst < 0 || spec.Dst >= len(w.nodes) {
+		return 0, fmt.Errorf("netsim: flow endpoints (%d,%d) out of range", spec.Src, spec.Dst)
+	}
+	if spec.LengthBits <= 0 {
+		return 0, fmt.Errorf("netsim: non-positive flow length %v", spec.LengthBits)
+	}
+	g, err := w.Graph()
+	if err != nil {
+		return 0, err
+	}
+	path := spec.Path
+	if path == nil {
+		path, err = w.cfg.Planner.PlanRoute(g, spec.Src, spec.Dst)
+		if err != nil {
+			return 0, fmt.Errorf("netsim: planning flow path: %w", err)
+		}
+	}
+	if err := routing.ValidateRoute(g, path, spec.Src, spec.Dst); err != nil {
+		return 0, err
+	}
+
+	id := core.FlowID(len(w.flows) + 1)
+	startEnabled := w.cfg.StartEnabled
+	if w.cfg.Mode == ModeCostUnaware {
+		startEnabled = true
+	}
+	if w.cfg.Mode == ModeNoMobility {
+		startEnabled = false
+	}
+	src, err := core.NewSource(id, spec.Src, spec.Dst, w.cfg.Strategy, spec.LengthBits, startEnabled, w.cfg.EstimateScale)
+	if err != nil {
+		return 0, err
+	}
+	fr := &flowRuntime{id: id, spec: spec, path: path, source: src, lastDelivery: -1}
+	w.flows = append(w.flows, fr)
+
+	// Install the pinned flow path into every on-path node's flow table
+	// (paper §2: the flow table holds previous and next node per flow).
+	seed := core.Header{
+		Flow: id, Src: spec.Src, Dst: spec.Dst,
+		ResidualBits: spec.LengthBits,
+		Strategy:     w.cfg.Strategy.Name(),
+		Enabled:      startEnabled,
+	}
+	for i, nid := range path {
+		prev, next := -1, -1
+		if i > 0 {
+			prev = path[i-1]
+		}
+		if i < len(path)-1 {
+			next = path[i+1]
+		}
+		w.nodes[nid].flows.Allocate(&seed, prev, next)
+	}
+	return id, nil
+}
+
+// ScheduleNodeFailure crashes a node at the given virtual time: it stops
+// transmitting, receiving, moving, and beaconing. Its battery is left
+// untouched (this models hardware failure, not energy exhaustion), but the
+// crash still counts as the first "death" for lifetime purposes. Failures
+// must be scheduled before Run.
+func (w *World) ScheduleNodeFailure(id NodeID, at sim.Time) error {
+	if w.started {
+		return errors.New("netsim: cannot schedule failures after Run")
+	}
+	if id < 0 || id >= len(w.nodes) {
+		return fmt.Errorf("netsim: node id %d out of range", id)
+	}
+	if at < 0 {
+		return fmt.Errorf("netsim: negative failure time %v", at)
+	}
+	w.failures = append(w.failures, failure{node: id, at: at})
+	return nil
+}
+
+// Result summarizes a finished run.
+type Result struct {
+	// Flows holds per-flow outcomes in AddFlow order.
+	Flows []metrics.FlowOutcome
+	// Energy is the network-wide consumption.
+	Energy metrics.EnergyBreakdown
+	// Initial and Final capture the network state around the run
+	// (Figure 5's before/after views).
+	Initial, Final metrics.Snapshot
+	// FirstDeath is the time of the first node death, negative if none.
+	FirstDeath sim.Time
+	// Duration is the virtual time when the run ended.
+	Duration sim.Time
+	// Medium reports channel activity counters.
+	Medium radio.Stats
+}
+
+// Outcome returns the outcome of the single flow in a one-flow world.
+// It panics if the world has not exactly one flow (programming error).
+func (r Result) Outcome() metrics.FlowOutcome {
+	if len(r.Flows) != 1 {
+		panic(fmt.Sprintf("netsim: Outcome on %d flows", len(r.Flows)))
+	}
+	return r.Flows[0]
+}
+
+// Run executes the scenario to completion: all flows done (or stalled
+// dead), first death if StopOnFirstDeath, or the horizon. Worlds are
+// single-use; calling Run twice is an error.
+func (w *World) Run() (Result, error) {
+	if w.started {
+		return Result{}, errors.New("netsim: world already ran")
+	}
+	if len(w.flows) == 0 {
+		return Result{}, errors.New("netsim: no flows added")
+	}
+	w.started = true
+	initial := w.snapshot()
+
+	// Start HELLO beaconing: one world-level round per interval, with
+	// per-node triggered-update suppression (see Config.BeaconMoveEps).
+	if w.cfg.HelloInterval > 0 {
+		b, err := hello.NewBeaconer(w.sched, w.cfg.HelloInterval, w.beaconRound)
+		if err != nil {
+			return Result{}, err
+		}
+		w.beaconer = b
+		if err := b.Start(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Arm scheduled failures.
+	for _, f := range w.failures {
+		node := w.nodes[f.node]
+		if _, err := w.sched.At(f.at, func() { w.markDead(node) }); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Start flow emission.
+	for _, fr := range w.flows {
+		fr := fr
+		if _, err := w.sched.At(0, func() { w.emit(fr) }); err != nil {
+			return Result{}, err
+		}
+	}
+
+	if err := w.sched.RunUntil(w.cfg.Horizon); err != nil && !errors.Is(err, sim.ErrStopped) {
+		return Result{}, err
+	}
+
+	res := Result{
+		Initial:    initial,
+		Final:      w.snapshot(),
+		FirstDeath: w.firstDeath,
+		Duration:   w.sched.Now(),
+		Medium:     w.medium.Stats(),
+	}
+	for _, n := range w.nodes {
+		res.Energy = res.Energy.Add(metrics.FromBattery(n.battery))
+	}
+	for _, fr := range w.flows {
+		dur := fr.lastDelivery
+		if dur < 0 {
+			dur = w.sched.Now()
+		}
+		res.Flows = append(res.Flows, metrics.FlowOutcome{
+			Completed:     fr.source.Done() && fr.delivered >= fr.spec.LengthBits-1e-6,
+			DeliveredBits: fr.delivered,
+			Duration:      dur,
+			FirstDeath:    w.firstDeath,
+			Energy:        res.Energy,
+			Notifications: fr.notifications,
+			StatusFlips:   fr.source.Notifications(),
+			PathLen:       len(fr.path),
+		})
+	}
+	return res, nil
+}
+
+// snapshot captures all node states.
+func (w *World) snapshot() metrics.Snapshot {
+	s := metrics.Snapshot{At: w.sched.Now()}
+	for _, n := range w.nodes {
+		s.Nodes = append(s.Nodes, metrics.NodeSnapshot{ID: n.id, Pos: n.pos, Residual: n.battery.Residual()})
+	}
+	return s
+}
+
+// PathSnapshot returns the current positions along a flow's path, in path
+// order — the Figure 5 view.
+func (w *World) PathSnapshot(id core.FlowID) ([]geom.Point, error) {
+	for _, fr := range w.flows {
+		if fr.id == id {
+			out := make([]geom.Point, len(fr.path))
+			for i, nid := range fr.path {
+				out[i] = w.nodes[nid].pos
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %d", core.ErrUnknownFlow, id)
+}
+
+// FlowPath returns the pinned node path of a flow.
+func (w *World) FlowPath(id core.FlowID) ([]NodeID, error) {
+	for _, fr := range w.flows {
+		if fr.id == id {
+			return append([]NodeID(nil), fr.path...), nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %d", core.ErrUnknownFlow, id)
+}
+
+// emit sends one data packet from a flow's source and schedules the next
+// emission.
+func (w *World) emit(fr *flowRuntime) {
+	if fr.source.Done() {
+		return
+	}
+	srcNode := w.nodes[fr.spec.Src]
+	if srcNode.dead {
+		// The source died: the flow can never finish. Mark it stalled so
+		// the run can end instead of idling to the horizon.
+		fr.stalled = true
+		w.maybeFinish()
+		return
+	}
+	hdr, err := fr.source.NextHeader(w.cfg.PacketBits)
+	if err != nil {
+		return
+	}
+	next := fr.path[1]
+	core.AggregateSource(&hdr, w.cfg.Strategy, w.cfg.Radio.Tx, srcNode.pos, w.nodes[next].pos, srcNode.battery.Residual())
+	fr.emitted++
+	fr.inflight++
+	w.lastActivity = w.sched.Now()
+	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindPacketSent, Node: srcNode.id,
+		Detail: fmt.Sprintf("flow=%d seq=%d", hdr.Flow, hdr.Seq)})
+	if err := w.medium.Unicast(srcNode.id, next, hdr.PayloadBits, energy.CatTx, dataPacket{hdr: hdr}); err != nil {
+		w.drop(fr)
+		w.noteDepletion(srcNode, err)
+	}
+	// Pace the next packet regardless of this one's fate.
+	interval := sim.Time(w.cfg.PacketBits / w.cfg.FlowRateBps)
+	if !fr.source.Done() {
+		if _, err := w.sched.After(interval, func() { w.emit(fr) }); err != nil {
+			return
+		}
+	} else {
+		w.maybeFinish()
+	}
+}
+
+// maybeFinish stops the scheduler once every flow has finished sending and
+// nothing is in flight (beacons would otherwise keep the queue alive
+// forever).
+func (w *World) maybeFinish() {
+	for _, fr := range w.flows {
+		if fr.stalled {
+			continue
+		}
+		if !fr.source.Done() || fr.inflight > 0 {
+			return
+		}
+	}
+	w.sched.Stop()
+}
+
+// drop accounts a lost data packet and re-checks the finish condition.
+func (w *World) drop(fr *flowRuntime) {
+	fr.inflight--
+	fr.drops++
+	w.lastActivity = w.sched.Now()
+	w.maybeFinish()
+}
+
+// noteDepletion records a node death if err wraps energy.ErrDepleted.
+func (w *World) noteDepletion(n *node, err error) {
+	if !errors.Is(err, energy.ErrDepleted) {
+		return
+	}
+	w.markDead(n)
+}
+
+func (w *World) markDead(n *node) {
+	if n.dead {
+		return
+	}
+	n.dead = true
+	if w.firstDeath < 0 {
+		w.firstDeath = w.sched.Now()
+	}
+	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindNodeDied, Node: n.id})
+	if w.cfg.StopOnFirstDeath {
+		w.sched.Stop()
+	}
+}
+
+func (w *World) trace(e trace.Event) { w.cfg.Tracer.Record(e) }
+
+// node is one wireless node: radio endpoint, HELLO participant, flow
+// relay/source/destination, and mobile platform.
+
+func (w *World) flow(id core.FlowID) *flowRuntime {
+	for _, fr := range w.flows {
+		if fr.id == id {
+			return fr
+		}
+	}
+	return nil
+}

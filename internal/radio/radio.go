@@ -1,0 +1,263 @@
+// Package radio implements the wireless channel substrate: an ideal
+// unit-disk medium with power-controlled unicast and broadcast, per-bit
+// transmission energy accounting against node batteries, and configurable
+// propagation/serialization delay.
+//
+// The channel is ideal (no loss, no MAC contention), matching the paper's
+// simulator: its results depend on the energy geometry of the network, not
+// on channel dynamics.
+package radio
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// NodeID identifies a registered endpoint.
+type NodeID = int
+
+// ErrOutOfRange is returned when the receiver is beyond radio range.
+var ErrOutOfRange = errors.New("radio: receiver out of range")
+
+// ErrUnknownNode is returned when a message addresses an unregistered node.
+var ErrUnknownNode = errors.New("radio: unknown node")
+
+// Endpoint is the medium's view of a node: where it is, what battery pays
+// for its transmissions, and how it receives messages.
+type Endpoint interface {
+	// Position returns the node's current location; consulted at send time.
+	Position() geom.Point
+	// Battery returns the battery charged for this node's transmissions.
+	Battery() *energy.Battery
+	// Receive delivers a message. It runs inside a scheduler event.
+	Receive(from NodeID, msg any)
+}
+
+// Config parameterizes a Medium.
+type Config struct {
+	// Tx is the transmission energy model.
+	Tx energy.TxModel
+	// Range is the maximum communication distance in meters.
+	Range float64
+	// Bandwidth is the link rate in bits/second used to compute
+	// serialization delay. Zero means instantaneous delivery: messages
+	// are handed to the receiver synchronously, without a scheduler
+	// event (the paper's simulator ignores transmission delay).
+	Bandwidth float64
+	// ChargeControl controls whether transmissions under
+	// energy.CatControl draw from the battery. The paper treats control
+	// traffic (HELLO beacons, notifications) as free; ablation A4 charges
+	// it.
+	ChargeControl bool
+	// RxPerBit charges receivers this many joules per received data bit
+	// (receiver electronics). The paper's model is transmit-only; zero
+	// (the default) reproduces it. Control traffic is charged on receive
+	// only when ChargeControl is also set.
+	RxPerBit float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Tx.Validate(); err != nil {
+		return err
+	}
+	if c.Range <= 0 {
+		return fmt.Errorf("radio: non-positive range %v", c.Range)
+	}
+	if c.Bandwidth < 0 {
+		return fmt.Errorf("radio: negative bandwidth %v", c.Bandwidth)
+	}
+	if c.RxPerBit < 0 {
+		return fmt.Errorf("radio: negative rx cost %v", c.RxPerBit)
+	}
+	return nil
+}
+
+// Stats counts medium activity.
+type Stats struct {
+	Unicasts   uint64
+	Broadcasts uint64
+	Delivered  uint64
+	RangeDrops uint64
+	DeadDrops  uint64
+}
+
+// Medium is the shared wireless channel. It is single-threaded, driven by
+// the simulation scheduler.
+type Medium struct {
+	cfg       Config
+	sched     *sim.Scheduler
+	endpoints map[NodeID]Endpoint
+	// sorted caches ascending endpoint IDs for deterministic broadcast
+	// order without per-broadcast sorting.
+	sorted []NodeID
+	stats  Stats
+}
+
+// NewMedium creates a medium on the given scheduler.
+func NewMedium(sched *sim.Scheduler, cfg Config) (*Medium, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sched == nil {
+		return nil, errors.New("radio: nil scheduler")
+	}
+	return &Medium{
+		cfg:       cfg,
+		sched:     sched,
+		endpoints: make(map[NodeID]Endpoint),
+	}, nil
+}
+
+// Register attaches an endpoint under the given ID, replacing any previous
+// registration.
+func (m *Medium) Register(id NodeID, ep Endpoint) error {
+	if ep == nil {
+		return errors.New("radio: nil endpoint")
+	}
+	if _, exists := m.endpoints[id]; !exists {
+		// Insert keeping m.sorted ascending.
+		pos := len(m.sorted)
+		for i, v := range m.sorted {
+			if v > id {
+				pos = i
+				break
+			}
+		}
+		m.sorted = append(m.sorted, 0)
+		copy(m.sorted[pos+1:], m.sorted[pos:])
+		m.sorted[pos] = id
+	}
+	m.endpoints[id] = ep
+	return nil
+}
+
+// Stats returns a copy of the activity counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// Range returns the configured communication range.
+func (m *Medium) Range() float64 { return m.cfg.Range }
+
+// TxModel returns the medium's transmission energy model.
+func (m *Medium) TxModel() energy.TxModel { return m.cfg.Tx }
+
+// InRange reports whether two registered nodes are currently within
+// communication range of each other.
+func (m *Medium) InRange(a, b NodeID) bool {
+	ea, ok := m.endpoints[a]
+	if !ok {
+		return false
+	}
+	eb, ok := m.endpoints[b]
+	if !ok {
+		return false
+	}
+	return ea.Position().Dist(eb.Position()) <= m.cfg.Range
+}
+
+// Unicast transmits bits from one node to another with power control: the
+// sender spends exactly E_T(d, bits) for the current distance d. The
+// message is delivered through the scheduler after the serialization
+// delay. Errors: ErrUnknownNode, ErrOutOfRange, energy.ErrDepleted (the
+// sender died mid-transmission; nothing is delivered).
+func (m *Medium) Unicast(from, to NodeID, bits float64, cat energy.Category, msg any) error {
+	sender, ok := m.endpoints[from]
+	if !ok {
+		return fmt.Errorf("%w: sender %d", ErrUnknownNode, from)
+	}
+	receiver, ok := m.endpoints[to]
+	if !ok {
+		return fmt.Errorf("%w: receiver %d", ErrUnknownNode, to)
+	}
+	d := sender.Position().Dist(receiver.Position())
+	if d > m.cfg.Range {
+		m.stats.RangeDrops++
+		return fmt.Errorf("%w: %d -> %d at %.1f m (range %.1f m)", ErrOutOfRange, from, to, d, m.cfg.Range)
+	}
+	m.stats.Unicasts++
+	if err := m.charge(sender, m.cfg.Tx.TxEnergy(d, bits), cat); err != nil {
+		m.stats.DeadDrops++
+		return fmt.Errorf("radio: unicast %d -> %d: %w", from, to, err)
+	}
+	m.deliver(from, receiver, bits, cat, msg)
+	return nil
+}
+
+// Broadcast transmits bits from one node to every node currently in range,
+// spending the energy of a full-range transmission once. It returns the
+// number of receivers, or an error if the sender is unknown or died
+// mid-transmission.
+func (m *Medium) Broadcast(from NodeID, bits float64, cat energy.Category, msg any) (int, error) {
+	sender, ok := m.endpoints[from]
+	if !ok {
+		return 0, fmt.Errorf("%w: sender %d", ErrUnknownNode, from)
+	}
+	m.stats.Broadcasts++
+	if err := m.charge(sender, m.cfg.Tx.TxEnergy(m.cfg.Range, bits), cat); err != nil {
+		m.stats.DeadDrops++
+		return 0, fmt.Errorf("radio: broadcast from %d: %w", from, err)
+	}
+	origin := sender.Position()
+	n := 0
+	// Deterministic receiver order: ascending ID.
+	for _, id := range m.sorted {
+		if id == from {
+			continue
+		}
+		ep := m.endpoints[id]
+		if origin.Dist(ep.Position()) <= m.cfg.Range {
+			m.deliver(from, ep, bits, cat, msg)
+			n++
+		}
+	}
+	return n, nil
+}
+
+func (m *Medium) charge(sender Endpoint, joules float64, cat energy.Category) error {
+	if cat == energy.CatControl && !m.cfg.ChargeControl {
+		return nil
+	}
+	if err := sender.Battery().Draw(joules, cat); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (m *Medium) deliver(from NodeID, to Endpoint, bits float64, cat energy.Category, msg any) {
+	handoff := func() {
+		if !m.chargeRx(to, bits, cat) {
+			m.stats.DeadDrops++
+			return
+		}
+		m.stats.Delivered++
+		to.Receive(from, msg)
+	}
+	if m.cfg.Bandwidth <= 0 {
+		// Zero serialization delay: deliver synchronously. This keeps
+		// dense control traffic (HELLO floods) off the event queue.
+		handoff()
+		return
+	}
+	delay := sim.Time(bits / m.cfg.Bandwidth)
+	// Scheduling only fails for invalid times, which cannot arise from a
+	// validated bandwidth; treat failure as a programming error.
+	if _, err := m.sched.After(delay, handoff); err != nil {
+		panic(fmt.Sprintf("radio: scheduling delivery: %v", err))
+	}
+}
+
+// chargeRx draws receiver electronics energy; it reports whether the
+// receiver survived to take the message.
+func (m *Medium) chargeRx(to Endpoint, bits float64, cat energy.Category) bool {
+	if m.cfg.RxPerBit <= 0 {
+		return true
+	}
+	if cat == energy.CatControl && !m.cfg.ChargeControl {
+		return true
+	}
+	return to.Battery().Draw(m.cfg.RxPerBit*bits, energy.CatRx) == nil
+}

@@ -1,0 +1,243 @@
+package routing
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// AODV-lite: an on-demand distance-vector protocol in the style of Perkins
+// & Royer (the paper's §2 cites AODV as the protocol managing routing
+// tables and carrying HELLO beacons). It implements RREQ flooding with
+// duplicate suppression, destination sequence numbers, RREP unicast along
+// the reverse path, and expanding-route maintenance sufficient for the
+// simulator's needs. Route error handling is intentionally minimal: pinned
+// flow paths (the paper's model) do not exercise link breakage.
+
+// Transport abstracts the medium AODV runs over. Implementations deliver
+// synchronously or via a scheduler; AODV only requires that Receive is
+// eventually invoked on reachable peers.
+type Transport interface {
+	// Broadcast sends msg from the given node to all nodes in radio
+	// range. Control-plane traffic, typically unmetered.
+	Broadcast(from NodeID, msg any) error
+	// Unicast sends msg to a specific in-range node.
+	Unicast(from, to NodeID, msg any) error
+}
+
+// RREQ is a route request, flooded from the originator.
+type RREQ struct {
+	Origin    NodeID
+	Target    NodeID
+	ReqID     uint64
+	HopsSoFar int
+	// OriginSeq and TargetSeq carry the AODV sequence numbers.
+	OriginSeq uint64
+	TargetSeq uint64
+}
+
+// RREP is a route reply, unicast hop-by-hop back to the originator.
+type RREP struct {
+	Origin       NodeID
+	Target       NodeID
+	HopsToTarget int
+	TargetSeq    uint64
+}
+
+// tableEntry is one row of an AODV routing table.
+type tableEntry struct {
+	nextHop NodeID
+	hops    int
+	seq     uint64
+	valid   bool
+}
+
+// ErrNoTableRoute is returned by NextHop when no valid route is known.
+var ErrNoTableRoute = errors.New("routing: no route in table")
+
+// Instance is the per-node AODV protocol state machine.
+type Instance struct {
+	id        NodeID
+	transport Transport
+	table     map[NodeID]tableEntry
+	seen      map[rreqKey]bool
+	seq       uint64
+	nextReqID uint64
+	// discovered is invoked when a route to a previously requested
+	// target becomes available.
+	discovered func(target NodeID)
+	pending    map[NodeID]bool
+}
+
+type rreqKey struct {
+	origin NodeID
+	reqID  uint64
+}
+
+// NewInstance creates the AODV state machine for one node.
+func NewInstance(id NodeID, transport Transport) (*Instance, error) {
+	if transport == nil {
+		return nil, errors.New("routing: nil transport")
+	}
+	return &Instance{
+		id:        id,
+		transport: transport,
+		table:     make(map[NodeID]tableEntry),
+		seen:      make(map[rreqKey]bool),
+		pending:   make(map[NodeID]bool),
+	}, nil
+}
+
+// OnRouteDiscovered registers a callback fired when a pending route
+// request resolves.
+func (a *Instance) OnRouteDiscovered(fn func(target NodeID)) { a.discovered = fn }
+
+// NextHop returns the next hop toward dst, or ErrNoTableRoute.
+func (a *Instance) NextHop(dst NodeID) (NodeID, error) {
+	e, ok := a.table[dst]
+	if !ok || !e.valid {
+		return 0, fmt.Errorf("%w: node %d has no route to %d", ErrNoTableRoute, a.id, dst)
+	}
+	return e.nextHop, nil
+}
+
+// HopsTo returns the table's hop count toward dst, or ErrNoTableRoute.
+func (a *Instance) HopsTo(dst NodeID) (int, error) {
+	e, ok := a.table[dst]
+	if !ok || !e.valid {
+		return 0, fmt.Errorf("%w: node %d has no route to %d", ErrNoTableRoute, a.id, dst)
+	}
+	return e.hops, nil
+}
+
+// KnownDestinations returns all destinations with valid routes, ascending.
+func (a *Instance) KnownDestinations() []NodeID {
+	var out []NodeID
+	for dst, e := range a.table {
+		if e.valid {
+			out = append(out, dst)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RequestRoute initiates route discovery toward target. If a route is
+// already known the callback fires immediately (if registered) and no
+// flood is sent.
+func (a *Instance) RequestRoute(target NodeID) error {
+	if target == a.id {
+		return fmt.Errorf("routing: node %d requesting route to itself", a.id)
+	}
+	if _, err := a.NextHop(target); err == nil {
+		if a.discovered != nil {
+			a.discovered(target)
+		}
+		return nil
+	}
+	a.pending[target] = true
+	a.seq++
+	a.nextReqID++
+	req := RREQ{
+		Origin:    a.id,
+		Target:    target,
+		ReqID:     a.nextReqID,
+		OriginSeq: a.seq,
+	}
+	// Mark our own flood as seen so a neighbor echo cannot loop back.
+	a.seen[rreqKey{origin: a.id, reqID: req.ReqID}] = true
+	if err := a.transport.Broadcast(a.id, req); err != nil {
+		return fmt.Errorf("routing: RREQ broadcast: %w", err)
+	}
+	return nil
+}
+
+// Receive dispatches an incoming AODV control message heard from the given
+// neighbor. Unknown message types are ignored (the caller may multiplex a
+// shared channel).
+func (a *Instance) Receive(from NodeID, msg any) error {
+	switch m := msg.(type) {
+	case RREQ:
+		return a.onRREQ(from, m)
+	case RREP:
+		return a.onRREP(from, m)
+	default:
+		return nil
+	}
+}
+
+func (a *Instance) onRREQ(from NodeID, m RREQ) error {
+	key := rreqKey{origin: m.Origin, reqID: m.ReqID}
+	if a.seen[key] {
+		return nil
+	}
+	a.seen[key] = true
+	// Learn/refresh the reverse route to the originator.
+	a.updateRoute(m.Origin, from, m.HopsSoFar+1, m.OriginSeq)
+	if m.Target == a.id {
+		// We are the target: reply along the reverse path.
+		a.seq++
+		rep := RREP{Origin: m.Origin, Target: a.id, HopsToTarget: 0, TargetSeq: a.seq}
+		if err := a.transport.Unicast(a.id, from, rep); err != nil {
+			return fmt.Errorf("routing: RREP unicast: %w", err)
+		}
+		return nil
+	}
+	// Intermediate node with a fresh-enough route could reply; for
+	// simplicity (and determinism) only the target replies. Re-flood.
+	m.HopsSoFar++
+	if err := a.transport.Broadcast(a.id, m); err != nil {
+		return fmt.Errorf("routing: RREQ re-broadcast: %w", err)
+	}
+	return nil
+}
+
+func (a *Instance) onRREP(from NodeID, m RREP) error {
+	// Learn/refresh the forward route to the target.
+	a.updateRoute(m.Target, from, m.HopsToTarget+1, m.TargetSeq)
+	if m.Origin == a.id {
+		if a.pending[m.Target] {
+			delete(a.pending, m.Target)
+			if a.discovered != nil {
+				a.discovered(m.Target)
+			}
+		}
+		return nil
+	}
+	// Forward the RREP along the reverse route toward the originator.
+	next, err := a.NextHop(m.Origin)
+	if err != nil {
+		return fmt.Errorf("routing: RREP forwarding at %d: %w", a.id, err)
+	}
+	m.HopsToTarget++
+	if err := a.transport.Unicast(a.id, next, m); err != nil {
+		return fmt.Errorf("routing: RREP unicast: %w", err)
+	}
+	return nil
+}
+
+// updateRoute installs a route if it is newer (higher seq) or equally
+// fresh but shorter.
+func (a *Instance) updateRoute(dst, nextHop NodeID, hops int, seq uint64) {
+	if dst == a.id {
+		return
+	}
+	cur, ok := a.table[dst]
+	if ok && cur.valid {
+		if seq < cur.seq {
+			return
+		}
+		if seq == cur.seq && hops >= cur.hops {
+			return
+		}
+	}
+	a.table[dst] = tableEntry{nextHop: nextHop, hops: hops, seq: seq, valid: true}
+}
+
+// Invalidate marks the route to dst broken (e.g. on link failure signal).
+func (a *Instance) Invalidate(dst NodeID) {
+	if e, ok := a.table[dst]; ok {
+		e.valid = false
+		a.table[dst] = e
+	}
+}

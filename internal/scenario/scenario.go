@@ -1,0 +1,283 @@
+// Package scenario loads simulation scenarios from JSON, so custom
+// experiments can be described declaratively and run with imobif-sim
+// without writing Go. A scenario bundles the physical configuration, the
+// node deployment (explicit or random), the flows, and optional failure
+// injections.
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/energy"
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// Scenario is the JSON document root.
+type Scenario struct {
+	// Name labels the scenario in output.
+	Name string `json:"name"`
+	// Seed drives random placement/energies when used.
+	Seed int64 `json:"seed"`
+
+	// Radio parameters. Zero values take the paper defaults.
+	RangeMeters  float64 `json:"range_meters"`
+	TxA          float64 `json:"tx_a"`
+	TxB          float64 `json:"tx_b"`
+	PathLossExp  float64 `json:"path_loss_exp"`
+	MobilityCost float64 `json:"mobility_cost_j_per_m"`
+
+	// Strategy: "min-energy" (default), "max-lifetime",
+	// "max-lifetime-exact", "stationary".
+	Strategy string `json:"strategy"`
+	// Mode: "informed" (default), "no-mobility", "cost-unaware".
+	Mode string `json:"mode"`
+
+	MaxStepMeters    float64 `json:"max_step_meters"`
+	PacketBytes      float64 `json:"packet_bytes"`
+	RateBytesPerSec  float64 `json:"rate_bytes_per_sec"`
+	ChargeControl    bool    `json:"charge_control"`
+	EstimateScale    float64 `json:"estimate_scale"`
+	StopOnFirstDeath bool    `json:"stop_on_first_death"`
+
+	// Nodes lists explicit node states; alternatively RandomNodes places
+	// nodes uniformly in the field.
+	Nodes       []NodeSpec       `json:"nodes,omitempty"`
+	RandomNodes *RandomNodesSpec `json:"random_nodes,omitempty"`
+	Flows       []FlowSpec       `json:"flows"`
+	Failures    []FailureSpec    `json:"failures,omitempty"`
+}
+
+// NodeSpec is one explicit node.
+type NodeSpec struct {
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Joules float64 `json:"joules"`
+}
+
+// RandomNodesSpec asks for uniform random placement.
+type RandomNodesSpec struct {
+	Count    int     `json:"count"`
+	FieldW   float64 `json:"field_w"`
+	FieldH   float64 `json:"field_h"`
+	EnergyLo float64 `json:"energy_lo"`
+	EnergyHi float64 `json:"energy_hi"`
+}
+
+// FlowSpec is one flow.
+type FlowSpec struct {
+	Src      int     `json:"src"`
+	Dst      int     `json:"dst"`
+	LengthKB float64 `json:"length_kb"`
+	Path     []int   `json:"path,omitempty"`
+	UseAODV  bool    `json:"use_aodv,omitempty"`
+}
+
+// FailureSpec crashes a node at a virtual time.
+type FailureSpec struct {
+	Node      int     `json:"node"`
+	AtSeconds float64 `json:"at_seconds"`
+}
+
+// Load parses a scenario from JSON.
+func Load(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parsing: %w", err)
+	}
+	s.applyDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadFile parses a scenario from a JSON file.
+func LoadFile(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func (s *Scenario) applyDefaults() {
+	def := netsim.DefaultConfig()
+	if s.RangeMeters == 0 {
+		s.RangeMeters = def.Radio.Range
+	}
+	if s.TxA == 0 {
+		s.TxA = def.Radio.Tx.A
+	}
+	if s.TxB == 0 {
+		s.TxB = def.Radio.Tx.B
+	}
+	if s.PathLossExp == 0 {
+		s.PathLossExp = def.Radio.Tx.Alpha
+	}
+	if s.MobilityCost == 0 {
+		s.MobilityCost = def.Mobility.K
+	}
+	if s.Strategy == "" {
+		s.Strategy = mobility.MinEnergy{}.Name()
+	}
+	if s.Mode == "" {
+		s.Mode = "informed"
+	}
+	if s.MaxStepMeters == 0 {
+		s.MaxStepMeters = def.MaxStep
+	}
+	if s.PacketBytes == 0 {
+		s.PacketBytes = def.PacketBits / 8
+	}
+	if s.RateBytesPerSec == 0 {
+		s.RateBytesPerSec = def.FlowRateBps / 8
+	}
+	if s.EstimateScale == 0 {
+		s.EstimateScale = 1
+	}
+}
+
+// Validate checks the scenario's internal consistency.
+func (s *Scenario) Validate() error {
+	if len(s.Nodes) == 0 && s.RandomNodes == nil {
+		return errors.New("scenario: no nodes (set nodes or random_nodes)")
+	}
+	if len(s.Nodes) > 0 && s.RandomNodes != nil {
+		return errors.New("scenario: set either nodes or random_nodes, not both")
+	}
+	if s.RandomNodes != nil {
+		r := s.RandomNodes
+		if r.Count < 2 || r.FieldW <= 0 || r.FieldH <= 0 || r.EnergyLo <= 0 || r.EnergyHi < r.EnergyLo {
+			return fmt.Errorf("scenario: bad random_nodes %+v", *r)
+		}
+	}
+	if len(s.Flows) == 0 {
+		return errors.New("scenario: no flows")
+	}
+	n := len(s.Nodes)
+	if s.RandomNodes != nil {
+		n = s.RandomNodes.Count
+	}
+	for i, f := range s.Flows {
+		if f.Src < 0 || f.Src >= n || f.Dst < 0 || f.Dst >= n {
+			return fmt.Errorf("scenario: flow %d endpoints (%d,%d) out of range [0,%d)", i, f.Src, f.Dst, n)
+		}
+		if f.Src == f.Dst {
+			return fmt.Errorf("scenario: flow %d has src == dst", i)
+		}
+		if f.LengthKB <= 0 {
+			return fmt.Errorf("scenario: flow %d has non-positive length %v KB", i, f.LengthKB)
+		}
+		if len(f.Path) > 0 && f.UseAODV {
+			return fmt.Errorf("scenario: flow %d sets both path and use_aodv", i)
+		}
+	}
+	for i, fail := range s.Failures {
+		if fail.Node < 0 || fail.Node >= n {
+			return fmt.Errorf("scenario: failure %d node %d out of range", i, fail.Node)
+		}
+		if fail.AtSeconds < 0 {
+			return fmt.Errorf("scenario: failure %d at negative time", i)
+		}
+	}
+	return nil
+}
+
+// mode maps the JSON mode name.
+func (s *Scenario) mode() (netsim.Mode, error) {
+	switch s.Mode {
+	case "no-mobility":
+		return netsim.ModeNoMobility, nil
+	case "cost-unaware":
+		return netsim.ModeCostUnaware, nil
+	case "informed":
+		return netsim.ModeInformed, nil
+	default:
+		return 0, fmt.Errorf("scenario: unknown mode %q", s.Mode)
+	}
+}
+
+// Build materializes the scenario into a ready-to-run world.
+func (s *Scenario) Build() (*netsim.World, []netsim.NodeID, error) {
+	tx := energy.TxModel{A: s.TxA, B: s.TxB, Alpha: s.PathLossExp}
+	table, err := energy.NewPowerTable(tx, s.RangeMeters, 256)
+	if err != nil {
+		return nil, nil, err
+	}
+	strat, err := mobility.ByName(s.Strategy, tx, table)
+	if err != nil {
+		return nil, nil, err
+	}
+	mode, err := s.mode()
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := netsim.DefaultConfig()
+	cfg.Radio = radio.Config{Tx: tx, Range: s.RangeMeters, ChargeControl: s.ChargeControl}
+	cfg.Mobility = energy.MobilityModel{K: s.MobilityCost}
+	cfg.Strategy = strat
+	cfg.Mode = mode
+	cfg.MaxStep = s.MaxStepMeters
+	cfg.PacketBits = s.PacketBytes * 8
+	cfg.FlowRateBps = s.RateBytesPerSec * 8
+	cfg.EstimateScale = s.EstimateScale
+	cfg.StopOnFirstDeath = s.StopOnFirstDeath
+
+	var positions []geom.Point
+	var energies []float64
+	if s.RandomNodes != nil {
+		rng := stats.NewSource(s.Seed)
+		positions = topo.PlaceUniform(rng, s.RandomNodes.Count, s.RandomNodes.FieldW, s.RandomNodes.FieldH)
+		energies = make([]float64, s.RandomNodes.Count)
+		for i := range energies {
+			energies[i] = rng.Uniform(s.RandomNodes.EnergyLo, s.RandomNodes.EnergyHi)
+		}
+	} else {
+		for _, n := range s.Nodes {
+			positions = append(positions, geom.Pt(n.X, n.Y))
+			energies = append(energies, n.Joules)
+		}
+	}
+	w, err := netsim.NewWorld(cfg, positions, energies)
+	if err != nil {
+		return nil, nil, err
+	}
+	var flowIDs []netsim.NodeID
+	for i, f := range s.Flows {
+		path := f.Path
+		if f.UseAODV {
+			path, err = w.DiscoverPath(f.Src, f.Dst)
+			if err != nil {
+				return nil, nil, fmt.Errorf("scenario: flow %d AODV discovery: %w", i, err)
+			}
+		}
+		id, err := w.AddFlow(netsim.FlowSpec{
+			Src: f.Src, Dst: f.Dst,
+			LengthBits: f.LengthKB * 1024 * 8,
+			Path:       path,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario: flow %d: %w", i, err)
+		}
+		flowIDs = append(flowIDs, int(id))
+	}
+	for _, fail := range s.Failures {
+		if err := w.ScheduleNodeFailure(fail.Node, sim.Time(fail.AtSeconds)); err != nil {
+			return nil, nil, err
+		}
+	}
+	return w, flowIDs, nil
+}

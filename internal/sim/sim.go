@@ -1,0 +1,195 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock and a binary-heap event queue with stable FIFO ordering
+// among events scheduled for the same instant.
+//
+// Determinism is load-bearing for the reproduction: the paper's experiments
+// are Monte-Carlo sweeps, and a single seed must reproduce an entire sweep
+// exactly. Events at equal times execute in scheduling order.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is virtual simulation time in seconds.
+type Time float64
+
+// ErrStopped is returned by Run variants when the scheduler was stopped
+// explicitly before the queue drained or the horizon was reached.
+var ErrStopped = errors.New("sim: stopped")
+
+// Event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	idx  int
+	dead bool
+}
+
+// Handle identifies a scheduled event so it can be canceled.
+type Handle struct {
+	ev *event
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op. It reports whether the event was
+// actually canceled by this call.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.dead {
+		return false
+	}
+	h.ev.dead = true
+	h.ev.fn = nil
+	return true
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Scheduler owns the virtual clock and the pending-event queue. It is not
+// safe for concurrent use; the simulation is single-threaded by design
+// (concurrency would destroy determinism without buying fidelity).
+type Scheduler struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewScheduler returns a scheduler with the clock at zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Pending returns the number of events waiting to fire (including
+// canceled-but-unpopped events).
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Fired returns the total number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (or at
+// a non-finite time) is a programming error and returns an error without
+// scheduling.
+func (s *Scheduler) At(t Time, fn func()) (Handle, error) {
+	if fn == nil {
+		return Handle{}, errors.New("sim: nil event function")
+	}
+	if math.IsNaN(float64(t)) || math.IsInf(float64(t), 0) {
+		return Handle{}, fmt.Errorf("sim: non-finite event time %v", t)
+	}
+	if t < s.now {
+		return Handle{}, fmt.Errorf("sim: cannot schedule at %v, now is %v", t, s.now)
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return Handle{ev: ev}, nil
+}
+
+// After schedules fn to run delay seconds from now. Negative delays are an
+// error.
+func (s *Scheduler) After(delay Time, fn func()) (Handle, error) {
+	if delay < 0 {
+		return Handle{}, fmt.Errorf("sim: negative delay %v", delay)
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// step pops and fires one live event. It reports whether an event fired.
+func (s *Scheduler) step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		fn := ev.fn
+		ev.dead = true
+		ev.fn = nil
+		s.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains. It returns ErrStopped if
+// Stop was called first.
+func (s *Scheduler) Run() error {
+	s.stopped = false
+	for !s.stopped {
+		if !s.step() {
+			return nil
+		}
+	}
+	return ErrStopped
+}
+
+// RunUntil executes events up to and including time horizon. Events
+// scheduled after the horizon remain queued; the clock advances to the
+// horizon if the queue drains or only later events remain. It returns
+// ErrStopped if Stop was called first.
+func (s *Scheduler) RunUntil(horizon Time) error {
+	if horizon < s.now {
+		return fmt.Errorf("sim: horizon %v is in the past (now %v)", horizon, s.now)
+	}
+	s.stopped = false
+	for !s.stopped {
+		// Peek for the next live event within the horizon.
+		next := s.peek()
+		if next == nil || next.at > horizon {
+			s.now = horizon
+			return nil
+		}
+		s.step()
+	}
+	return ErrStopped
+}
+
+func (s *Scheduler) peek() *event {
+	for len(s.queue) > 0 {
+		ev := s.queue[0]
+		if !ev.dead {
+			return ev
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}

@@ -1,0 +1,386 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSourceDeterminism(t *testing.T) {
+	a, b := NewSource(42), NewSource(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSourceUniformRange(t *testing.T) {
+	s := NewSource(1)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(5, 10)
+		if v < 5 || v >= 10 {
+			t.Fatalf("Uniform(5,10) = %v out of range", v)
+		}
+	}
+}
+
+func TestSourceExp(t *testing.T) {
+	s := NewSource(7)
+	const mean = 100.0
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := s.Exp(mean)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	got := sum / n
+	if math.Abs(got-mean) > mean*0.05 {
+		t.Errorf("Exp sample mean = %v, want ≈ %v", got, mean)
+	}
+	if v := s.Exp(0); v != 0 {
+		t.Errorf("Exp(0) = %v, want 0", v)
+	}
+	if v := s.Exp(-1); v != 0 {
+		t.Errorf("Exp(-1) = %v, want 0", v)
+	}
+}
+
+func TestSourceSplitIndependence(t *testing.T) {
+	a := NewSource(42)
+	sub := a.Split()
+	// Draw from the split; the parent stream after splitting must not
+	// depend on how many draws the child makes.
+	parent1 := NewSource(42)
+	_ = parent1.Split()
+	for i := 0; i < 50; i++ {
+		sub.Float64()
+	}
+	for i := 0; i < 10; i++ {
+		if a.Float64() != parent1.Float64() {
+			t.Fatal("parent stream perturbed by child draws")
+		}
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	tests := []struct {
+		name     string
+		xs       []float64
+		mean     float64
+		variance float64
+	}{
+		{"empty", nil, 0, 0},
+		{"single", []float64{5}, 5, 0},
+		{"pair", []float64{2, 4}, 3, 1},
+		{"constant", []float64{7, 7, 7}, 7, 0},
+		{"mixed", []float64{1, 2, 3, 4, 5}, 3, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.xs); math.Abs(got-tt.mean) > 1e-12 {
+				t.Errorf("Mean = %v, want %v", got, tt.mean)
+			}
+			if got := Variance(tt.xs); math.Abs(got-tt.variance) > 1e-12 {
+				t.Errorf("Variance = %v, want %v", got, tt.variance)
+			}
+		})
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, err := Min(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Min(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Max(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Max(nil) err = %v, want ErrEmpty", err)
+	}
+	xs := []float64{3, -1, 4, 1, 5}
+	mn, err := Min(xs)
+	if err != nil || mn != -1 {
+		t.Errorf("Min = %v, %v; want -1, nil", mn, err)
+	}
+	mx, err := Max(xs)
+	if err != nil || mx != 5 {
+		t.Errorf("Max = %v, %v; want 5, nil", mx, err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1},
+		{0.25, 2},
+		{0.5, 3},
+		{0.75, 4},
+		{1, 5},
+		{0.125, 1.5},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil {
+			t.Fatalf("Quantile(%v) error: %v", tt.q, err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Quantile(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("Quantile(1.5) should error")
+	}
+	if _, err := Quantile(xs, -0.1); err == nil {
+		t.Error("Quantile(-0.1) should error")
+	}
+	one, err := Quantile([]float64{9}, 0.99)
+	if err != nil || one != 9 {
+		t.Errorf("Quantile single = %v, %v; want 9, nil", one, err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Errorf("Summarize(nil).N = %d", empty.N)
+	}
+	if s.String() == "" {
+		t.Error("String should not be empty")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0},
+		{1, 0.25},
+		{1.5, 0.25},
+		{2, 0.75},
+		{3, 1},
+		{10, 1},
+	}
+	for _, tt := range tests {
+		if got := c.At(tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("CDF.At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if c.N() != 4 {
+		t.Errorf("N = %d, want 4", c.N())
+	}
+	pts := c.Points()
+	if len(pts) != 4 || pts[3][1] != 1 {
+		t.Errorf("Points = %v", pts)
+	}
+	if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i][0] < pts[j][0] }) {
+		t.Error("Points not sorted by value")
+	}
+	if empty := NewCDF(nil); empty.At(3) != 0 {
+		t.Error("empty CDF should return 0")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	s := NewSource(3)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = s.Uniform(-10, 10)
+	}
+	c := NewCDF(xs)
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return c.At(a) <= c.At(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	xs := []float64{0.5, 1, 1.5, 2}
+	if got := FractionBelow(xs, 1); got != 0.25 {
+		t.Errorf("FractionBelow = %v, want 0.25", got)
+	}
+	if got := FractionBelow(nil, 1); got != 0 {
+		t.Errorf("FractionBelow(nil) = %v, want 0", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99, -5, 100} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+	// bins: [0,2) [2,4) [4,6) [6,8) [8,10)
+	want := []int{3, 1, 1, 0, 2} // -5 clamps to first, 100 clamps to last
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("Counts[%d] = %d, want %d (all %v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if c := h.BinCenter(0); math.Abs(c-1) > 1e-12 {
+		t.Errorf("BinCenter(0) = %v, want 1", c)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero bins should error")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("empty range should error")
+	}
+	if _, err := NewHistogram(5, 1, 3); err == nil {
+		t.Error("inverted range should error")
+	}
+}
+
+func TestFitLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLineNoise(t *testing.T) {
+	s := NewSource(11)
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := s.Uniform(0, 100)
+		xs = append(xs, x)
+		ys = append(ys, 3*x-7+s.Uniform(-0.5, 0.5))
+	}
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-3) > 0.01 {
+		t.Errorf("slope = %v, want ≈ 3", fit.Slope)
+	}
+	if math.Abs(fit.Intercept+7) > 0.5 {
+		t.Errorf("intercept = %v, want ≈ -7", fit.Intercept)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v, want near 1", fit.R2)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, err := FitLine([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, err := FitLine([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("all-identical x should error")
+	}
+}
+
+func TestFitPowerLawExact(t *testing.T) {
+	// y = 4 x^2.5
+	var xs, ys []float64
+	for x := 1.0; x <= 10; x++ {
+		xs = append(xs, x)
+		ys = append(ys, 4*math.Pow(x, 2.5))
+	}
+	c, alpha, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-4) > 1e-9 || math.Abs(alpha-2.5) > 1e-9 {
+		t.Errorf("fit = (%v, %v), want (4, 2.5)", c, alpha)
+	}
+}
+
+func TestFitPowerLawRadioModel(t *testing.T) {
+	// Fit a+b*d^α over the operating range; the fitted exponent must land
+	// between 0 and α — it absorbs the constant term a.
+	const a, b, alphaTrue = 1e-7, 1e-10, 2.0
+	var xs, ys []float64
+	for d := 10.0; d <= 200; d += 5 {
+		xs = append(xs, d)
+		ys = append(ys, a+b*math.Pow(d, alphaTrue))
+	}
+	_, alpha, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha <= 0 || alpha > alphaTrue {
+		t.Errorf("fitted α′ = %v, want in (0, %v]", alpha, alphaTrue)
+	}
+}
+
+func TestFitPowerLawErrors(t *testing.T) {
+	if _, _, err := FitPowerLaw([]float64{1, -2}, []float64{1, 2}); err == nil {
+		t.Error("negative x should error")
+	}
+	if _, _, err := FitPowerLaw([]float64{1, 2}, []float64{0, 2}); err == nil {
+		t.Error("zero y should error")
+	}
+	if _, _, err := FitPowerLaw([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(6, 3); got != 2 {
+		t.Errorf("Ratio = %v, want 2", got)
+	}
+	if got := Ratio(6, 0); got != 0 {
+		t.Errorf("Ratio by zero = %v, want 0", got)
+	}
+}
+
+func TestQuantileMatchesCDFProperty(t *testing.T) {
+	s := NewSource(5)
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = s.Uniform(0, 1)
+	}
+	c := NewCDF(xs)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		v, err := Quantile(xs, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := c.At(v)
+		if got < q-0.02 {
+			t.Errorf("CDF.At(Quantile(%v)) = %v, want >= %v", q, got, q)
+		}
+	}
+}

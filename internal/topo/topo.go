@@ -1,0 +1,360 @@
+// Package topo provides node placement and connectivity-graph algorithms
+// for the wireless ad hoc network substrate: random/grid/line deployment,
+// unit-disk neighbor queries, reachability, shortest paths (hop count and
+// energy-weighted), and the greedy geographic path construction used by
+// the paper's evaluation.
+package topo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/stats"
+)
+
+// NodeID identifies a node by its index in the placement.
+type NodeID = int
+
+// ErrNoRoute is returned when no path exists between the requested nodes.
+var ErrNoRoute = errors.New("topo: no route")
+
+// ErrGreedyStuck is returned when greedy geographic forwarding reaches a
+// local minimum: no neighbor is closer to the destination than the current
+// node. The paper's evaluation regenerates such flows.
+var ErrGreedyStuck = errors.New("topo: greedy forwarding stuck at local minimum")
+
+// PlaceUniform places n nodes uniformly at random in the w×h field.
+func PlaceUniform(src *stats.Source, n int, w, h float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(src.Uniform(0, w), src.Uniform(0, h))
+	}
+	return pts
+}
+
+// PlaceGrid places n nodes on a near-square grid inside the w×h field,
+// padded half a cell from the border.
+func PlaceGrid(n int, w, h float64) []geom.Point {
+	if n <= 0 {
+		return nil
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	rows := (n + cols - 1) / cols
+	cw, ch := w/float64(cols), h/float64(rows)
+	pts := make([]geom.Point, 0, n)
+	for i := 0; i < n; i++ {
+		r, c := i/cols, i%cols
+		pts = append(pts, geom.Pt(cw*(float64(c)+0.5), ch*(float64(r)+0.5)))
+	}
+	return pts
+}
+
+// PlaceLine places n nodes evenly along the segment from a to b, endpoints
+// included (n >= 2) — the canonical relay-chain topology for convergence
+// tests.
+func PlaceLine(n int, a, b geom.Point) []geom.Point {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []geom.Point{a}
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = a.Lerp(b, float64(i)/float64(n-1))
+	}
+	return pts
+}
+
+// PlaceZigzag places n nodes from a to b alternating a perpendicular
+// offset, producing a deliberately bent relay chain whose straightening
+// the mobility strategies should achieve.
+func PlaceZigzag(n int, a, b geom.Point, amplitude float64) []geom.Point {
+	pts := PlaceLine(n, a, b)
+	if len(pts) < 3 {
+		return pts
+	}
+	dir := b.Sub(a).Unit()
+	normal := geom.Vec{X: -dir.Y, Y: dir.X}
+	for i := 1; i < len(pts)-1; i++ {
+		sign := 1.0
+		if i%2 == 0 {
+			sign = -1
+		}
+		pts[i] = pts[i].Add(normal.Scale(sign * amplitude))
+	}
+	return pts
+}
+
+// PlaceArc places n nodes from a to b with the interior nodes displaced to
+// one side following a half-sine arc of the given height — a one-sided
+// bent relay chain. Unlike PlaceZigzag's alternating bend, every node's
+// strategy target here shortens its own next hop, which is the regime the
+// paper's (deliberately myopic, per-node) cost-benefit estimate rewards.
+func PlaceArc(n int, a, b geom.Point, height float64) []geom.Point {
+	pts := PlaceLine(n, a, b)
+	if len(pts) < 3 {
+		return pts
+	}
+	dir := b.Sub(a).Unit()
+	normal := geom.Vec{X: -dir.Y, Y: dir.X}
+	for i := 1; i < len(pts)-1; i++ {
+		off := height * math.Sin(math.Pi*float64(i)/float64(len(pts)-1))
+		pts[i] = pts[i].Add(normal.Scale(off))
+	}
+	return pts
+}
+
+// Graph is a unit-disk connectivity view over a set of node positions.
+// It is rebuilt (cheaply) whenever positions change; the simulator's
+// neighbor tables are maintained by the HELLO protocol instead, so Graph
+// is used for initial route construction and analysis.
+type Graph struct {
+	pos    []geom.Point
+	radius float64
+}
+
+// NewGraph returns a unit-disk graph over the given positions with the
+// given communication radius. It returns an error for a non-positive
+// radius.
+func NewGraph(pos []geom.Point, radius float64) (*Graph, error) {
+	if radius <= 0 {
+		return nil, fmt.Errorf("topo: non-positive radius %v", radius)
+	}
+	return &Graph{pos: pos, radius: radius}, nil
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.pos) }
+
+// Pos returns the position of node i.
+func (g *Graph) Pos(i NodeID) geom.Point { return g.pos[i] }
+
+// Radius returns the communication radius.
+func (g *Graph) Radius() float64 { return g.radius }
+
+// Connected reports whether nodes i and j are within radio range. A node
+// is not its own neighbor.
+func (g *Graph) Connected(i, j NodeID) bool {
+	if i == j {
+		return false
+	}
+	return g.pos[i].Dist2(g.pos[j]) <= g.radius*g.radius
+}
+
+// Neighbors returns the IDs of all nodes within range of i, in ascending
+// ID order (deterministic).
+func (g *Graph) Neighbors(i NodeID) []NodeID {
+	var out []NodeID
+	for j := range g.pos {
+		if g.Connected(i, j) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// AvgDegree returns the mean neighbor count over all nodes.
+func (g *Graph) AvgDegree() float64 {
+	if len(g.pos) == 0 {
+		return 0
+	}
+	total := 0
+	for i := range g.pos {
+		total += len(g.Neighbors(i))
+	}
+	return float64(total) / float64(len(g.pos))
+}
+
+// IsConnected reports whether the whole graph is a single connected
+// component. The empty graph is connected.
+func (g *Graph) IsConnected() bool {
+	if len(g.pos) == 0 {
+		return true
+	}
+	seen := make([]bool, len(g.pos))
+	stack := []NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range g.Neighbors(cur) {
+			if !seen[nb] {
+				seen[nb] = true
+				count++
+				stack = append(stack, nb)
+			}
+		}
+	}
+	return count == len(g.pos)
+}
+
+// HopPath returns a minimum-hop path from src to dst (inclusive) using
+// BFS, or ErrNoRoute.
+func (g *Graph) HopPath(src, dst NodeID) ([]NodeID, error) {
+	if err := g.checkIDs(src, dst); err != nil {
+		return nil, err
+	}
+	if src == dst {
+		return []NodeID{src}, nil
+	}
+	prev := make([]NodeID, len(g.pos))
+	for i := range prev {
+		prev[i] = -1
+	}
+	queue := []NodeID{src}
+	prev[src] = src
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.Neighbors(cur) {
+			if prev[nb] != -1 {
+				continue
+			}
+			prev[nb] = cur
+			if nb == dst {
+				return buildPath(prev, src, dst), nil
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return nil, fmt.Errorf("%w: %d -> %d", ErrNoRoute, src, dst)
+}
+
+// WeightFunc assigns a cost to the directed edge (i, j). It is consulted
+// only for edges within radio range.
+type WeightFunc func(i, j NodeID) float64
+
+// MinCostPath returns the minimum-total-weight path from src to dst using
+// Dijkstra's algorithm with the given edge weights, or ErrNoRoute.
+// Negative edge weights are a programming error and return an error.
+func (g *Graph) MinCostPath(src, dst NodeID, weight WeightFunc) ([]NodeID, error) {
+	if err := g.checkIDs(src, dst); err != nil {
+		return nil, err
+	}
+	const unvisited = -1
+	n := len(g.pos)
+	dist := make([]float64, n)
+	prev := make([]NodeID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = unvisited
+	}
+	dist[src] = 0
+	prev[src] = src
+	for {
+		// Linear scan extract-min: n is ~100 in the paper's experiments;
+		// a heap would be noise.
+		cur := unvisited
+		best := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !done[i] && dist[i] < best {
+				best, cur = dist[i], i
+			}
+		}
+		if cur == unvisited {
+			return nil, fmt.Errorf("%w: %d -> %d", ErrNoRoute, src, dst)
+		}
+		if cur == dst {
+			return buildPath(prev, src, dst), nil
+		}
+		done[cur] = true
+		for _, nb := range g.Neighbors(cur) {
+			if done[nb] {
+				continue
+			}
+			w := weight(cur, nb)
+			if w < 0 {
+				return nil, fmt.Errorf("topo: negative edge weight %v on (%d,%d)", w, cur, nb)
+			}
+			if d := dist[cur] + w; d < dist[nb] {
+				dist[nb] = d
+				prev[nb] = cur
+			}
+		}
+	}
+}
+
+// GreedyPath constructs the greedy geographic forwarding path from src to
+// dst: each hop forwards to its neighbor closest to the destination
+// (paper §4: "the network uses greedy routing"). It returns ErrGreedyStuck
+// at a local minimum. Ties break toward the lower node ID (deterministic).
+func (g *Graph) GreedyPath(src, dst NodeID) ([]NodeID, error) {
+	if err := g.checkIDs(src, dst); err != nil {
+		return nil, err
+	}
+	path := []NodeID{src}
+	cur := src
+	visited := map[NodeID]bool{src: true}
+	for cur != dst {
+		next, err := g.GreedyNext(cur, g.pos[dst])
+		if err != nil {
+			return nil, err
+		}
+		if visited[next] {
+			// Cannot happen with strictly-decreasing distance, but guard
+			// against degenerate coincident positions.
+			return nil, fmt.Errorf("%w: loop at node %d", ErrGreedyStuck, next)
+		}
+		visited[next] = true
+		path = append(path, next)
+		cur = next
+	}
+	return path, nil
+}
+
+// GreedyNext returns the neighbor of cur strictly closer to target than
+// cur itself, choosing the closest such neighbor. It returns
+// ErrGreedyStuck when no neighbor qualifies.
+func (g *Graph) GreedyNext(cur NodeID, target geom.Point) (NodeID, error) {
+	best := -1
+	bestD := g.pos[cur].Dist2(target)
+	for _, nb := range g.Neighbors(cur) {
+		if d := g.pos[nb].Dist2(target); d < bestD {
+			bestD = d
+			best = nb
+		}
+	}
+	if best == -1 {
+		return 0, fmt.Errorf("%w: at node %d", ErrGreedyStuck, cur)
+	}
+	return best, nil
+}
+
+func (g *Graph) checkIDs(ids ...NodeID) error {
+	for _, id := range ids {
+		if id < 0 || id >= len(g.pos) {
+			return fmt.Errorf("topo: node id %d out of range [0,%d)", id, len(g.pos))
+		}
+	}
+	return nil
+}
+
+func buildPath(prev []NodeID, src, dst NodeID) []NodeID {
+	var rev []NodeID
+	for cur := dst; ; cur = prev[cur] {
+		rev = append(rev, cur)
+		if cur == src {
+			break
+		}
+	}
+	path := make([]NodeID, len(rev))
+	for i, id := range rev {
+		path[len(rev)-1-i] = id
+	}
+	return path
+}
+
+// PathLength returns the total Euclidean length of the path over the
+// given positions.
+func PathLength(pos []geom.Point, path []NodeID) float64 {
+	var total float64
+	for i := 1; i < len(path); i++ {
+		total += pos[path[i-1]].Dist(pos[path[i]])
+	}
+	return total
+}

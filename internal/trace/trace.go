@@ -1,0 +1,139 @@
+// Package trace provides a lightweight structured event log for the
+// simulator: packet sends and deliveries, node movement, mobility status
+// changes, notifications, and node deaths. Experiments run with tracing
+// off; debugging and the topology CLI turn it on.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// Kind classifies trace events.
+type Kind int
+
+// Event kinds. They start at one so the zero value is invalid.
+const (
+	KindPacketSent Kind = iota + 1
+	KindPacketDelivered
+	KindNodeMoved
+	KindNotification
+	KindStatusChange
+	KindNodeDied
+	KindFlowDone
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindPacketSent:
+		return "packet-sent"
+	case KindPacketDelivered:
+		return "packet-delivered"
+	case KindNodeMoved:
+		return "node-moved"
+	case KindNotification:
+		return "notification"
+	case KindStatusChange:
+		return "status-change"
+	case KindNodeDied:
+		return "node-died"
+	case KindFlowDone:
+		return "flow-done"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one trace record.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	Node int
+	// Pos is the node position for movement events.
+	Pos geom.Point
+	// Detail is a short human-readable elaboration.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "t=%.3f %s node=%d", float64(e.At), e.Kind, e.Node)
+	if e.Kind == KindNodeMoved {
+		fmt.Fprintf(&sb, " pos=%s", e.Pos)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&sb, " %s", e.Detail)
+	}
+	return sb.String()
+}
+
+// Tracer records events up to a capacity, then drops the oldest (ring
+// buffer). A nil *Tracer is valid and records nothing, so call sites need
+// no guards.
+type Tracer struct {
+	cap     int
+	events  []Event
+	start   int
+	dropped uint64
+}
+
+// New returns a tracer retaining at most capacity events (minimum 1).
+func New(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{cap: capacity}
+}
+
+// Record appends an event. Recording on a nil tracer is a no-op.
+func (t *Tracer) Record(e Event) {
+	if t == nil {
+		return
+	}
+	if len(t.events) < t.cap {
+		t.events = append(t.events, e)
+		return
+	}
+	t.events[t.start] = e
+	t.start = (t.start + 1) % t.cap
+	t.dropped++
+}
+
+// Events returns the retained events in chronological order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(t.events))
+	for i := 0; i < len(t.events); i++ {
+		out = append(out, t.events[(t.start+i)%len(t.events)])
+	}
+	return out
+}
+
+// Dropped returns how many events were evicted by the ring buffer.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// CountKind returns how many retained events have the given kind.
+func (t *Tracer) CountKind(k Kind) int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range t.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}

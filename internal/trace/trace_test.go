@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Event{Kind: KindNodeMoved}) // must not panic
+	if got := tr.Events(); got != nil {
+		t.Errorf("nil tracer Events = %v", got)
+	}
+	if tr.Dropped() != 0 || tr.CountKind(KindNodeMoved) != 0 {
+		t.Error("nil tracer counters should be zero")
+	}
+}
+
+func TestRecordAndEvents(t *testing.T) {
+	tr := New(10)
+	for i := 0; i < 3; i++ {
+		tr.Record(Event{At: sim.Time(i), Kind: KindPacketSent, Node: i})
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for i, e := range evs {
+		if e.Node != i {
+			t.Errorf("event %d out of order: %+v", i, e)
+		}
+	}
+}
+
+func TestRingBufferEviction(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 5; i++ {
+		tr.Record(Event{Node: i, Kind: KindNodeMoved})
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	// Oldest two evicted; chronological order preserved.
+	for i, want := range []int{2, 3, 4} {
+		if evs[i].Node != want {
+			t.Errorf("evs = %+v", evs)
+		}
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", tr.Dropped())
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	tr := New(0)
+	tr.Record(Event{Node: 1, Kind: KindNodeDied})
+	tr.Record(Event{Node: 2, Kind: KindNodeDied})
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Node != 2 {
+		t.Errorf("Events = %+v, want just the latest", evs)
+	}
+}
+
+func TestCountKind(t *testing.T) {
+	tr := New(10)
+	tr.Record(Event{Kind: KindNotification})
+	tr.Record(Event{Kind: KindNotification})
+	tr.Record(Event{Kind: KindNodeDied})
+	if got := tr.CountKind(KindNotification); got != 2 {
+		t.Errorf("CountKind = %d, want 2", got)
+	}
+	if got := tr.CountKind(KindFlowDone); got != 0 {
+		t.Errorf("CountKind = %d, want 0", got)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: 1.5, Kind: KindNodeMoved, Node: 7, Pos: geom.Pt(3, 4), Detail: "step"}
+	s := e.String()
+	for _, want := range []string{"node-moved", "node=7", "(3.000, 4.000)", "step", "t=1.500"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{
+		KindPacketSent, KindPacketDelivered, KindNodeMoved,
+		KindNotification, KindStatusChange, KindNodeDied, KindFlowDone,
+	}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Errorf("Kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}

@@ -1,0 +1,239 @@
+// Package viz renders network snapshots and flow paths as SVG documents —
+// the publication-style counterpart of the paper's Figure 5 plots, where
+// node marker size is proportional to residual energy. Pure stdlib; the
+// output is deterministic for identical inputs.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/metrics"
+)
+
+// PathView is one panel: a flow path (in order) with per-node residual
+// energies and a title.
+type PathView struct {
+	Title    string
+	Points   []geom.Point
+	Energies []float64
+}
+
+// Options controls rendering.
+type Options struct {
+	// Width is the pixel width of each panel (height follows the data's
+	// aspect ratio, clamped to [Width/4, Width]).
+	Width int
+	// MinMarker and MaxMarker bound node marker radii in pixels; marker
+	// area scales linearly with residual energy, as in the paper.
+	MinMarker, MaxMarker float64
+	// Margin is the inner padding in pixels.
+	Margin float64
+}
+
+// DefaultOptions returns sensible rendering defaults.
+func DefaultOptions() Options {
+	return Options{Width: 640, MinMarker: 3, MaxMarker: 10, Margin: 24}
+}
+
+func (o Options) validate() error {
+	if o.Width < 64 {
+		return fmt.Errorf("viz: width %d too small", o.Width)
+	}
+	if o.MinMarker <= 0 || o.MaxMarker < o.MinMarker {
+		return fmt.Errorf("viz: bad marker bounds [%v, %v]", o.MinMarker, o.MaxMarker)
+	}
+	if o.Margin < 0 {
+		return fmt.Errorf("viz: negative margin %v", o.Margin)
+	}
+	return nil
+}
+
+// RenderPaths renders the panels stacked vertically into one SVG document.
+// All panels share one coordinate scale (the union bounding box), so
+// before/after views are visually comparable.
+func RenderPaths(views []PathView, opts Options) (string, error) {
+	if err := opts.validate(); err != nil {
+		return "", err
+	}
+	if len(views) == 0 {
+		return "", fmt.Errorf("viz: no panels")
+	}
+	var all []geom.Point
+	var energies []float64
+	for i, v := range views {
+		if len(v.Points) == 0 {
+			return "", fmt.Errorf("viz: panel %d is empty", i)
+		}
+		if len(v.Points) != len(v.Energies) {
+			return "", fmt.Errorf("viz: panel %d has %d points vs %d energies", i, len(v.Points), len(v.Energies))
+		}
+		all = append(all, v.Points...)
+		energies = append(energies, v.Energies...)
+	}
+	box := boundingBox(all)
+	eLo, eHi := minMax(energies)
+
+	panelW := float64(opts.Width)
+	inner := panelW - 2*opts.Margin
+	aspect := (box.maxY - box.minY + 1) / (box.maxX - box.minX + 1)
+	aspect = geom.Clamp(aspect, 0.25, 1)
+	panelH := inner*aspect + 2*opts.Margin + 20 // +20 for the title row
+
+	var sb strings.Builder
+	totalH := panelH * float64(len(views))
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%.0f" viewBox="0 0 %d %.0f">`+"\n",
+		opts.Width, totalH, opts.Width, totalH)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+
+	for i, v := range views {
+		offY := panelH * float64(i)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="13">%s</text>`+"\n",
+			opts.Margin, offY+16, escape(v.Title))
+		proj := func(p geom.Point) (float64, float64) {
+			x := opts.Margin + (p.X-box.minX)/(box.maxX-box.minX+1e-12)*inner
+			y := offY + 20 + opts.Margin + (p.Y-box.minY)/(box.maxY-box.minY+1e-12)*(inner*aspect)
+			return x, y
+		}
+		// Path polyline.
+		var pts []string
+		for _, p := range v.Points {
+			x, y := proj(p)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="#bbbbbb" stroke-width="1"/>`+"\n",
+			strings.Join(pts, " "))
+		// Node markers, size ∝ residual energy (area-linear).
+		for j, p := range v.Points {
+			x, y := proj(p)
+			r := markerRadius(v.Energies[j], eLo, eHi, opts)
+			fill := "#1f77b4"
+			if j == 0 {
+				fill = "#2ca02c" // source
+			} else if j == len(v.Points)-1 {
+				fill = "#d62728" // destination
+			}
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="%.2f" fill="%s" fill-opacity="0.85"/>`+"\n",
+				x, y, r, fill)
+		}
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String(), nil
+}
+
+// RenderSnapshot renders a whole-network snapshot with an optional
+// highlighted path (node IDs).
+func RenderSnapshot(s metrics.Snapshot, highlight []int, opts Options) (string, error) {
+	if err := opts.validate(); err != nil {
+		return "", err
+	}
+	if len(s.Nodes) == 0 {
+		return "", fmt.Errorf("viz: empty snapshot")
+	}
+	var all []geom.Point
+	var energies []float64
+	byID := make(map[int]metrics.NodeSnapshot, len(s.Nodes))
+	for _, n := range s.Nodes {
+		all = append(all, n.Pos)
+		energies = append(energies, n.Residual)
+		byID[n.ID] = n
+	}
+	box := boundingBox(all)
+	eLo, eHi := minMax(energies)
+
+	panelW := float64(opts.Width)
+	inner := panelW - 2*opts.Margin
+	aspect := geom.Clamp((box.maxY-box.minY+1)/(box.maxX-box.minX+1), 0.25, 1)
+	panelH := inner*aspect + 2*opts.Margin
+
+	proj := func(p geom.Point) (float64, float64) {
+		x := opts.Margin + (p.X-box.minX)/(box.maxX-box.minX+1e-12)*inner
+		y := opts.Margin + (p.Y-box.minY)/(box.maxY-box.minY+1e-12)*(inner*aspect)
+		return x, y
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%.0f" viewBox="0 0 %d %.0f">`+"\n",
+		opts.Width, panelH, opts.Width, panelH)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+
+	if len(highlight) > 1 {
+		var pts []string
+		for _, id := range highlight {
+			n, ok := byID[id]
+			if !ok {
+				return "", fmt.Errorf("viz: highlighted node %d not in snapshot", id)
+			}
+			x, y := proj(n.Pos)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="#ff7f0e" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "))
+	}
+	onPath := make(map[int]bool, len(highlight))
+	for _, id := range highlight {
+		onPath[id] = true
+	}
+	// Deterministic order.
+	ids := make([]int, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		n := byID[id]
+		x, y := proj(n.Pos)
+		r := markerRadius(n.Residual, eLo, eHi, opts)
+		fill := "#9ecae1"
+		if onPath[id] {
+			fill = "#1f77b4"
+		}
+		fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="%.2f" fill="%s" fill-opacity="0.9"/>`+"\n",
+			x, y, r, fill)
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String(), nil
+}
+
+type box struct {
+	minX, maxX, minY, maxY float64
+}
+
+func boundingBox(pts []geom.Point) box {
+	b := box{minX: math.Inf(1), maxX: math.Inf(-1), minY: math.Inf(1), maxY: math.Inf(-1)}
+	for _, p := range pts {
+		b.minX = math.Min(b.minX, p.X)
+		b.maxX = math.Max(b.maxX, p.X)
+		b.minY = math.Min(b.minY, p.Y)
+		b.maxY = math.Max(b.maxY, p.Y)
+	}
+	return b
+}
+
+func minMax(xs []float64) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+// markerRadius maps energy to a radius with marker area linear in energy.
+func markerRadius(e, lo, hi float64, opts Options) float64 {
+	if hi <= lo {
+		return (opts.MinMarker + opts.MaxMarker) / 2
+	}
+	frac := (e - lo) / (hi - lo)
+	aMin := opts.MinMarker * opts.MinMarker
+	aMax := opts.MaxMarker * opts.MaxMarker
+	return math.Sqrt(aMin + frac*(aMax-aMin))
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

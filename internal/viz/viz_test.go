@@ -1,0 +1,164 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/metrics"
+)
+
+func pathView(title string) PathView {
+	return PathView{
+		Title:    title,
+		Points:   []geom.Point{geom.Pt(0, 0), geom.Pt(100, 40), geom.Pt(200, 0)},
+		Energies: []float64{10, 5, 20},
+	}
+}
+
+func TestRenderPathsBasics(t *testing.T) {
+	svg, err := RenderPaths([]PathView{pathView("(a) original"), pathView("(b) after")}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Error("not a complete SVG document")
+	}
+	if got := strings.Count(svg, "<circle"); got != 6 {
+		t.Errorf("circles = %d, want 6 (3 nodes x 2 panels)", got)
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+	for _, want := range []string{"(a) original", "(b) after"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing title %q", want)
+		}
+	}
+}
+
+func TestRenderPathsDeterministic(t *testing.T) {
+	views := []PathView{pathView("x")}
+	a, err := RenderPaths(views, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RenderPaths(views, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("identical input produced different SVG")
+	}
+}
+
+func TestRenderPathsMarkerScaling(t *testing.T) {
+	// The highest-energy node gets the largest radius.
+	svg, err := RenderPaths([]PathView{pathView("e")}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max marker 10 => r="10.00" appears for the 20 J node; min 3 for 5 J.
+	if !strings.Contains(svg, `r="10.00"`) {
+		t.Error("max-energy node should use the max marker radius")
+	}
+	if !strings.Contains(svg, `r="3.00"`) {
+		t.Error("min-energy node should use the min marker radius")
+	}
+}
+
+func TestRenderPathsTitleEscaping(t *testing.T) {
+	v := pathView(`<b>&"bad"`)
+	svg, err := RenderPaths([]PathView{v}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "<b>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "&lt;b&gt;&amp;&quot;bad&quot;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestRenderPathsValidation(t *testing.T) {
+	good := pathView("ok")
+	tests := []struct {
+		name  string
+		views []PathView
+		opts  Options
+	}{
+		{"no panels", nil, DefaultOptions()},
+		{"empty panel", []PathView{{Title: "x"}}, DefaultOptions()},
+		{"length mismatch", []PathView{{Title: "x", Points: good.Points, Energies: []float64{1}}}, DefaultOptions()},
+		{"tiny width", []PathView{good}, Options{Width: 10, MinMarker: 1, MaxMarker: 2}},
+		{"bad markers", []PathView{good}, Options{Width: 640, MinMarker: 5, MaxMarker: 2}},
+		{"negative margin", []PathView{good}, Options{Width: 640, MinMarker: 1, MaxMarker: 2, Margin: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := RenderPaths(tt.views, tt.opts); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func snapshot() metrics.Snapshot {
+	return metrics.Snapshot{
+		Nodes: []metrics.NodeSnapshot{
+			{ID: 0, Pos: geom.Pt(0, 0), Residual: 10},
+			{ID: 1, Pos: geom.Pt(50, 50), Residual: 20},
+			{ID: 2, Pos: geom.Pt(100, 0), Residual: 5},
+		},
+	}
+}
+
+func TestRenderSnapshot(t *testing.T) {
+	svg, err := RenderSnapshot(snapshot(), []int{0, 1, 2}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(svg, "<circle"); got != 3 {
+		t.Errorf("circles = %d, want 3", got)
+	}
+	if !strings.Contains(svg, "<polyline") {
+		t.Error("highlighted path missing")
+	}
+}
+
+func TestRenderSnapshotNoHighlight(t *testing.T) {
+	svg, err := RenderSnapshot(snapshot(), nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "<polyline") {
+		t.Error("no highlight requested but polyline present")
+	}
+}
+
+func TestRenderSnapshotErrors(t *testing.T) {
+	if _, err := RenderSnapshot(metrics.Snapshot{}, nil, DefaultOptions()); err == nil {
+		t.Error("empty snapshot should error")
+	}
+	if _, err := RenderSnapshot(snapshot(), []int{0, 99}, DefaultOptions()); err == nil {
+		t.Error("unknown highlighted node should error")
+	}
+}
+
+func TestUniformEnergiesUseMidMarker(t *testing.T) {
+	s := metrics.Snapshot{
+		Nodes: []metrics.NodeSnapshot{
+			{ID: 0, Pos: geom.Pt(0, 0), Residual: 7},
+			{ID: 1, Pos: geom.Pt(10, 0), Residual: 7},
+		},
+	}
+	svg, err := RenderSnapshot(s, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (3+10)/2 = 6.5
+	if !strings.Contains(svg, `r="6.50"`) {
+		t.Error("uniform energies should use the midpoint marker size")
+	}
+}
