@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race fuzz bench vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the concurrency-sensitive suites (parallel sweeps, shared
+# world state, golden serial-vs-parallel determinism) under the race
+# detector.
+race:
+	$(GO) test -race ./internal/... -run 'Race|Determinism'
+
+# fuzz gives each fuzzer a short budget; go test accepts one -fuzz
+# target per invocation, hence two runs.
+fuzz:
+	$(GO) test -fuzz=FuzzScenarioJSON -fuzztime=5s ./internal/scenario/
+	$(GO) test -fuzz=FuzzSeedDerive -fuzztime=5s ./internal/sweep/
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+ci: vet build test race fuzz

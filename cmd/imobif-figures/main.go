@@ -17,26 +17,46 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 )
+
+// runOpts carries the sweep-level settings into each figure runner.
+type runOpts struct {
+	flows       int
+	seed        int64
+	concurrency int
+	csvDir      string
+}
+
+// params applies the sweep-level settings to a figure configuration.
+func (o runOpts) params(p experiments.Params) experiments.Params {
+	p.Flows = o.flows
+	p.Seed = o.seed
+	p.Concurrency = o.concurrency
+	return p
+}
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 5, 6a, 6b, 6c, 6d, 6e, 6f, 7, 8, ablations, all")
 	flows := flag.Int("flows", 100, "Monte-Carlo flow instances per figure")
 	seed := flag.Int64("seed", 1, "random seed")
+	concurrency := flag.Int("concurrency", 0, "parallel sweep workers (0 = all CPUs, 1 = serial; results are identical either way)")
 	csvDir := flag.String("csv", "", "directory to write CSV series into (optional)")
 	flag.Parse()
 
-	if err := run(*fig, *flows, *seed, *csvDir); err != nil {
+	opts := runOpts{flows: *flows, seed: *seed, concurrency: *concurrency, csvDir: *csvDir}
+	if err := run(*fig, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "imobif-figures: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, flows int, seed int64, csvDir string) error {
-	if csvDir != "" {
-		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+func run(fig string, opts runOpts) error {
+	if opts.csvDir != "" {
+		if err := os.MkdirAll(opts.csvDir, 0o755); err != nil {
 			return err
 		}
 	}
@@ -44,7 +64,7 @@ func run(fig string, flows int, seed int64, csvDir string) error {
 	ran := false
 	dispatch := []struct {
 		name string
-		fn   func(int, int64, string) error
+		fn   func(runOpts) error
 	}{
 		{"5", runFig5},
 		{"6a", fig6Runner("a")},
@@ -57,21 +77,30 @@ func run(fig string, flows int, seed int64, csvDir string) error {
 		{"8", runFig8},
 		{"ablations", runAblations},
 	}
+	start := time.Now()
 	for _, d := range dispatch {
 		if all && d.name == "ablations" {
 			continue // ablations only on request; they multiply runtime
 		}
 		if all || fig == d.name {
-			if err := d.fn(flows, seed, csvDir); err != nil {
+			figStart := time.Now()
+			if err := d.fn(opts); err != nil {
 				return fmt.Errorf("figure %s: %w", d.name, err)
 			}
+			fmt.Printf("[figure %s done in %v]\n\n", d.name, time.Since(figStart).Round(time.Millisecond))
 			ran = true
 		}
 	}
 	if !ran {
 		return fmt.Errorf("unknown figure %q", fig)
 	}
+	fmt.Printf("total wall-clock %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// reportSweep prints a sweep's wall-clock and throughput line.
+func reportSweep(s metrics.SweepStats) {
+	fmt.Printf("sweep: %s\n", s)
 }
 
 func writeCSV(dir, name string, header []string, rows [][]string) error {
@@ -107,9 +136,11 @@ func mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
-func runFig5(_ int, seed int64, csvDir string) error {
+func runFig5(opts runOpts) error {
+	csvDir := opts.csvDir
 	p := experiments.ParamsFig7() // base parameters
-	p.Seed = seed
+	p.Seed = opts.seed
+	p.Concurrency = opts.concurrency
 	res, err := experiments.RunFig5(p)
 	if err != nil {
 		return err
@@ -138,14 +169,14 @@ func runFig5(_ int, seed int64, csvDir string) error {
 		[]string{"node", "energy", "orig_x", "orig_y", "minE_x", "minE_y", "maxL_x", "maxL_y"}, rows)
 }
 
-func fig6Runner(variant string) func(int, int64, string) error {
-	return func(flows int, seed int64, csvDir string) error {
+func fig6Runner(variant string) func(runOpts) error {
+	return func(opts runOpts) error {
+		csvDir := opts.csvDir
 		p, err := experiments.ParamsFig6(variant)
 		if err != nil {
 			return err
 		}
-		p.Flows = flows
-		p.Seed = seed
+		p = opts.params(p)
 		res, err := experiments.RunFig6(p, variant)
 		if err != nil {
 			return err
@@ -162,20 +193,21 @@ func fig6Runner(variant string) func(int, int64, string) error {
 				f2s(r.RatioCostUnaware), f2s(r.RatioInformed),
 			})
 		}
-		fmt.Printf("Cost-Unaware: Average: %.3f   iMobif: Average: %.3f\n\n",
+		fmt.Printf("Cost-Unaware: Average: %.3f   iMobif: Average: %.3f\n",
 			res.AvgRatioCostUnaware, res.AvgRatioInformed)
+		reportSweep(res.Sweep)
 		return writeCSV(csvDir, "fig6"+variant+".csv",
 			[]string{"flow_bits", "baseline_joules", "ratio_cost_unaware", "ratio_imobif"}, rows)
 	}
 }
 
-func runFig6b(flows int, seed int64, csvDir string) error {
+func runFig6b(opts runOpts) error {
+	csvDir := opts.csvDir
 	p, err := experiments.ParamsFig6("a")
 	if err != nil {
 		return err
 	}
-	p.Flows = flows
-	p.Seed = seed
+	p = opts.params(p)
 	res, err := experiments.RunFig6b(p)
 	if err != nil {
 		return err
@@ -187,16 +219,16 @@ func runFig6b(flows int, seed int64, csvDir string) error {
 		fmt.Printf("%-10.0f %-14.2f %-16.3f\n", r.FlowBits/8/1024, r.CostUnaware.Move, r.CostUnaware.Tx)
 		rows = append(rows, []string{f2s(r.FlowBits), f2s(r.CostUnaware.Move), f2s(r.CostUnaware.Tx)})
 	}
-	fmt.Printf("Mobility Energy Consumption: Average: %.2f J   Transmission: Average: %.3f J\n\n",
+	fmt.Printf("Mobility Energy Consumption: Average: %.2f J   Transmission: Average: %.3f J\n",
 		res.AvgMobility, res.AvgTransmission)
+	reportSweep(res.Sweep)
 	return writeCSV(csvDir, "fig6b.csv",
 		[]string{"flow_bits", "mobility_joules", "transmission_joules"}, rows)
 }
 
-func runFig7(flows int, seed int64, csvDir string) error {
-	p := experiments.ParamsFig7()
-	p.Flows = flows
-	p.Seed = seed
+func runFig7(opts runOpts) error {
+	csvDir := opts.csvDir
+	p := opts.params(experiments.ParamsFig7())
 	res, err := experiments.RunFig7(p)
 	if err != nil {
 		return err
@@ -207,14 +239,14 @@ func runFig7(flows int, seed int64, csvDir string) error {
 		fmt.Printf("flow %-4d notifications %d\n", i, c)
 		rows = append(rows, []string{strconv.Itoa(i), strconv.Itoa(c)})
 	}
-	fmt.Printf("Number of Notifications: Average: %.2f  Max: %d\n\n", res.Avg, res.Max)
+	fmt.Printf("Number of Notifications: Average: %.2f  Max: %d\n", res.Avg, res.Max)
+	reportSweep(res.Sweep)
 	return writeCSV(csvDir, "fig7.csv", []string{"flow", "notifications"}, rows)
 }
 
-func runFig8(flows int, seed int64, csvDir string) error {
-	p := experiments.ParamsFig8()
-	p.Flows = flows
-	p.Seed = seed
+func runFig8(opts runOpts) error {
+	csvDir := opts.csvDir
+	p := opts.params(experiments.ParamsFig8())
 	res, err := experiments.RunFig8(p)
 	if err != nil {
 		return err
@@ -229,13 +261,15 @@ func runFig8(flows int, seed int64, csvDir string) error {
 		fmt.Printf("cu: %-7.3f @ %-6.2f  inf: %-7.3f @ %-6.2f\n", cu[0], cu[1], inf[0], inf[1])
 		rows = append(rows, []string{f2s(cu[0]), f2s(cu[1]), f2s(inf[0]), f2s(inf[1])})
 	}
-	fmt.Printf("Cost-Unaware: Average %.3f   Informed: Average %.3f (max %.2f)\n\n",
+	fmt.Printf("Cost-Unaware: Average %.3f   Informed: Average %.3f (max %.2f)\n",
 		res.AvgRatioCostUnaware, res.AvgRatioInformed, res.MaxRatioInformed)
+	reportSweep(res.Sweep)
 	return writeCSV(csvDir, "fig8.csv",
 		[]string{"cu_ratio", "cu_cdf", "inf_ratio", "inf_cdf"}, rows)
 }
 
-func runAblations(flows int, seed int64, csvDir string) error {
+func runAblations(opts runOpts) error {
+	flows, seed, csvDir := opts.flows, opts.seed, opts.csvDir
 	if flows > 30 {
 		flows = 30 // ablations sweep many configurations
 	}
@@ -248,6 +282,7 @@ func runAblations(flows int, seed int64, csvDir string) error {
 	}
 	base.Flows = flows
 	base.Seed = seed
+	base.Concurrency = opts.concurrency
 	base.MaxFlowBits = 4 * base.MeanFlowBits
 
 	fmt.Println("=== Ablation A1: inaccurate flow-length estimates ===")
@@ -312,6 +347,7 @@ func runAblations(flows int, seed int64, csvDir string) error {
 	}
 	recP.Flows = flows
 	recP.Seed = seed
+	recP.Concurrency = opts.concurrency
 	recP.MaxFlowBits = 4 * recP.MeanFlowBits
 	rec, err := experiments.RunRelayRecruitment(recP)
 	if err != nil {
@@ -351,6 +387,7 @@ func runAblations(flows int, seed int64, csvDir string) error {
 	p8 := experiments.ParamsFig8()
 	p8.Flows = flows
 	p8.Seed = seed
+	p8.Concurrency = opts.concurrency
 	a6, err := experiments.RunAlphaPrimeQuality(p8)
 	if err != nil {
 		return err

@@ -9,7 +9,7 @@ import (
 
 func TestRunSingleFigureWithCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("6a", 3, 1, dir); err != nil {
+	if err := run("6a", runOpts{flows: 3, seed: 1, csvDir: dir}); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(filepath.Join(dir, "fig6a.csv"))
@@ -34,7 +34,7 @@ func TestRunSingleFigureWithCSV(t *testing.T) {
 
 func TestRunFig5CSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("5", 1, 1, dir); err != nil {
+	if err := run("5", runOpts{flows: 1, seed: 1, csvDir: dir}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig5.csv")); err != nil {
@@ -43,13 +43,13 @@ func TestRunFig5CSV(t *testing.T) {
 }
 
 func TestRunFig7NoCSV(t *testing.T) {
-	if err := run("7", 2, 1, ""); err != nil {
+	if err := run("7", runOpts{flows: 2, seed: 1, csvDir: ""}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownFigure(t *testing.T) {
-	if err := run("99", 1, 1, ""); err == nil {
+	if err := run("99", runOpts{flows: 1, seed: 1, csvDir: ""}); err == nil {
 		t.Error("unknown figure should error")
 	}
 }
@@ -62,7 +62,7 @@ func TestF2S(t *testing.T) {
 
 func TestRunFig6bCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("6b", 2, 1, dir); err != nil {
+	if err := run("6b", runOpts{flows: 2, seed: 1, csvDir: dir}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig6b.csv")); err != nil {
@@ -72,7 +72,7 @@ func TestRunFig6bCSV(t *testing.T) {
 
 func TestRunFig8CSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("8", 2, 1, dir); err != nil {
+	if err := run("8", runOpts{flows: 2, seed: 1, csvDir: dir}); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(filepath.Join(dir, "fig8.csv"))
@@ -93,7 +93,7 @@ func TestRunAllFiguresSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full figure sweep")
 	}
-	if err := run("all", 2, 1, ""); err != nil {
+	if err := run("all", runOpts{flows: 2, seed: 1, csvDir: ""}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -7,47 +7,148 @@
 //
 //	imobif-sim -nodes 100 -flow-kb 1024 -strategy min-energy -mode informed
 //	imobif-sim -mode cost-unaware -k 1.0 -alpha 3 -seed 7
+//	imobif-sim -trials 200 -concurrency 0 -compare
 //	imobif-sim -scenario examples/scenarios/chain.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	imobif "repro"
 	"repro/internal/scenario"
+	"repro/internal/sweep"
 )
 
 func main() {
 	var (
-		nodes    = flag.Int("nodes", 100, "number of nodes")
-		field    = flag.Float64("field", 1000, "square field side, meters")
-		rng      = flag.Float64("range", 200, "radio range, meters")
-		k        = flag.Float64("k", 0.5, "mobility cost, J/m")
-		alpha    = flag.Float64("alpha", 2, "path-loss exponent")
-		flowKB   = flag.Float64("flow-kb", 1024, "flow length, KB")
-		strategy = flag.String("strategy", "min-energy", "mobility strategy: min-energy, max-lifetime, max-lifetime-exact")
-		mode     = flag.String("mode", "informed", "control mode: no-mobility, cost-unaware, informed")
-		seed     = flag.Int64("seed", 1, "random seed")
-		compare  = flag.Bool("compare", false, "also run the no-mobility baseline and print the energy ratio")
-		deaths   = flag.Bool("stop-on-death", false, "stop at the first node death (lifetime runs)")
-		energyLo = flag.Float64("energy-lo", 5000, "min initial node energy, J")
-		energyHi = flag.Float64("energy-hi", 10000, "max initial node energy, J")
-		scenFile = flag.String("scenario", "", "run a JSON scenario file instead of the flag-driven setup")
+		nodes       = flag.Int("nodes", 100, "number of nodes")
+		field       = flag.Float64("field", 1000, "square field side, meters")
+		rng         = flag.Float64("range", 200, "radio range, meters")
+		k           = flag.Float64("k", 0.5, "mobility cost, J/m")
+		alpha       = flag.Float64("alpha", 2, "path-loss exponent")
+		flowKB      = flag.Float64("flow-kb", 1024, "flow length, KB")
+		strategy    = flag.String("strategy", "min-energy", "mobility strategy: min-energy, max-lifetime, max-lifetime-exact")
+		mode        = flag.String("mode", "informed", "control mode: no-mobility, cost-unaware, informed")
+		seed        = flag.Int64("seed", 1, "random seed")
+		trials      = flag.Int("trials", 1, "Monte-Carlo trials; >1 runs a batch over per-trial derived seeds and prints aggregates")
+		concurrency = flag.Int("concurrency", 0, "parallel workers for -trials batches (0 = all CPUs, 1 = serial; results are identical either way)")
+		compare     = flag.Bool("compare", false, "also run the no-mobility baseline and print the energy ratio")
+		deaths      = flag.Bool("stop-on-death", false, "stop at the first node death (lifetime runs)")
+		energyLo    = flag.Float64("energy-lo", 5000, "min initial node energy, J")
+		energyHi    = flag.Float64("energy-hi", 10000, "max initial node energy, J")
+		scenFile    = flag.String("scenario", "", "run a JSON scenario file instead of the flag-driven setup")
 	)
 	flag.Parse()
 
 	var err error
-	if *scenFile != "" {
+	switch {
+	case *scenFile != "":
 		err = runScenario(*scenFile)
-	} else {
+	case *trials > 1:
+		err = runBatch(batchOpts{
+			nodes: *nodes, field: *field, rng: *rng, k: *k, alpha: *alpha,
+			flowKB: *flowKB, strategy: *strategy, mode: *mode, seed: *seed,
+			trials: *trials, concurrency: *concurrency, compare: *compare,
+			deaths: *deaths, energyLo: *energyLo, energyHi: *energyHi,
+		})
+	default:
 		err = run(*nodes, *field, *rng, *k, *alpha, *flowKB, *strategy, *mode, *seed, *compare, *deaths, *energyLo, *energyHi)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imobif-sim: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+type batchOpts struct {
+	nodes               int
+	field, rng, k       float64
+	alpha, flowKB       float64
+	strategy, mode      string
+	seed                int64
+	trials, concurrency int
+	compare, deaths     bool
+	energyLo, energyHi  float64
+}
+
+// runBatch runs the flag-driven setup as a Monte-Carlo batch: trial t
+// draws its network and endpoints from the seed derived from
+// (-seed, t), so the aggregate is independent of -concurrency and
+// reproducible from -seed alone.
+func runBatch(o batchOpts) error {
+	cfg := imobif.DefaultConfig()
+	cfg.Nodes = o.nodes
+	cfg.FieldWidth, cfg.FieldHeight = o.field, o.field
+	cfg.Range = o.rng
+	cfg.MobilityCost = o.k
+	cfg.PathLossExp = o.alpha
+	cfg.Strategy = imobif.Strategy(o.strategy)
+	cfg.Mode = imobif.Mode(o.mode)
+	cfg.StopOnFirstDeath = o.deaths
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	type trialOut struct {
+		Total     float64
+		Ratio     float64
+		Completed bool
+	}
+	r := sweep.Runner{Concurrency: o.concurrency}
+	outs, stats, err := sweep.Map(context.Background(), r, o.trials,
+		func(_ context.Context, trial int) (trialOut, error) {
+			trialSeed := int64(sweep.DeriveSeed(o.seed, uint64(trial)))
+			net, err := buildNetwork(cfg, trialSeed, o.energyLo, o.energyHi)
+			if err != nil {
+				return trialOut{}, err
+			}
+			src, dst, err := net.PickFlowEndpoints(trialSeed)
+			if err != nil {
+				return trialOut{}, err
+			}
+			res, err := runOnce(cfg, net, src, dst, o.flowKB)
+			if err != nil {
+				return trialOut{}, err
+			}
+			out := trialOut{Total: res.TotalJoules(), Completed: res.Flows[0].Completed}
+			if o.compare {
+				base := cfg
+				base.Mode = imobif.ModeNoMobility
+				baseRes, err := runOnce(base, net, src, dst, o.flowKB)
+				if err != nil {
+					return trialOut{}, err
+				}
+				if t := baseRes.TotalJoules(); t > 0 {
+					out.Ratio = out.Total / t
+				}
+			}
+			return out, nil
+		})
+	if err != nil {
+		return err
+	}
+
+	var totalJ, ratioSum float64
+	completed := 0
+	for _, out := range outs {
+		totalJ += out.Total
+		ratioSum += out.Ratio
+		if out.Completed {
+			completed++
+		}
+	}
+	n := float64(len(outs))
+	fmt.Printf("batch: %d trial(s), %d nodes, %.0f KB flow, strategy %s, mode %s, master seed %d\n",
+		o.trials, o.nodes, o.flowKB, o.strategy, o.mode, o.seed)
+	fmt.Printf("completed: %d/%d  mean energy: %.2f J\n", completed, len(outs), totalJ/n)
+	if o.compare {
+		fmt.Printf("mean energy consumption ratio vs no-mobility: %.3f\n", ratioSum/n)
+	}
+	fmt.Printf("sweep: %s\n", stats)
+	return nil
 }
 
 // runScenario loads and executes a declarative JSON scenario.

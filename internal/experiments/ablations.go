@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/energy"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/routing"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // Ablations: the paper's §5 future-work studies and the design-choice
@@ -221,9 +223,24 @@ type MultiFlowResult struct {
 	AvgRatioInformed float64
 }
 
+// multiFlowWorld is one world's outcome in the A3 study; worlds where
+// greedy routing could not place a single flow are invalid.
+type multiFlowWorld struct {
+	valid     bool
+	completed int
+	total     int
+	ratio     float64
+}
+
 // RunMultiFlow places several simultaneous flows in each world and
 // compares network-wide energy between informed and no-mobility modes.
 func RunMultiFlow(p Params, flowsPerWorld int) (MultiFlowResult, error) {
+	return RunMultiFlowCtx(context.Background(), p, flowsPerWorld)
+}
+
+// RunMultiFlowCtx is RunMultiFlow with cancellation; worlds run as
+// parallel sweep trials.
+func RunMultiFlowCtx(ctx context.Context, p Params, flowsPerWorld int) (MultiFlowResult, error) {
 	if flowsPerWorld < 1 {
 		return MultiFlowResult{}, fmt.Errorf("experiments: flowsPerWorld %d below 1", flowsPerWorld)
 	}
@@ -236,13 +253,12 @@ func RunMultiFlow(p Params, flowsPerWorld int) (MultiFlowResult, error) {
 	// placement.
 	q := p
 	q.Flows = p.Flows * flowsPerWorld
-	instances, err := GenInstances(q)
+	instances, err := GenInstancesCtx(ctx, q)
 	if err != nil {
 		return MultiFlowResult{}, err
 	}
-	res := MultiFlowResult{FlowsPerWorld: flowsPerWorld}
-	var ratios []float64
-	for i := 0; i+flowsPerWorld <= len(instances); i += flowsPerWorld {
+	worlds, _, err := sweep.Map(ctx, p.runner(), len(instances)/flowsPerWorld, func(_ context.Context, trial int) (multiFlowWorld, error) {
+		i := trial * flowsPerWorld
 		// One placement hosts all flows of this world.
 		host := instances[i]
 		runWorld := func(mode netsim.Mode) (netsim.Result, int, error) {
@@ -278,22 +294,36 @@ func RunMultiFlow(p Params, flowsPerWorld int) (MultiFlowResult, error) {
 		}
 		base, nb, err := runWorld(netsim.ModeNoMobility)
 		if err != nil {
-			return MultiFlowResult{}, err
+			return multiFlowWorld{}, err
 		}
 		inf, ni, err := runWorld(netsim.ModeInformed)
 		if err != nil {
-			return MultiFlowResult{}, err
+			return multiFlowWorld{}, err
 		}
 		if nb == 0 || ni == 0 {
-			continue
+			return multiFlowWorld{}, nil
 		}
+		out := multiFlowWorld{valid: true, ratio: stats.Ratio(inf.Energy.Total(), base.Energy.Total())}
 		for _, f := range inf.Flows {
-			res.Total++
+			out.total++
 			if f.Completed {
-				res.Completed++
+				out.completed++
 			}
 		}
-		ratios = append(ratios, stats.Ratio(inf.Energy.Total(), base.Energy.Total()))
+		return out, nil
+	})
+	if err != nil {
+		return MultiFlowResult{}, err
+	}
+	res := MultiFlowResult{FlowsPerWorld: flowsPerWorld}
+	var ratios []float64
+	for _, w := range worlds {
+		if !w.valid {
+			continue
+		}
+		res.Completed += w.completed
+		res.Total += w.total
+		ratios = append(ratios, w.ratio)
 	}
 	res.AvgRatioInformed = stats.Mean(ratios)
 	return res, nil

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/routing"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/topo"
 )
 
@@ -61,6 +63,17 @@ type Params struct {
 	// MinPathLen rejects flow instances with fewer nodes on the path
 	// (need at least one relay for mobility to matter).
 	MinPathLen int
+	// Concurrency is the number of parallel sweep workers (0 = all
+	// CPUs, 1 = serial). Every trial draws its randomness from an
+	// independent (Seed, trialIndex)-derived stream, so results are
+	// bit-identical at any concurrency; like the sweep stats, it is
+	// execution metadata and excluded from marshaled results.
+	Concurrency int `json:"-"`
+}
+
+// runner returns the sweep runner for these parameters.
+func (p Params) runner() sweep.Runner {
+	return sweep.Runner{Concurrency: p.Concurrency}
 }
 
 func baseParams() Params {
@@ -186,13 +199,14 @@ type Instance struct {
 	Path []int
 }
 
-// GenInstances draws the Monte-Carlo instances for the given parameters.
-// Instances whose endpoints greedy routing cannot connect (or whose path
-// is shorter than MinPathLen) are redrawn, as in the paper's setup.
-func GenInstances(p Params) ([]Instance, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
+// GenInstance draws trial's Monte-Carlo instance. All randomness comes
+// from the stream derived from (p.Seed, trial), so instance i depends on
+// nothing but the seed and its own index — never on other trials — and
+// trials can be generated in any order or in parallel. Draws whose
+// endpoints greedy routing cannot connect (or whose path is shorter than
+// MinPathLen) are redrawn from the trial's stream, as in the paper's
+// setup.
+func GenInstance(p Params, trial int) (Instance, error) {
 	planner := p.Planner
 	if planner == nil {
 		planner = routing.GreedyPlanner{}
@@ -201,19 +215,13 @@ func GenInstances(p Params) ([]Instance, error) {
 	if maxBits <= 0 {
 		maxBits = 20 * p.MeanFlowBits
 	}
-	src := stats.NewSource(p.Seed)
-	instances := make([]Instance, 0, p.Flows)
+	src := stats.NewSourceOf(sweep.NewStream(p.Seed, uint64(trial)))
 	const maxAttempts = 10000
-	attempts := 0
-	for len(instances) < p.Flows {
-		attempts++
-		if attempts > maxAttempts {
-			return nil, errors.New("experiments: could not generate routable instances (network too sparse?)")
-		}
+	for attempt := 0; attempt < maxAttempts; attempt++ {
 		pos := topo.PlaceUniform(src, p.Nodes, p.FieldW, p.FieldH)
 		g, err := topo.NewGraph(pos, p.Range)
 		if err != nil {
-			return nil, err
+			return Instance{}, err
 		}
 		a := src.Intn(p.Nodes)
 		b := src.Intn(p.Nodes)
@@ -235,16 +243,33 @@ func GenInstances(p Params) ([]Instance, error) {
 		for i := range energies {
 			energies[i] = src.Uniform(p.EnergyLo, p.EnergyHi)
 		}
-		instances = append(instances, Instance{
+		return Instance{
 			Positions: pos,
 			Energies:  energies,
 			Src:       a,
 			Dst:       b,
 			FlowBits:  bits,
 			Path:      path,
-		})
+		}, nil
 	}
-	return instances, nil
+	return Instance{}, errors.New("experiments: could not generate a routable instance (network too sparse?)")
+}
+
+// GenInstances draws the p.Flows Monte-Carlo instances on the sweep
+// runner, one independent trial stream per instance.
+func GenInstances(p Params) ([]Instance, error) {
+	return GenInstancesCtx(context.Background(), p)
+}
+
+// GenInstancesCtx is GenInstances with cancellation.
+func GenInstancesCtx(ctx context.Context, p Params) ([]Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	instances, _, err := sweep.Map(ctx, p.runner(), p.Flows, func(_ context.Context, trial int) (Instance, error) {
+		return GenInstance(p, trial)
+	})
+	return instances, err
 }
 
 // runMode executes one instance under one mode.
@@ -288,47 +313,69 @@ type Fig6Result struct {
 	// paper prints in each subfigure legend.
 	AvgRatioCostUnaware float64
 	AvgRatioInformed    float64
+	// Sweep is execution metadata (wall clock, workers); excluded from
+	// marshaled output so serial and parallel runs stay byte-identical.
+	Sweep metrics.SweepStats `json:"-"`
+}
+
+// fig6Trial runs one Monte-Carlo trial of a Figure 6 panel: generate the
+// trial's instance and execute it under all three modes.
+func fig6Trial(p Params, strat mobility.Strategy, trial int) (EnergyRow, error) {
+	inst, err := GenInstance(p, trial)
+	if err != nil {
+		return EnergyRow{}, err
+	}
+	base, err := runMode(p, strat, inst, netsim.ModeNoMobility)
+	if err != nil {
+		return EnergyRow{}, err
+	}
+	cu, err := runMode(p, strat, inst, netsim.ModeCostUnaware)
+	if err != nil {
+		return EnergyRow{}, err
+	}
+	inf, err := runMode(p, strat, inst, netsim.ModeInformed)
+	if err != nil {
+		return EnergyRow{}, err
+	}
+	return EnergyRow{
+		FlowBits:              inst.FlowBits,
+		PathLen:               len(inst.Path),
+		Baseline:              base.Energy,
+		CostUnaware:           cu.Energy,
+		Informed:              inf.Energy,
+		RatioCostUnaware:      stats.Ratio(cu.Energy.Total(), base.Energy.Total()),
+		RatioInformed:         stats.Ratio(inf.Energy.Total(), base.Energy.Total()),
+		InformedFlips:         inf.Outcome().StatusFlips,
+		InformedNotifications: inf.Outcome().Notifications,
+	}, nil
 }
 
 // RunFig6 reproduces one panel of the paper's Figure 6: for each flow
 // instance, total energy under cost-unaware and informed mobility relative
 // to the no-mobility baseline.
 func RunFig6(p Params, variant string) (Fig6Result, error) {
+	return RunFig6Ctx(context.Background(), p, variant)
+}
+
+// RunFig6Ctx is RunFig6 with cancellation: canceling ctx aborts the
+// sweep, as does the first trial error.
+func RunFig6Ctx(ctx context.Context, p Params, variant string) (Fig6Result, error) {
+	if err := p.Validate(); err != nil {
+		return Fig6Result{}, err
+	}
 	strat, err := p.strategy()
 	if err != nil {
 		return Fig6Result{}, err
 	}
-	instances, err := GenInstances(p)
+	rows, sw, err := sweep.Map(ctx, p.runner(), p.Flows, func(_ context.Context, trial int) (EnergyRow, error) {
+		return fig6Trial(p, strat, trial)
+	})
 	if err != nil {
 		return Fig6Result{}, err
 	}
-	res := Fig6Result{Variant: variant, Params: p}
+	res := Fig6Result{Variant: variant, Params: p, Rows: rows, Sweep: sw}
 	var ratiosCU, ratiosInf []float64
-	for _, inst := range instances {
-		base, err := runMode(p, strat, inst, netsim.ModeNoMobility)
-		if err != nil {
-			return Fig6Result{}, err
-		}
-		cu, err := runMode(p, strat, inst, netsim.ModeCostUnaware)
-		if err != nil {
-			return Fig6Result{}, err
-		}
-		inf, err := runMode(p, strat, inst, netsim.ModeInformed)
-		if err != nil {
-			return Fig6Result{}, err
-		}
-		row := EnergyRow{
-			FlowBits:              inst.FlowBits,
-			PathLen:               len(inst.Path),
-			Baseline:              base.Energy,
-			CostUnaware:           cu.Energy,
-			Informed:              inf.Energy,
-			RatioCostUnaware:      stats.Ratio(cu.Energy.Total(), base.Energy.Total()),
-			RatioInformed:         stats.Ratio(inf.Energy.Total(), base.Energy.Total()),
-			InformedFlips:         inf.Outcome().StatusFlips,
-			InformedNotifications: inf.Outcome().Notifications,
-		}
-		res.Rows = append(res.Rows, row)
+	for _, row := range rows {
 		ratiosCU = append(ratiosCU, row.RatioCostUnaware)
 		ratiosInf = append(ratiosInf, row.RatioInformed)
 	}
@@ -345,16 +392,22 @@ type Fig6bResult struct {
 	// reports ≈9.7 J mobility on 100 KB flows).
 	AvgMobility     float64
 	AvgTransmission float64
+	Sweep           metrics.SweepStats `json:"-"`
 }
 
 // RunFig6b derives the Figure 6(b) comparison from a Figure 6(a)-style
 // run.
 func RunFig6b(p Params) (Fig6bResult, error) {
-	fig6, err := RunFig6(p, "b")
+	return RunFig6bCtx(context.Background(), p)
+}
+
+// RunFig6bCtx is RunFig6b with cancellation.
+func RunFig6bCtx(ctx context.Context, p Params) (Fig6bResult, error) {
+	fig6, err := RunFig6Ctx(ctx, p, "b")
 	if err != nil {
 		return Fig6bResult{}, err
 	}
-	var res Fig6bResult
+	res := Fig6bResult{Sweep: fig6.Sweep}
 	var move, tx []float64
 	for _, row := range fig6.Rows {
 		res.Rows = append(res.Rows, row)
@@ -373,34 +426,47 @@ type Fig7Result struct {
 	Counts []int
 	Avg    float64
 	Max    int
+	Sweep  metrics.SweepStats `json:"-"`
 }
 
 // RunFig7 runs the informed mode over the Figure 7 configuration and
 // collects notification counts.
 func RunFig7(p Params) (Fig7Result, error) {
+	return RunFig7Ctx(context.Background(), p)
+}
+
+// RunFig7Ctx is RunFig7 with cancellation.
+func RunFig7Ctx(ctx context.Context, p Params) (Fig7Result, error) {
+	if err := p.Validate(); err != nil {
+		return Fig7Result{}, err
+	}
 	strat, err := p.strategy()
 	if err != nil {
 		return Fig7Result{}, err
 	}
-	instances, err := GenInstances(p)
+	counts, sw, err := sweep.Map(ctx, p.runner(), p.Flows, func(_ context.Context, trial int) (int, error) {
+		inst, err := GenInstance(p, trial)
+		if err != nil {
+			return 0, err
+		}
+		r, err := runMode(p, strat, inst, netsim.ModeInformed)
+		if err != nil {
+			return 0, err
+		}
+		return r.Outcome().Notifications, nil
+	})
 	if err != nil {
 		return Fig7Result{}, err
 	}
-	var res Fig7Result
+	res := Fig7Result{Counts: counts, Sweep: sw}
 	var sum int
-	for _, inst := range instances {
-		r, err := runMode(p, strat, inst, netsim.ModeInformed)
-		if err != nil {
-			return Fig7Result{}, err
-		}
-		n := r.Outcome().Notifications
-		res.Counts = append(res.Counts, n)
+	for _, n := range counts {
 		sum += n
 		if n > res.Max {
 			res.Max = n
 		}
 	}
-	res.Avg = float64(sum) / float64(len(res.Counts))
+	res.Avg = float64(sum) / float64(len(counts))
 	return res, nil
 }
 
@@ -429,32 +495,39 @@ type Fig8Result struct {
 	AvgRatioCostUnaware float64
 	AvgRatioInformed    float64
 	MaxRatioInformed    float64
+	Sweep               metrics.SweepStats `json:"-"`
 }
 
 // RunFig8 reproduces the system-lifetime experiment.
 func RunFig8(p Params) (Fig8Result, error) {
+	return RunFig8Ctx(context.Background(), p)
+}
+
+// RunFig8Ctx is RunFig8 with cancellation.
+func RunFig8Ctx(ctx context.Context, p Params) (Fig8Result, error) {
+	if err := p.Validate(); err != nil {
+		return Fig8Result{}, err
+	}
 	strat, err := p.strategy()
 	if err != nil {
 		return Fig8Result{}, err
 	}
-	instances, err := GenInstances(p)
-	if err != nil {
-		return Fig8Result{}, err
-	}
-	res := Fig8Result{Params: p}
-	var ratiosCU, ratiosInf []float64
-	for _, inst := range instances {
+	rows, sw, err := sweep.Map(ctx, p.runner(), p.Flows, func(_ context.Context, trial int) (LifetimeRow, error) {
+		inst, err := GenInstance(p, trial)
+		if err != nil {
+			return LifetimeRow{}, err
+		}
 		base, err := runMode(p, strat, inst, netsim.ModeNoMobility)
 		if err != nil {
-			return Fig8Result{}, err
+			return LifetimeRow{}, err
 		}
 		cu, err := runMode(p, strat, inst, netsim.ModeCostUnaware)
 		if err != nil {
-			return Fig8Result{}, err
+			return LifetimeRow{}, err
 		}
 		inf, err := runMode(p, strat, inst, netsim.ModeInformed)
 		if err != nil {
-			return Fig8Result{}, err
+			return LifetimeRow{}, err
 		}
 		row := LifetimeRow{
 			FlowBits:    inst.FlowBits,
@@ -464,7 +537,14 @@ func RunFig8(p Params) (Fig8Result, error) {
 		}
 		row.RatioCostUnaware = stats.Ratio(row.CostUnaware, row.Baseline)
 		row.RatioInformed = stats.Ratio(row.Informed, row.Baseline)
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	res := Fig8Result{Params: p, Rows: rows, Sweep: sw}
+	var ratiosCU, ratiosInf []float64
+	for _, row := range rows {
 		ratiosCU = append(ratiosCU, row.RatioCostUnaware)
 		ratiosInf = append(ratiosInf, row.RatioInformed)
 		if row.RatioInformed > res.MaxRatioInformed {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -8,9 +9,11 @@ import (
 	"repro/internal/assign"
 	"repro/internal/energy"
 	"repro/internal/geom"
+	"repro/internal/metrics"
 	"repro/internal/mobility"
 	"repro/internal/netsim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // Relay recruitment (ablation A2+, the full form of the paper's §5 future
@@ -120,57 +123,80 @@ type RecruitmentResult struct {
 	AvgRatioRecruited      float64
 	AvgDeployCost          float64
 	Skipped                int
+	Sweep                  metrics.SweepStats `json:"-"`
+}
+
+// recruitTrial is one trial's outcome; skipped trials (no feasible plan,
+// or a relay that cannot afford its deployment move) carry no row.
+type recruitTrial struct {
+	row     RecruitmentRow
+	skipped bool
 }
 
 // RunRelayRecruitment compares, on common instances: (1) the no-mobility
 // greedy baseline, (2) standard iMobif on the greedy path, and (3) the
 // recruited optimal chain with up-front deployment.
 func RunRelayRecruitment(p Params) (RecruitmentResult, error) {
+	return RunRelayRecruitmentCtx(context.Background(), p)
+}
+
+// RunRelayRecruitmentCtx is RunRelayRecruitment with cancellation.
+func RunRelayRecruitmentCtx(ctx context.Context, p Params) (RecruitmentResult, error) {
+	if err := p.Validate(); err != nil {
+		return RecruitmentResult{}, err
+	}
 	strat, err := p.strategy()
 	if err != nil {
 		return RecruitmentResult{}, err
 	}
-	instances, err := GenInstances(p)
-	if err != nil {
-		return RecruitmentResult{}, err
-	}
 	mob := energy.MobilityModel{K: p.K}
-	var res RecruitmentResult
-	var rg, rr, dc []float64
-	for _, inst := range instances {
+	trials, sw, err := sweep.Map(ctx, p.runner(), p.Flows, func(_ context.Context, trial int) (recruitTrial, error) {
+		inst, err := GenInstance(p, trial)
+		if err != nil {
+			return recruitTrial{}, err
+		}
 		base, err := runMode(p, strat, inst, netsim.ModeNoMobility)
 		if err != nil {
-			return RecruitmentResult{}, err
+			return recruitTrial{}, err
 		}
 		informed, err := runMode(p, strat, inst, netsim.ModeInformed)
 		if err != nil {
-			return RecruitmentResult{}, err
+			return recruitTrial{}, err
 		}
 		plan, err := PlanRecruitment(p.Tx, mob, inst.Positions, inst.Src, inst.Dst, p.Range)
 		if err != nil {
-			res.Skipped++
-			continue
+			return recruitTrial{skipped: true}, nil
 		}
 		recruited, ok, err := runRecruited(p, inst, plan)
 		if err != nil {
-			return RecruitmentResult{}, err
+			return recruitTrial{}, err
 		}
 		if !ok {
-			res.Skipped++
-			continue
+			return recruitTrial{skipped: true}, nil
 		}
-		row := RecruitmentRow{
+		return recruitTrial{row: RecruitmentRow{
 			FlowBits:       inst.FlowBits,
 			Baseline:       base.Energy.Total(),
 			InformedGreedy: informed.Energy.Total(),
 			Recruited:      recruited,
 			DeployCost:     plan.DeployCost,
 			Slots:          len(plan.Slots),
+		}}, nil
+	})
+	if err != nil {
+		return RecruitmentResult{}, err
+	}
+	res := RecruitmentResult{Sweep: sw}
+	var rg, rr, dc []float64
+	for _, t := range trials {
+		if t.skipped {
+			res.Skipped++
+			continue
 		}
-		res.Rows = append(res.Rows, row)
-		rg = append(rg, stats.Ratio(row.InformedGreedy, row.Baseline))
-		rr = append(rr, stats.Ratio(row.Recruited, row.Baseline))
-		dc = append(dc, row.DeployCost)
+		res.Rows = append(res.Rows, t.row)
+		rg = append(rg, stats.Ratio(t.row.InformedGreedy, t.row.Baseline))
+		rr = append(rr, stats.Ratio(t.row.Recruited, t.row.Baseline))
+		dc = append(dc, t.row.DeployCost)
 	}
 	res.AvgRatioInformedGreedy = stats.Mean(rg)
 	res.AvgRatioRecruited = stats.Mean(rr)

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/netsim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // ThresholdPoint is one sample of the flow-length sweep: the average
@@ -28,6 +30,19 @@ type ThresholdPoint struct {
 // where movement genuinely pays ([6]'s threshold observation, computed
 // online by the framework).
 func RunThresholdSweep(p Params, lengths []float64) ([]ThresholdPoint, error) {
+	return RunThresholdSweepCtx(context.Background(), p, lengths)
+}
+
+// thresholdSample is one (instance, length) trial of the sweep.
+type thresholdSample struct {
+	cu, inf   float64
+	activated bool
+}
+
+// RunThresholdSweepCtx is RunThresholdSweep with cancellation. The same
+// instances are reused at every length; per length, instances run on the
+// sweep runner.
+func RunThresholdSweepCtx(ctx context.Context, p Params, lengths []float64) ([]ThresholdPoint, error) {
 	if len(lengths) == 0 {
 		return nil, fmt.Errorf("experiments: no sweep lengths")
 	}
@@ -35,7 +50,7 @@ func RunThresholdSweep(p Params, lengths []float64) ([]ThresholdPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	instances, err := GenInstances(p)
+	instances, err := GenInstancesCtx(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -44,26 +59,36 @@ func RunThresholdSweep(p Params, lengths []float64) ([]ThresholdPoint, error) {
 		if bits <= 0 {
 			return nil, fmt.Errorf("experiments: non-positive flow length %v", bits)
 		}
-		var cu, inf []float64
-		activated := 0
-		for _, inst := range instances {
-			fixed := inst
+		samples, _, err := sweep.Map(ctx, p.runner(), len(instances), func(_ context.Context, trial int) (thresholdSample, error) {
+			fixed := instances[trial]
 			fixed.FlowBits = bits
 			base, err := runMode(p, strat, fixed, netsim.ModeNoMobility)
 			if err != nil {
-				return nil, err
+				return thresholdSample{}, err
 			}
 			cuRes, err := runMode(p, strat, fixed, netsim.ModeCostUnaware)
 			if err != nil {
-				return nil, err
+				return thresholdSample{}, err
 			}
 			infRes, err := runMode(p, strat, fixed, netsim.ModeInformed)
 			if err != nil {
-				return nil, err
+				return thresholdSample{}, err
 			}
-			cu = append(cu, stats.Ratio(cuRes.Energy.Total(), base.Energy.Total()))
-			inf = append(inf, stats.Ratio(infRes.Energy.Total(), base.Energy.Total()))
-			if infRes.Outcome().StatusFlips > 0 {
+			return thresholdSample{
+				cu:        stats.Ratio(cuRes.Energy.Total(), base.Energy.Total()),
+				inf:       stats.Ratio(infRes.Energy.Total(), base.Energy.Total()),
+				activated: infRes.Outcome().StatusFlips > 0,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var cu, inf []float64
+		activated := 0
+		for _, s := range samples {
+			cu = append(cu, s.cu)
+			inf = append(inf, s.inf)
+			if s.activated {
 				activated++
 			}
 		}

@@ -7,6 +7,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/energy"
 	"repro/internal/geom"
@@ -146,4 +147,30 @@ func (o FlowOutcome) Lifetime() sim.Time {
 		return o.FirstDeath
 	}
 	return o.Duration
+}
+
+// SweepStats measures one Monte-Carlo sweep's execution: how many trials
+// ran, on how many workers, and how long the sweep took on the wall
+// clock. It is reporting metadata, not part of a sweep's scientific
+// result — the experiment drivers exclude it from marshaled output so
+// that serial and parallel runs of the same seed stay byte-identical.
+type SweepStats struct {
+	Trials  int
+	Workers int
+	Elapsed time.Duration
+}
+
+// TrialsPerSec returns the sweep throughput (0 for an unfinished or
+// empty sweep).
+func (s SweepStats) TrialsPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Trials) / s.Elapsed.Seconds()
+}
+
+// String implements fmt.Stringer.
+func (s SweepStats) String() string {
+	return fmt.Sprintf("%d trial(s) on %d worker(s) in %v (%.1f trials/s)",
+		s.Trials, s.Workers, s.Elapsed.Round(time.Millisecond), s.TrialsPerSec())
 }

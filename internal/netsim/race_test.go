@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/topo"
+)
+
+// TestRaceParallelWorlds runs many independent worlds concurrently, the
+// way the sweep engine does, and checks under the race detector that
+// separate World instances share no mutable state (package-level RNGs,
+// lazily built caches, ...). Every goroutine runs the same scenario, so
+// the results must also all be equal — a cheap cross-check that
+// concurrency does not leak into outcomes.
+func TestRaceParallelWorlds(t *testing.T) {
+	const workers = 8
+	run := func() Result {
+		cfg := DefaultConfig()
+		pts := topo.PlaceArc(6, geom.Pt(0, 0), geom.Pt(500, 0), 60)
+		energies := []float64{5e3, 5e3, 5e3, 5e3, 5e3, 5e3}
+		w, err := NewWorld(cfg, pts, energies)
+		if err != nil {
+			t.Error(err)
+			return Result{}
+		}
+		if _, err := w.AddFlow(FlowSpec{Src: 0, Dst: 5, LengthBits: 8e6}); err != nil {
+			t.Error(err)
+			return Result{}
+		}
+		res, err := w.Run()
+		if err != nil {
+			t.Error(err)
+			return Result{}
+		}
+		return res
+	}
+	results := make([]Result, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = run()
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for i := 1; i < workers; i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Fatalf("world %d produced a different result than world 0:\n%+v\nvs\n%+v",
+				i, results[i], results[0])
+		}
+	}
+}
+
+// TestRaceParallelDiscovery exercises concurrent AODV route discovery in
+// separate worlds (discovery builds per-world routing tables — another
+// spot a hidden shared cache would show up under -race).
+func TestRaceParallelDiscovery(t *testing.T) {
+	const workers = 8
+	var wg sync.WaitGroup
+	paths := make([][]int, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := DefaultConfig()
+			pts := topo.PlaceArc(8, geom.Pt(0, 0), geom.Pt(700, 0), 40)
+			energies := make([]float64, 8)
+			for j := range energies {
+				energies[j] = 5e3
+			}
+			w, err := NewWorld(cfg, pts, energies)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			path, err := w.DiscoverPath(0, 7)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			paths[i] = path
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for i := 1; i < workers; i++ {
+		if !reflect.DeepEqual(paths[0], paths[i]) {
+			t.Fatalf("discovery %d found %v, discovery 0 found %v", i, paths[i], paths[0])
+		}
+	}
+}

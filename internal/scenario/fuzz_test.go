@@ -1,0 +1,39 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzScenarioJSON fuzzes the scenario loader: arbitrary input must
+// never panic — it either parses into a scenario that passes Validate
+// (Load validates before returning) or yields an error. The example
+// scenarios shipped in the repo seed the corpus.
+func FuzzScenarioJSON(f *testing.F) {
+	for _, name := range []string{"chain.json", "lifetime.json"} {
+		if data, err := os.ReadFile(filepath.Join("..", "..", "examples", "scenarios", name)); err == nil {
+			f.Add(string(data))
+		}
+	}
+	f.Add(`{}`)
+	f.Add(`{"name":"x","flows":[{"src":0,"dst":1,"length_kb":1}],"nodes":[{"x":0,"y":0,"joules":1},{"x":1,"y":1,"joules":1}]}`)
+	f.Add(`{"random_nodes":{"count":5,"field_w":100,"field_h":100,"energy_lo":1,"energy_hi":2},"flows":[{"src":0,"dst":4,"length_kb":8}]}`)
+	f.Add(`{"flows":[{"src":-1,"dst":99,"length_kb":-3}]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"nodes":[{"x":1e999}]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		s, err := Load(strings.NewReader(data))
+		if err != nil {
+			if s != nil {
+				t.Fatalf("error %v returned alongside a scenario", err)
+			}
+			return
+		}
+		// A scenario Load accepted must be internally consistent.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Load accepted a scenario that fails Validate: %v\ninput: %s", err, data)
+		}
+	})
+}

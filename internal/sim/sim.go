@@ -32,18 +32,28 @@ type event struct {
 
 // Handle identifies a scheduled event so it can be canceled.
 type Handle struct {
+	s  *Scheduler
 	ev *event
 }
 
 // Cancel prevents the event from firing. Canceling an already-fired or
 // already-canceled event is a no-op. It reports whether the event was
 // actually canceled by this call.
+//
+// The event is removed from the queue immediately — not left as a dead
+// entry to be skipped at pop time — so Pending() stays accurate and a
+// long-lived scheduler that cancels many events (timer churn) does not
+// accumulate dead heap entries.
 func (h Handle) Cancel() bool {
 	if h.ev == nil || h.ev.dead {
 		return false
 	}
 	h.ev.dead = true
 	h.ev.fn = nil
+	if h.s != nil && h.ev.idx >= 0 && h.ev.idx < len(h.s.queue) && h.s.queue[h.ev.idx] == h.ev {
+		heap.Remove(&h.s.queue, h.ev.idx)
+		h.ev.idx = -1
+	}
 	return true
 }
 
@@ -71,6 +81,7 @@ func (q *eventQueue) Pop() any {
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
+	ev.idx = -1
 	*q = old[:n-1]
 	return ev
 }
@@ -94,8 +105,8 @@ func NewScheduler() *Scheduler {
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
 
-// Pending returns the number of events waiting to fire (including
-// canceled-but-unpopped events).
+// Pending returns the number of events waiting to fire. Canceled events
+// are removed from the queue eagerly and do not count.
 func (s *Scheduler) Pending() int { return len(s.queue) }
 
 // Fired returns the total number of events executed so far.
@@ -117,7 +128,7 @@ func (s *Scheduler) At(t Time, fn func()) (Handle, error) {
 	ev := &event{at: t, seq: s.seq, fn: fn}
 	s.seq++
 	heap.Push(&s.queue, ev)
-	return Handle{ev: ev}, nil
+	return Handle{s: s, ev: ev}, nil
 }
 
 // After schedules fn to run delay seconds from now. Negative delays are an

@@ -290,3 +290,108 @@ func TestDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestCancelManyPendingEvents(t *testing.T) {
+	// Canceling a large batch of pending events must (a) remove them
+	// from the queue eagerly, so Pending() stays accurate and dead
+	// entries don't accumulate, and (b) leave the survivors firing in
+	// exactly time-then-FIFO order.
+	s := NewScheduler()
+	const n = 1000
+	handles := make([]Handle, 0, n)
+	var fired []int
+	for i := 0; i < n; i++ {
+		i := i
+		// Many duplicate timestamps to stress same-time ordering.
+		h, err := s.At(Time(i%13), func() { fired = append(fired, i) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	// Cancel every event except multiples of 7, in a scrambled order.
+	canceled := 0
+	for step := 0; step < n; step++ {
+		i := (step * 37) % n
+		if i%7 == 0 {
+			continue
+		}
+		if !handles[i].Cancel() {
+			t.Fatalf("cancel %d reported false on first cancel", i)
+		}
+		canceled++
+	}
+	survivors := n - canceled
+	if got := s.Pending(); got != survivors {
+		t.Fatalf("Pending() = %d after canceling, want %d (dead events left in queue)", got, survivors)
+	}
+	// Double-cancel and cancel-after-fire are no-ops.
+	if handles[1].Cancel() {
+		t.Error("second cancel reported true")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != survivors {
+		t.Fatalf("fired %d events, want %d", len(fired), survivors)
+	}
+	for k := 1; k < len(fired); k++ {
+		a, b := fired[k-1], fired[k]
+		// Time order first (time = i%13), FIFO (i ascending) within a time.
+		if a%13 > b%13 || (a%13 == b%13 && a >= b) {
+			t.Fatalf("ordering corrupted at position %d: %d then %d", k, a, b)
+		}
+	}
+	for _, i := range fired {
+		if i%7 != 0 {
+			t.Fatalf("canceled event %d fired", i)
+		}
+	}
+	if handles[0].Cancel() {
+		t.Error("cancel after fire reported true")
+	}
+	if s.Pending() != 0 {
+		t.Errorf("queue not drained: %d pending", s.Pending())
+	}
+}
+
+func TestCancelInterleavedWithRun(t *testing.T) {
+	// Events canceling other pending events mid-run must not corrupt
+	// the heap: ordering of the remaining events is preserved.
+	s := NewScheduler()
+	var handles []Handle
+	var fired []int
+	for i := 0; i < 100; i++ {
+		i := i
+		h, err := s.At(Time(i), func() { fired = append(fired, i) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	// At t=10, cancel all odd events still pending.
+	if _, err := s.At(10.5, func() {
+		for i := 11; i < 100; i += 2 {
+			handles[i].Cancel()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for k, i := range fired {
+		if i != want {
+			t.Fatalf("position %d: fired %d, want %d (full order %v)", k, i, want, fired)
+		}
+		if want < 10 {
+			want++
+		} else {
+			want += 2 // odd events after 10.5 were canceled
+		}
+	}
+	if len(fired) != 11+44 {
+		t.Fatalf("fired %d events, want %d", len(fired), 11+44)
+	}
+}

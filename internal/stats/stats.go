@@ -27,6 +27,15 @@ func NewSource(seed int64) *Source {
 	return &Source{rng: rand.New(rand.NewSource(seed))}
 }
 
+// NewSourceOf returns a Source drawing from an arbitrary rand.Source —
+// the hook the sweep engine uses to feed per-trial SplitMix64 streams
+// through the usual variate API. Prefer a rand.Source64: math/rand's
+// own seeded source truncates its seed mod 2³¹−1, which would alias
+// distinct derived trial seeds onto identical streams.
+func NewSourceOf(src rand.Source) *Source {
+	return &Source{rng: rand.New(src)}
+}
+
 // Float64 returns a uniform variate in [0, 1).
 func (s *Source) Float64() float64 { return s.rng.Float64() }
 
