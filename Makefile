@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench vet ci
+.PHONY: build test race fuzz bench vet doclint ci
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,11 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# doclint fails the build on any exported identifier without a godoc
+# comment (see cmd/doclint).
+doclint:
+	$(GO) run ./cmd/doclint .
 
 # race runs the concurrency-sensitive suites (parallel sweeps, shared
 # world state, golden serial-vs-parallel determinism) under the race
@@ -26,4 +31,4 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
-ci: vet build test race fuzz
+ci: vet doclint build test race fuzz

@@ -7,12 +7,15 @@ package imobif
 // timing, so `go test -bench=.` doubles as a compact results table.
 
 import (
+	"fmt"
+	"math"
 	"testing"
 
 	"repro/internal/energy"
 	"repro/internal/experiments"
 	"repro/internal/geom"
 	"repro/internal/mobility"
+	"repro/internal/spatial"
 	"repro/internal/stats"
 	"repro/internal/topo"
 )
@@ -250,6 +253,65 @@ func BenchmarkSimulationRun(b *testing.B) {
 		}
 		if _, err := sim.Run(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNeighborRecompute measures a full neighbor-table recomputation
+// (one InRange query per node — what netsim's initial HELLO seeding and
+// the discovery flood fan-out do) under the grid index versus the
+// brute-force scan, at the paper's node density (100 nodes per km²) so
+// the field grows with n and per-query neighborhood size stays constant.
+// The grid's O(k)-per-query behaviour versus brute's O(n) is the whole
+// point of internal/spatial; see EXPERIMENTS.md "Scaling" for recorded
+// ratios.
+func BenchmarkNeighborRecompute(b *testing.B) {
+	const rangeM = 200
+	for _, kind := range []spatial.Kind{spatial.KindGrid, spatial.KindBrute} {
+		for _, n := range []int{100, 1000, 5000} {
+			b.Run(fmt.Sprintf("%s-n%d", kind, n), func(b *testing.B) {
+				side := 1000 * math.Sqrt(float64(n)/100)
+				pts := topo.PlaceUniform(stats.NewSource(7), n, side, side)
+				idx, err := spatial.FromPoints(kind, rangeM, pts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var buf []int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for j, p := range pts {
+						buf = idx.AppendInRange(buf[:0], p, rangeM)
+						_ = j
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkWorldSeeding measures netsim.NewWorld on large placements —
+// dominated by the initial HELLO-table seeding, the first beneficiary of
+// the spatial index.
+func BenchmarkWorldSeeding(b *testing.B) {
+	for _, kind := range []spatial.Kind{spatial.KindGrid, spatial.KindBrute} {
+		for _, n := range []int{100, 1000} {
+			b.Run(fmt.Sprintf("%s-n%d", kind, n), func(b *testing.B) {
+				side := 1000 * math.Sqrt(float64(n)/100)
+				cfg := DefaultConfig()
+				cfg.Nodes = n
+				cfg.FieldWidth, cfg.FieldHeight = side, side
+				cfg.NeighborIndex = string(kind)
+				net, err := NewRandomNetwork(cfg, 7)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := NewSimulation(cfg, net); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

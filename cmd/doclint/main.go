@@ -1,0 +1,174 @@
+// Command doclint enforces the repository's godoc discipline: every
+// exported identifier in every non-test package must carry a doc comment.
+// It is the documentation gate wired into `make ci` — the build fails on
+// any exported const, var, type, func, or method (on an exported type)
+// whose declaration has no comment.
+//
+// Grouped declarations follow godoc's own convention: a comment on the
+// const/var block documents the whole group, so individually uncommented
+// members of a commented block pass. Test files and testdata are skipped.
+//
+// Usage:
+//
+//	doclint [packages ...]
+//
+// With no arguments it lints ./... from the current directory. The exit
+// status is non-zero when any identifier is flagged.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: doclint [dir ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var complaints []string
+	for _, root := range roots {
+		found, err := lintTree(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+		complaints = append(complaints, found...)
+	}
+	sort.Strings(complaints)
+	for _, c := range complaints {
+		fmt.Println(c)
+	}
+	if len(complaints) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d exported identifier(s) missing doc comments\n", len(complaints))
+		os.Exit(1)
+	}
+}
+
+// lintTree walks a directory tree and lints every Go package in it.
+func lintTree(root string) ([]string, error) {
+	var complaints []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+			return filepath.SkipDir
+		}
+		found, err := lintDir(path)
+		if err != nil {
+			return err
+		}
+		complaints = append(complaints, found...)
+		return nil
+	})
+	return complaints, err
+}
+
+// lintDir parses one directory's non-test Go files and reports exported
+// identifiers without doc comments.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var complaints []string
+	flag := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		complaints = append(complaints, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lintDecl(decl, flag)
+			}
+		}
+	}
+	return complaints, nil
+}
+
+// lintDecl flags the undocumented exported identifiers of one top-level
+// declaration.
+func lintDecl(decl ast.Decl, flag func(pos token.Pos, kind, name string)) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Doc != nil || !d.Name.IsExported() {
+			return
+		}
+		if d.Recv != nil {
+			recv, exported := receiverName(d.Recv)
+			if !exported {
+				return // method on an unexported type: not API surface
+			}
+			flag(d.Pos(), "method", recv+"."+d.Name.Name)
+			return
+		}
+		flag(d.Pos(), "function", d.Name.Name)
+	case *ast.GenDecl:
+		kind := map[token.Token]string{token.CONST: "const", token.VAR: "var", token.TYPE: "type"}[d.Tok]
+		if kind == "" {
+			return // imports
+		}
+		// A doc comment on a const/var block covers every member (the
+		// godoc grouping convention); types are documented individually.
+		blockDocumented := d.Doc != nil && d.Tok != token.TYPE
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					flag(s.Pos(), kind, s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				if blockDocumented || s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						flag(s.Pos(), kind, name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// receiverName extracts the receiver's base type name and whether it is
+// exported.
+func receiverName(recv *ast.FieldList) (string, bool) {
+	if len(recv.List) == 0 {
+		return "?", true
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.Name, x.IsExported()
+		default:
+			return "?", true
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -29,6 +30,12 @@ type runOpts struct {
 	seed        int64
 	concurrency int
 	csvDir      string
+	// nodes and field override the figure's network size and square
+	// field side when positive; zero keeps the paper's values. A field
+	// override of 0 with a nodes override auto-scales the field to the
+	// paper's density (100 nodes/km²).
+	nodes int
+	field float64
 }
 
 // params applies the sweep-level settings to a figure configuration.
@@ -36,6 +43,16 @@ func (o runOpts) params(p experiments.Params) experiments.Params {
 	p.Flows = o.flows
 	p.Seed = o.seed
 	p.Concurrency = o.concurrency
+	if o.nodes > 0 {
+		p.Nodes = o.nodes
+		side := o.field
+		if side <= 0 {
+			side = 1000 * math.Sqrt(float64(o.nodes)/100)
+		}
+		p.FieldW, p.FieldH = side, side
+	} else if o.field > 0 {
+		p.FieldW, p.FieldH = o.field, o.field
+	}
 	return p
 }
 
@@ -45,9 +62,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	concurrency := flag.Int("concurrency", 0, "parallel sweep workers (0 = all CPUs, 1 = serial; results are identical either way)")
 	csvDir := flag.String("csv", "", "directory to write CSV series into (optional)")
+	nodes := flag.Int("nodes", 0, "override network size (0 = paper's value; pairs with -field)")
+	field := flag.Float64("field", 0, "override square field side in meters (0 with -nodes = auto-scale to the paper's 100 nodes/km²)")
 	flag.Parse()
 
-	opts := runOpts{flows: *flows, seed: *seed, concurrency: *concurrency, csvDir: *csvDir}
+	opts := runOpts{flows: *flows, seed: *seed, concurrency: *concurrency, csvDir: *csvDir, nodes: *nodes, field: *field}
 	if err := run(*fig, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "imobif-figures: %v\n", err)
 		os.Exit(1)

@@ -15,6 +15,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	imobif "repro"
@@ -25,7 +26,8 @@ import (
 func main() {
 	var (
 		nodes       = flag.Int("nodes", 100, "number of nodes")
-		field       = flag.Float64("field", 1000, "square field side, meters")
+		field       = flag.Float64("field", 1000, "square field side, meters (0 = auto-scale to the paper's density of 100 nodes/km²)")
+		index       = flag.String("index", "grid", "neighbor index: grid (O(k) spatial grid) or brute (O(n) reference); results are identical")
 		rng         = flag.Float64("range", 200, "radio range, meters")
 		k           = flag.Float64("k", 0.5, "mobility cost, J/m")
 		alpha       = flag.Float64("alpha", 2, "path-loss exponent")
@@ -43,19 +45,21 @@ func main() {
 	)
 	flag.Parse()
 
+	side := fieldSide(*field, *nodes)
 	var err error
 	switch {
 	case *scenFile != "":
 		err = runScenario(*scenFile)
 	case *trials > 1:
 		err = runBatch(batchOpts{
-			nodes: *nodes, field: *field, rng: *rng, k: *k, alpha: *alpha,
+			nodes: *nodes, field: side, rng: *rng, k: *k, alpha: *alpha,
 			flowKB: *flowKB, strategy: *strategy, mode: *mode, seed: *seed,
 			trials: *trials, concurrency: *concurrency, compare: *compare,
 			deaths: *deaths, energyLo: *energyLo, energyHi: *energyHi,
+			index: *index,
 		})
 	default:
-		err = run(*nodes, *field, *rng, *k, *alpha, *flowKB, *strategy, *mode, *seed, *compare, *deaths, *energyLo, *energyHi)
+		err = run(*nodes, side, *rng, *k, *alpha, *flowKB, *strategy, *mode, *index, *seed, *compare, *deaths, *energyLo, *energyHi)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imobif-sim: %v\n", err)
@@ -63,11 +67,23 @@ func main() {
 	}
 }
 
+// fieldSide resolves the -field flag: a positive value is taken as-is;
+// zero auto-scales the square field so node density stays at the paper's
+// 100 nodes/km² (side = 1000·√(nodes/100)), keeping per-node
+// neighborhood size constant as -nodes grows.
+func fieldSide(field float64, nodes int) float64 {
+	if field > 0 {
+		return field
+	}
+	return 1000 * math.Sqrt(float64(nodes)/100)
+}
+
 type batchOpts struct {
 	nodes               int
 	field, rng, k       float64
 	alpha, flowKB       float64
 	strategy, mode      string
+	index               string
 	seed                int64
 	trials, concurrency int
 	compare, deaths     bool
@@ -87,6 +103,7 @@ func runBatch(o batchOpts) error {
 	cfg.PathLossExp = o.alpha
 	cfg.Strategy = imobif.Strategy(o.strategy)
 	cfg.Mode = imobif.Mode(o.mode)
+	cfg.NeighborIndex = o.index
 	cfg.StopOnFirstDeath = o.deaths
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -177,7 +194,7 @@ func runScenario(path string) error {
 	return nil
 }
 
-func run(nodes int, field, rng, k, alpha, flowKB float64, strategy, mode string, seed int64, compare, deaths bool, energyLo, energyHi float64) error {
+func run(nodes int, field, rng, k, alpha, flowKB float64, strategy, mode, index string, seed int64, compare, deaths bool, energyLo, energyHi float64) error {
 	cfg := imobif.DefaultConfig()
 	cfg.Nodes = nodes
 	cfg.FieldWidth, cfg.FieldHeight = field, field
@@ -186,6 +203,7 @@ func run(nodes int, field, rng, k, alpha, flowKB float64, strategy, mode string,
 	cfg.PathLossExp = alpha
 	cfg.Strategy = imobif.Strategy(strategy)
 	cfg.Mode = imobif.Mode(mode)
+	cfg.NeighborIndex = index
 	cfg.StopOnFirstDeath = deaths
 	if err := cfg.Validate(); err != nil {
 		return err

@@ -7,27 +7,27 @@ import (
 )
 
 func TestRunBasicScenario(t *testing.T) {
-	err := run(40, 800, 200, 0.5, 2, 100, "min-energy", "informed", 3, true, false, 5000, 10000)
+	err := run(40, 800, 200, 0.5, 2, 100, "min-energy", "informed", "grid", 3, true, false, 5000, 10000)
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunLifetimeScenario(t *testing.T) {
-	err := run(40, 800, 200, 0.5, 2, 10240, "max-lifetime", "cost-unaware", 3, true, true, 100, 200)
+	err := run(40, 800, 200, 0.5, 2, 10240, "max-lifetime", "cost-unaware", "brute", 3, true, true, 100, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadStrategy(t *testing.T) {
-	if err := run(40, 800, 200, 0.5, 2, 100, "teleport", "informed", 1, false, false, 5000, 10000); err == nil {
+	if err := run(40, 800, 200, 0.5, 2, 100, "teleport", "informed", "grid", 1, false, false, 5000, 10000); err == nil {
 		t.Error("bad strategy should error")
 	}
 }
 
 func TestRunRejectsBadMode(t *testing.T) {
-	if err := run(40, 800, 200, 0.5, 2, 100, "min-energy", "yolo", 1, false, false, 5000, 10000); err == nil {
+	if err := run(40, 800, 200, 0.5, 2, 100, "min-energy", "yolo", "grid", 1, false, false, 5000, 10000); err == nil {
 		t.Error("bad mode should error")
 	}
 }

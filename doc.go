@@ -43,7 +43,24 @@
 //	if err != nil { ... }
 //	fmt.Printf("tx %.1f J, movement %.1f J\n", res.TxJoules, res.MoveJoules)
 //
-// The examples/ directory contains runnable scenarios, and the
+// The package-level Example is a runnable version of the above; the
+// examples/ directory contains larger scenarios, and the
 // cmd/imobif-figures binary regenerates every table and figure of the
 // paper's evaluation.
+//
+// # Determinism
+//
+// One seed reproduces any run byte-for-byte: all randomness flows from
+// seeded sources, the event queue breaks timestamp ties FIFO, and
+// Monte-Carlo sweeps derive per-trial seeds so results are identical at
+// any worker count.
+//
+// # Scaling
+//
+// Neighbor queries run against a uniform-grid spatial index
+// (radio-range-sized cells, O(k) per query), so node counts far beyond
+// the paper's 100 stay tractable; Config.NeighborIndex selects the
+// brute-force reference scan instead, which produces bit-identical
+// results. See ARCHITECTURE.md for the package map and dataflow, and
+// EXPERIMENTS.md for measured figures and scaling numbers.
 package imobif

@@ -12,6 +12,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/routing"
 	"repro/internal/sim"
+	"repro/internal/spatial"
 	"repro/internal/stats"
 	"repro/internal/topo"
 )
@@ -86,6 +87,12 @@ type Config struct {
 	EstimateScale float64
 	// StopOnFirstDeath ends the run when any node depletes its battery.
 	StopOnFirstDeath bool
+	// NeighborIndex selects the spatial index backing neighbor queries:
+	// "grid" (the default when empty) answers range queries in O(k) via
+	// radio-range-sized cells and makes large Nodes counts tractable;
+	// "brute" is the O(n) reference scan kept for differential testing.
+	// Both produce bit-identical results.
+	NeighborIndex string
 }
 
 // DefaultConfig returns the paper's reconstructed evaluation parameters
@@ -174,6 +181,7 @@ func (c Config) netsim() (netsim.Config, error) {
 	cfg.FlowRateBps = c.FlowRateBytesPerSec * 8
 	cfg.EstimateScale = c.EstimateScale
 	cfg.StopOnFirstDeath = c.StopOnFirstDeath
+	cfg.NeighborIndex = spatial.Kind(c.NeighborIndex)
 	return cfg, nil
 }
 

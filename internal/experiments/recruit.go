@@ -12,6 +12,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mobility"
 	"repro/internal/netsim"
+	"repro/internal/spatial"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 )
@@ -81,6 +82,7 @@ func PlanRecruitment(tx energy.TxModel, mob energy.MobilityModel, pos []geom.Poi
 	if len(candidates) < len(slots) {
 		return RecruitmentPlan{}, fmt.Errorf("experiments: %d candidates for %d slots", len(candidates), len(slots))
 	}
+	candidates = pruneCandidates(mob, pos, candidates, slots, rangeM)
 	cost := make([][]float64, len(slots))
 	for i, slot := range slots {
 		cost[i] = make([]float64, len(candidates))
@@ -98,6 +100,68 @@ func PlanRecruitment(tx energy.TxModel, mob energy.MobilityModel, pos []geom.Poi
 		plan.PerRelayCost = append(plan.PerRelayCost, cost[i][col])
 	}
 	return plan, nil
+}
+
+// pruneCandidates shrinks the Hungarian candidate set without changing
+// the optimal assignment cost. A greedy nearest-available pass gives a
+// feasible assignment whose total cost U upper-bounds the optimum; any
+// candidate whose cheapest slot alone costs more than U can therefore
+// never appear in an optimal assignment. The survivors are collected with
+// a spatial grid query of radius U/k around each slot — O(s·k) instead of
+// an O(s·n) distance matrix over every node — which keeps recruitment
+// planning sub-quadratic on large networks. When the bound cannot prune
+// (greedy infeasible, or free movement k=0 making every assignment cost
+// 0) the full candidate set is returned unchanged.
+func pruneCandidates(mob energy.MobilityModel, pos []geom.Point, candidates []int, slots []geom.Point, rangeM float64) []int {
+	if mob.K <= 0 || len(candidates) <= len(slots) {
+		return candidates
+	}
+	grid, err := spatial.NewGrid(rangeM)
+	if err != nil {
+		return candidates
+	}
+	for _, id := range candidates {
+		grid.Insert(id, pos[id])
+	}
+	// Greedy feasible bound: each slot takes its nearest unused candidate.
+	used := make(map[int]bool, len(slots))
+	var bound float64
+	for _, slot := range slots {
+		best, bestD := -1, math.Inf(1)
+		for _, id := range candidates {
+			if used[id] {
+				continue
+			}
+			if d := pos[id].Dist(slot); d < bestD {
+				best, bestD = id, d
+			}
+		}
+		if best < 0 {
+			return candidates
+		}
+		used[best] = true
+		bound += mob.MoveEnergy(bestD)
+	}
+	// Survivors: every candidate within U/k of some slot. The greedy
+	// picks qualify by construction, so feasibility is preserved; the
+	// tiny relative epsilon keeps exact-boundary candidates eligible
+	// against floating-point noise.
+	radius := bound / mob.K * (1 + 1e-12)
+	keep := make(map[int]bool)
+	var buf []int
+	for _, slot := range slots {
+		buf = grid.AppendInRange(buf[:0], slot, radius)
+		for _, id := range buf {
+			keep[id] = true
+		}
+	}
+	pruned := candidates[:0]
+	for _, id := range candidates {
+		if keep[id] {
+			pruned = append(pruned, id)
+		}
+	}
+	return pruned
 }
 
 // RecruitmentRow is one flow instance's comparison.

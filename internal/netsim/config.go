@@ -21,6 +21,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/routing"
 	"repro/internal/sim"
+	"repro/internal/spatial"
 	"repro/internal/trace"
 )
 
@@ -102,6 +103,15 @@ type Config struct {
 	// Planner plans flow paths on the initial topology (default greedy,
 	// as in the paper's evaluation).
 	Planner routing.Planner
+	// NeighborIndex selects the spatial index backing the world's
+	// neighbor queries — initial HELLO seeding, beacon broadcast receiver
+	// lookup, and AODV flood fan-out. spatial.KindGrid (the default when
+	// empty) answers range queries in O(k) via radio-range-sized cells
+	// and is what makes large-node-count scenarios tractable;
+	// spatial.KindBrute is the O(n) reference scan kept for differential
+	// testing. Both produce bit-identical runs (see the equivalence
+	// tests).
+	NeighborIndex spatial.Kind
 	// StopOnFirstDeath ends the run when any node depletes its battery
 	// (lifetime experiments).
 	StopOnFirstDeath bool
@@ -169,6 +179,9 @@ func (c Config) Validate() error {
 	}
 	if c.Planner == nil {
 		return errors.New("netsim: nil planner")
+	}
+	if err := c.NeighborIndex.Validate(); err != nil {
+		return err
 	}
 	if c.Horizon <= 0 {
 		return fmt.Errorf("netsim: non-positive horizon %v", c.Horizon)

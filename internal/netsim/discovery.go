@@ -8,10 +8,19 @@ import (
 	"repro/internal/routing"
 )
 
+// aodvTransport carries AODV control messages hop-by-hop with FIFO
+// (per-round) propagation: each transmission is queued and delivered in
+// order, so an RREQ flood expands breadth-first, as per-hop MAC latency
+// makes it do in a real network. Delivering inline through the
+// zero-latency medium would instead expand the flood depth-first and
+// discover serpentine routes. Control energy is charged only when the
+// world charges control traffic.
 type aodvTransport struct {
 	w       *World
 	queue   []func() error
 	pumping bool
+	// scratch is the reusable receiver buffer for flood fan-out queries.
+	scratch []NodeID
 }
 
 var _ routing.Transport = (*aodvTransport)(nil)
@@ -26,19 +35,22 @@ func (t *aodvTransport) Broadcast(from routing.NodeID, msg any) error {
 	if err := t.charge(sender, w.cfg.Radio.Range); err != nil {
 		return err
 	}
-	for _, n := range w.nodes {
+	// The spatial index narrows the flood fan-out to in-range nodes in
+	// O(k); dead nodes are dropped before any delivery is queued (and the
+	// closure re-checks, since a node can die between queueing and pump).
+	t.scratch = w.index.AppendInRange(t.scratch[:0], sender.pos, w.cfg.Radio.Range)
+	for _, id := range t.scratch {
+		n := w.nodes[id]
 		if n.id == from || n.dead {
 			continue
 		}
-		if sender.pos.Dist(n.pos) <= w.cfg.Radio.Range {
-			n, from := n, from
-			t.queue = append(t.queue, func() error {
-				if n.aodv == nil || n.dead {
-					return nil
-				}
-				return n.aodv.Receive(from, msg)
-			})
-		}
+		n, from := n, from
+		t.queue = append(t.queue, func() error {
+			if n.aodv == nil || n.dead {
+				return nil
+			}
+			return n.aodv.Receive(from, msg)
+		})
 	}
 	return t.pump()
 }
@@ -131,7 +143,3 @@ func (w *World) DiscoverPath(src, dst NodeID) ([]NodeID, error) {
 	}
 	return path, nil
 }
-
-// AddFlow registers a flow before Run. It plans (or validates) the path on
-// the current topology, installs flow state along it, and returns the
-// flow's ID.

@@ -256,6 +256,7 @@ func (n *node) move() {
 		}
 	}
 	n.pos, _ = geom.StepToward(n.pos, target, desired)
+	w.index.Move(n.id, n.pos)
 	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindNodeMoved, Node: n.id, Pos: n.pos})
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/routing"
 	"repro/internal/sim"
+	"repro/internal/spatial"
 	"repro/internal/topo"
 	"repro/internal/trace"
 )
@@ -54,6 +55,15 @@ type World struct {
 	medium *radio.Medium
 	nodes  []*node
 	flows  []*flowRuntime
+
+	// index tracks every node's current position for O(k) neighbor
+	// queries (Config.NeighborIndex selects grid vs brute-force). It is
+	// updated on every node move and serves HELLO seeding, broadcast
+	// receiver lookup (via the medium's locator), and AODV floods. Dead
+	// nodes stay indexed: the radio still "reaches" them, and receivers
+	// are responsible for ignoring traffic, exactly as in the reference
+	// scan.
+	index spatial.Index
 
 	beaconer   *hello.Beaconer
 	failures   []failure
@@ -117,7 +127,11 @@ func NewWorld(cfg Config, positions []geom.Point, energies []float64) (*World, e
 	if err != nil {
 		return nil, err
 	}
-	w := &World{cfg: cfg, sched: sched, medium: medium, firstDeath: -1}
+	index, err := spatial.New(cfg.NeighborIndex, cfg.Radio.Range)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{cfg: cfg, sched: sched, medium: medium, index: index, firstDeath: -1}
 	for i, pos := range positions {
 		if energies[i] < 0 {
 			return nil, fmt.Errorf("netsim: negative energy %v for node %d", energies[i], i)
@@ -131,47 +145,47 @@ func NewWorld(cfg Config, positions []geom.Point, energies []float64) (*World, e
 			flows:     core.NewTable(),
 		}
 		w.nodes = append(w.nodes, n)
+		w.index.Insert(i, pos)
 		if err := medium.Register(i, n); err != nil {
 			return nil, err
 		}
 	}
+	medium.UseLocator(w.index)
 	w.seedNeighborTables()
 	return w, nil
 }
 
 // seedNeighborTables performs the initial HELLO exchange: every node
-// learns its in-range neighbors' position and energy at t=0.
+// learns its in-range neighbors' position and energy at t=0. The spatial
+// index serves each node's neighborhood in O(k), so seeding a world costs
+// O(n·k) instead of the former O(n²) all-pairs scan.
 func (w *World) seedNeighborTables() {
+	var buf []NodeID
 	for _, n := range w.nodes {
 		n.lastAdvert = n.beacon()
-		for _, m := range w.nodes {
-			if n.id == m.id {
+		buf = w.index.AppendInRange(buf[:0], n.pos, w.cfg.Radio.Range)
+		for _, id := range buf {
+			if id == n.id {
 				continue
 			}
-			if n.pos.Dist(m.pos) <= w.cfg.Radio.Range {
-				n.neighbors.Update(m.beacon(), 0)
-			}
+			n.neighbors.Update(w.nodes[id].beacon(), 0)
 		}
 	}
 }
 
-// Graph returns the unit-disk connectivity graph over current positions.
+// Graph returns the unit-disk connectivity graph over current positions,
+// backed by the world's configured neighbor-index kind.
 func (w *World) Graph() (*topo.Graph, error) {
 	pos := make([]geom.Point, len(w.nodes))
 	for i, n := range w.nodes {
 		pos[i] = n.pos
 	}
-	return topo.NewGraph(pos, w.cfg.Radio.Range)
+	return topo.NewGraphIndexed(pos, w.cfg.Radio.Range, w.cfg.NeighborIndex)
 }
 
-// aodvTransport carries AODV control messages hop-by-hop with FIFO
-// (per-round) propagation: each transmission is queued and delivered in
-// order, so an RREQ flood expands breadth-first, as per-hop MAC latency
-// makes it do in a real network. Delivering inline through the
-// zero-latency medium would instead expand the flood depth-first and
-// discover serpentine routes. Control energy is charged only when the
-// world charges control traffic.
-
+// AddFlow registers a flow before Run. It plans (or validates) the path on
+// the current topology, installs flow state along it, and returns the
+// flow's ID.
 func (w *World) AddFlow(spec FlowSpec) (core.FlowID, error) {
 	if w.started {
 		return 0, errors.New("netsim: cannot add flows after Run")

@@ -86,6 +86,17 @@ type Stats struct {
 	DeadDrops  uint64
 }
 
+// Locator is a spatial view of the registered endpoints: it reports which
+// node IDs lie within a radius of a point, in ascending ID order
+// (spatial.Index satisfies it). Installing one via UseLocator lets
+// Broadcast find its receivers in O(k) instead of scanning every
+// registered endpoint.
+type Locator interface {
+	// AppendInRange appends the IDs of all indexed nodes within r of p to
+	// dst, ascending, and returns the extended slice.
+	AppendInRange(dst []int, p geom.Point, r float64) []int
+}
+
 // Medium is the shared wireless channel. It is single-threaded, driven by
 // the simulation scheduler.
 type Medium struct {
@@ -95,7 +106,12 @@ type Medium struct {
 	// sorted caches ascending endpoint IDs for deterministic broadcast
 	// order without per-broadcast sorting.
 	sorted []NodeID
-	stats  Stats
+	// locator, when installed, serves broadcast receiver lookups; nil
+	// falls back to the linear scan over sorted.
+	locator Locator
+	// scratch is the reusable receiver-ID buffer for locator broadcasts.
+	scratch []NodeID
+	stats   Stats
 }
 
 // NewMedium creates a medium on the given scheduler.
@@ -135,6 +151,13 @@ func (m *Medium) Register(id NodeID, ep Endpoint) error {
 	m.endpoints[id] = ep
 	return nil
 }
+
+// UseLocator installs loc as the broadcast receiver source. The caller
+// owns consistency: loc must track exactly the registered endpoints and
+// their current positions (netsim.World maintains this through its
+// spatial index, updating it on every node move). A nil loc reverts to
+// the built-in scan over all registered endpoints.
+func (m *Medium) UseLocator(loc Locator) { m.locator = loc }
 
 // Stats returns a copy of the activity counters.
 func (m *Medium) Stats() Stats { return m.stats }
@@ -203,13 +226,32 @@ func (m *Medium) Broadcast(from NodeID, bits float64, cat energy.Category, msg a
 	}
 	origin := sender.Position()
 	n := 0
-	// Deterministic receiver order: ascending ID.
+	if m.locator != nil {
+		// O(k) receiver lookup via the spatial index; ascending-ID order
+		// is part of the Locator contract. Detach the scratch buffer while
+		// iterating so a reentrant broadcast cannot clobber it.
+		ids := m.scratch[:0]
+		m.scratch = nil
+		ids = m.locator.AppendInRange(ids, origin, m.cfg.Range)
+		for _, id := range ids {
+			if id == from {
+				continue
+			}
+			if ep, ok := m.endpoints[id]; ok {
+				m.deliver(from, ep, bits, cat, msg)
+				n++
+			}
+		}
+		m.scratch = ids
+		return n, nil
+	}
+	// Reference path: deterministic receiver order, ascending ID.
 	for _, id := range m.sorted {
 		if id == from {
 			continue
 		}
 		ep := m.endpoints[id]
-		if origin.Dist(ep.Position()) <= m.cfg.Range {
+		if origin.Dist2(ep.Position()) <= m.cfg.Range*m.cfg.Range {
 			m.deliver(from, ep, bits, cat, msg)
 			n++
 		}

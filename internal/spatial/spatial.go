@@ -1,0 +1,335 @@
+// Package spatial provides the simulator's neighbor indexes: dynamic
+// planar point sets answering "which nodes lie within radius r of point
+// p?". The uniform Grid answers in O(k) for k reported neighbors by
+// bucketing points into radio-range-sized cells, replacing the O(n)
+// scans that capped the simulator at paper scale (100 nodes); the Brute
+// index is the straightforward linear scan, kept as the reference
+// implementation for differential testing.
+//
+// Both implementations honor the same contract so they are drop-in
+// interchangeable:
+//
+//   - membership is judged on squared Euclidean distance,
+//     Dist2(p, q) <= r*r, so boundary points at exactly radius r are
+//     included and grid and brute-force answers agree bit-for-bit;
+//   - query results are returned in ascending ID order, preserving the
+//     simulator's determinism guarantee (one seed, one byte-identical
+//     run) regardless of which index serves the query;
+//   - IDs are arbitrary non-negative integers chosen by the caller
+//     (netsim uses node IDs).
+//
+// The package is deliberately dependency-free (geom only) so every layer
+// — topo graphs, the radio medium, netsim worlds, experiment drivers —
+// can share one index.
+package spatial
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Index is a dynamic set of identified points supporting range queries.
+// Implementations must return query results in ascending ID order and
+// judge membership by squared distance (see the package comment).
+type Index interface {
+	// Insert adds id at p. Inserting an existing id relocates it (Insert
+	// and Move are synonyms; both exist so call sites read naturally).
+	Insert(id int, p geom.Point)
+	// Move relocates id to p, inserting it if absent.
+	Move(id int, p geom.Point)
+	// Remove deletes id. Removing an absent id is a no-op.
+	Remove(id int)
+	// Len returns the number of indexed points.
+	Len() int
+	// InRange returns the IDs of every point q with Dist2(p, q) <= r*r,
+	// in ascending ID order. A negative radius yields nil.
+	InRange(p geom.Point, r float64) []int
+	// AppendInRange appends the InRange result to dst and returns the
+	// extended slice. It performs no allocation when dst has capacity,
+	// which keeps the simulator's per-beacon queries allocation-free.
+	AppendInRange(dst []int, p geom.Point, r float64) []int
+}
+
+// Kind names an Index implementation, for configuration surfaces.
+type Kind string
+
+// The available index implementations.
+const (
+	// KindGrid is the uniform-grid index: O(k) queries, O(1) updates.
+	KindGrid Kind = "grid"
+	// KindBrute is the exhaustive linear scan: O(n) queries, the
+	// reference implementation grid answers are tested against.
+	KindBrute Kind = "brute"
+)
+
+// Validate checks that k names a known implementation. The empty Kind is
+// valid and means KindGrid (the default).
+func (k Kind) Validate() error {
+	switch k {
+	case "", KindGrid, KindBrute:
+		return nil
+	default:
+		return fmt.Errorf("spatial: unknown index kind %q", string(k))
+	}
+}
+
+// New returns an empty index of the given kind. cellSize sizes the grid
+// cells — the query radius the index will mostly serve (the radio range)
+// is the natural choice — and is ignored by the brute-force index. The
+// empty kind builds a grid.
+func New(kind Kind, cellSize float64) (Index, error) {
+	switch kind {
+	case "", KindGrid:
+		return NewGrid(cellSize)
+	case KindBrute:
+		return NewBrute(), nil
+	default:
+		return nil, fmt.Errorf("spatial: unknown index kind %q", string(kind))
+	}
+}
+
+// FromPoints builds an index of the given kind over pts, with point i
+// indexed under ID i — the layout of every parallel node slice in the
+// simulator.
+func FromPoints(kind Kind, cellSize float64, pts []geom.Point) (Index, error) {
+	idx, err := New(kind, cellSize)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range pts {
+		idx.Insert(i, p)
+	}
+	return idx, nil
+}
+
+// cellKey addresses one grid cell by its integer cell coordinates.
+type cellKey struct{ cx, cy int }
+
+// gridSlot records where an ID currently lives: its exact position and
+// its cell.
+type gridSlot struct {
+	pos geom.Point
+	key cellKey
+}
+
+// Grid is a uniform-grid Index: the plane is cut into cellSize×cellSize
+// cells and each point is bucketed by its cell. A range query visits only
+// the cells overlapping the query disk's bounding box — with cellSize
+// equal to the query radius that is at most 9 cells regardless of how
+// many points the index holds, so queries cost O(k) in the number of
+// points near the query, not O(n) in the index size.
+//
+// Grid is not safe for concurrent use; like the rest of the simulator it
+// is single-threaded within one world (parallel sweeps give each trial
+// its own world and therefore its own index).
+type Grid struct {
+	cell  float64
+	cells map[cellKey][]int
+	where map[int]gridSlot
+	// bounds clamp query scans to cells that have ever been occupied, so
+	// a huge query radius degrades to the brute-force cost instead of
+	// iterating empty space. They only grow; stale slack is harmless.
+	minC, maxC cellKey
+	hasBounds  bool
+}
+
+var _ Index = (*Grid)(nil)
+
+// NewGrid returns an empty grid with the given cell side length. The cell
+// size must be positive and finite; the query radius the grid will serve
+// (the radio range) is the natural choice.
+func NewGrid(cellSize float64) (*Grid, error) {
+	if !(cellSize > 0) || math.IsInf(cellSize, 1) {
+		return nil, fmt.Errorf("spatial: invalid grid cell size %v", cellSize)
+	}
+	return &Grid{
+		cell:  cellSize,
+		cells: make(map[cellKey][]int),
+		where: make(map[int]gridSlot),
+	}, nil
+}
+
+// CellSize returns the grid's cell side length.
+func (g *Grid) CellSize() float64 { return g.cell }
+
+// keyOf returns the cell containing p.
+func (g *Grid) keyOf(p geom.Point) cellKey {
+	return cellKey{
+		cx: int(math.Floor(p.X / g.cell)),
+		cy: int(math.Floor(p.Y / g.cell)),
+	}
+}
+
+// Insert implements Index.
+func (g *Grid) Insert(id int, p geom.Point) {
+	k := g.keyOf(p)
+	if slot, ok := g.where[id]; ok {
+		if slot.key == k {
+			g.where[id] = gridSlot{pos: p, key: k}
+			return
+		}
+		g.unbucket(id, slot.key)
+	}
+	g.cells[k] = append(g.cells[k], id)
+	g.where[id] = gridSlot{pos: p, key: k}
+	g.grow(k)
+}
+
+// Move implements Index.
+func (g *Grid) Move(id int, p geom.Point) { g.Insert(id, p) }
+
+// Remove implements Index.
+func (g *Grid) Remove(id int) {
+	slot, ok := g.where[id]
+	if !ok {
+		return
+	}
+	g.unbucket(id, slot.key)
+	delete(g.where, id)
+}
+
+// unbucket removes id from the cell bucket at k (swap-delete; bucket
+// order is irrelevant because queries sort their results).
+func (g *Grid) unbucket(id int, k cellKey) {
+	bucket := g.cells[k]
+	for i, v := range bucket {
+		if v == id {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(g.cells, k)
+	} else {
+		g.cells[k] = bucket
+	}
+}
+
+// grow widens the occupied-cell bounds to include k.
+func (g *Grid) grow(k cellKey) {
+	if !g.hasBounds {
+		g.minC, g.maxC = k, k
+		g.hasBounds = true
+		return
+	}
+	if k.cx < g.minC.cx {
+		g.minC.cx = k.cx
+	}
+	if k.cy < g.minC.cy {
+		g.minC.cy = k.cy
+	}
+	if k.cx > g.maxC.cx {
+		g.maxC.cx = k.cx
+	}
+	if k.cy > g.maxC.cy {
+		g.maxC.cy = k.cy
+	}
+}
+
+// Len implements Index.
+func (g *Grid) Len() int { return len(g.where) }
+
+// InRange implements Index.
+func (g *Grid) InRange(p geom.Point, r float64) []int {
+	return g.AppendInRange(nil, p, r)
+}
+
+// AppendInRange implements Index.
+func (g *Grid) AppendInRange(dst []int, p geom.Point, r float64) []int {
+	if r < 0 || !g.hasBounds {
+		return dst
+	}
+	r2 := r * r
+	lo := g.keyOf(geom.Pt(p.X-r, p.Y-r))
+	hi := g.keyOf(geom.Pt(p.X+r, p.Y+r))
+	if lo.cx < g.minC.cx {
+		lo.cx = g.minC.cx
+	}
+	if lo.cy < g.minC.cy {
+		lo.cy = g.minC.cy
+	}
+	if hi.cx > g.maxC.cx {
+		hi.cx = g.maxC.cx
+	}
+	if hi.cy > g.maxC.cy {
+		hi.cy = g.maxC.cy
+	}
+	start := len(dst)
+	for cx := lo.cx; cx <= hi.cx; cx++ {
+		for cy := lo.cy; cy <= hi.cy; cy++ {
+			for _, id := range g.cells[cellKey{cx: cx, cy: cy}] {
+				if g.where[id].pos.Dist2(p) <= r2 {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	sort.Ints(dst[start:])
+	return dst
+}
+
+// Brute is the exhaustive-scan Index: every query walks every indexed
+// point. It is the reference implementation the grid is differentially
+// tested against, and remains a sensible choice for tiny point sets where
+// bucketing overhead exceeds the scan.
+type Brute struct {
+	ids []int // ascending, so query results need no sort
+	pos map[int]geom.Point
+}
+
+var _ Index = (*Brute)(nil)
+
+// NewBrute returns an empty brute-force index.
+func NewBrute() *Brute {
+	return &Brute{pos: make(map[int]geom.Point)}
+}
+
+// Insert implements Index.
+func (b *Brute) Insert(id int, p geom.Point) {
+	if _, ok := b.pos[id]; !ok {
+		at := sort.SearchInts(b.ids, id)
+		b.ids = append(b.ids, 0)
+		copy(b.ids[at+1:], b.ids[at:])
+		b.ids[at] = id
+	}
+	b.pos[id] = p
+}
+
+// Move implements Index.
+func (b *Brute) Move(id int, p geom.Point) { b.Insert(id, p) }
+
+// Remove implements Index.
+func (b *Brute) Remove(id int) {
+	if _, ok := b.pos[id]; !ok {
+		return
+	}
+	delete(b.pos, id)
+	at := sort.SearchInts(b.ids, id)
+	b.ids = append(b.ids[:at], b.ids[at+1:]...)
+}
+
+// Len implements Index.
+func (b *Brute) Len() int { return len(b.ids) }
+
+// InRange implements Index.
+func (b *Brute) InRange(p geom.Point, r float64) []int {
+	return b.AppendInRange(nil, p, r)
+}
+
+// AppendInRange implements Index.
+func (b *Brute) AppendInRange(dst []int, p geom.Point, r float64) []int {
+	if r < 0 {
+		return dst
+	}
+	r2 := r * r
+	for _, id := range b.ids {
+		if b.pos[id].Dist2(p) <= r2 {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}

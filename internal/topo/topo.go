@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"repro/internal/geom"
+	"repro/internal/spatial"
 	"repro/internal/stats"
 )
 
@@ -108,22 +109,38 @@ func PlaceArc(n int, a, b geom.Point, height float64) []geom.Point {
 }
 
 // Graph is a unit-disk connectivity view over a set of node positions.
-// It is rebuilt (cheaply) whenever positions change; the simulator's
-// neighbor tables are maintained by the HELLO protocol instead, so Graph
-// is used for initial route construction and analysis.
+// It is rebuilt (cheaply, O(n)) whenever positions change; the
+// simulator's neighbor tables are maintained by the HELLO protocol
+// instead, so Graph is used for initial route construction and analysis.
+// Neighbor queries are served by a spatial index — a uniform grid with
+// radio-range-sized cells by default, so traversals cost O(k) per node
+// visited instead of O(n) — with the brute-force scan available via
+// NewGraphIndexed as the reference implementation.
 type Graph struct {
 	pos    []geom.Point
 	radius float64
+	idx    spatial.Index
 }
 
 // NewGraph returns a unit-disk graph over the given positions with the
-// given communication radius. It returns an error for a non-positive
-// radius.
+// given communication radius, backed by the default grid index. It
+// returns an error for a non-positive radius.
 func NewGraph(pos []geom.Point, radius float64) (*Graph, error) {
+	return NewGraphIndexed(pos, radius, spatial.KindGrid)
+}
+
+// NewGraphIndexed is NewGraph with an explicit neighbor-index choice
+// (spatial.KindGrid or spatial.KindBrute). Both produce identical graphs;
+// the brute-force index exists for differential testing and tiny inputs.
+func NewGraphIndexed(pos []geom.Point, radius float64, kind spatial.Kind) (*Graph, error) {
 	if radius <= 0 {
 		return nil, fmt.Errorf("topo: non-positive radius %v", radius)
 	}
-	return &Graph{pos: pos, radius: radius}, nil
+	idx, err := spatial.FromPoints(kind, radius, pos)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{pos: pos, radius: radius, idx: idx}, nil
 }
 
 // Len returns the number of nodes.
@@ -147,10 +164,20 @@ func (g *Graph) Connected(i, j NodeID) bool {
 // Neighbors returns the IDs of all nodes within range of i, in ascending
 // ID order (deterministic).
 func (g *Graph) Neighbors(i NodeID) []NodeID {
-	var out []NodeID
-	for j := range g.pos {
-		if g.Connected(i, j) {
-			out = append(out, j)
+	return g.AppendNeighbors(nil, i)
+}
+
+// AppendNeighbors appends i's neighbors (ascending ID order, excluding i
+// itself) to dst and returns the extended slice. Traversals reuse one
+// buffer through this to stay allocation-light on large graphs.
+func (g *Graph) AppendNeighbors(dst []NodeID, i NodeID) []NodeID {
+	start := len(dst)
+	dst = g.idx.AppendInRange(dst, g.pos[i], g.radius)
+	// Drop i itself (a node is not its own neighbor), preserving order.
+	out := dst[:start]
+	for _, id := range dst[start:] {
+		if id != i {
+			out = append(out, id)
 		}
 	}
 	return out
@@ -162,8 +189,10 @@ func (g *Graph) AvgDegree() float64 {
 		return 0
 	}
 	total := 0
+	var buf []NodeID
 	for i := range g.pos {
-		total += len(g.Neighbors(i))
+		buf = g.AppendNeighbors(buf[:0], i)
+		total += len(buf)
 	}
 	return float64(total) / float64(len(g.pos))
 }
@@ -178,10 +207,12 @@ func (g *Graph) IsConnected() bool {
 	stack := []NodeID{0}
 	seen[0] = true
 	count := 1
+	var buf []NodeID
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, nb := range g.Neighbors(cur) {
+		buf = g.AppendNeighbors(buf[:0], cur)
+		for _, nb := range buf {
 			if !seen[nb] {
 				seen[nb] = true
 				count++
@@ -207,10 +238,12 @@ func (g *Graph) HopPath(src, dst NodeID) ([]NodeID, error) {
 	}
 	queue := []NodeID{src}
 	prev[src] = src
+	var buf []NodeID
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, nb := range g.Neighbors(cur) {
+		buf = g.AppendNeighbors(buf[:0], cur)
+		for _, nb := range buf {
 			if prev[nb] != -1 {
 				continue
 			}
@@ -246,6 +279,7 @@ func (g *Graph) MinCostPath(src, dst NodeID, weight WeightFunc) ([]NodeID, error
 	}
 	dist[src] = 0
 	prev[src] = src
+	var buf []NodeID
 	for {
 		// Linear scan extract-min: n is ~100 in the paper's experiments;
 		// a heap would be noise.
@@ -263,7 +297,8 @@ func (g *Graph) MinCostPath(src, dst NodeID, weight WeightFunc) ([]NodeID, error
 			return buildPath(prev, src, dst), nil
 		}
 		done[cur] = true
-		for _, nb := range g.Neighbors(cur) {
+		buf = g.AppendNeighbors(buf[:0], cur)
+		for _, nb := range buf {
 			if done[nb] {
 				continue
 			}
@@ -313,7 +348,10 @@ func (g *Graph) GreedyPath(src, dst NodeID) ([]NodeID, error) {
 func (g *Graph) GreedyNext(cur NodeID, target geom.Point) (NodeID, error) {
 	best := -1
 	bestD := g.pos[cur].Dist2(target)
-	for _, nb := range g.Neighbors(cur) {
+	for _, nb := range g.idx.InRange(g.pos[cur], g.radius) {
+		if nb == cur {
+			continue
+		}
 		if d := g.pos[nb].Dist2(target); d < bestD {
 			bestD = d
 			best = nb
