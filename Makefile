@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench vet doclint ci
+.PHONY: build test race fuzz bench smoke vet doclint ci
 
 build:
 	$(GO) build ./...
@@ -31,4 +31,14 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
-ci: vet doclint build test race fuzz
+# smoke drives the CLI end-to-end through the faulty regime — lossy
+# bursty channel, node churn, retry transport, route repair — over a
+# small Monte-Carlo batch, built with the race detector enabled.
+smoke:
+	$(GO) run -race ./cmd/imobif-sim -nodes 40 -field 800 -flow-kb 256 \
+		-trials 4 -loss 0.15 -burst 3 -retry 5 -retry-timeout 0.2 \
+		-repair -fault-seed 7 -seed 1
+	$(GO) run -race ./cmd/imobif-sim -nodes 40 -field 800 -flow-kb 512 \
+		-crash 2 -retry 3 -retry-timeout 0.25 -repair -fault-seed 11 -seed 1
+
+ci: vet doclint build test race fuzz smoke

@@ -257,6 +257,61 @@ func BenchmarkSimulationRun(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultOverhead quantifies what the fault layer costs along the
+// packet hot path, one sub-benchmark per rung of the ladder:
+//
+//   - ideal: Config.Faults nil — the pre-fault fast path; the radio never
+//     consults an injector and nodes never track pending packets.
+//   - hook: injector installed with p=0 — every unicast pays one Drop()
+//     call that never fires. This is the "zero-fault hook overhead" the
+//     ideal path must not silently regress toward.
+//   - retry: lossless channel with the retry/ack transport on — adds a
+//     per-hop ack packet and pending-table bookkeeping per data packet.
+//   - lossy-retry: p=0.1 with retries — the realistic faulty regime.
+func BenchmarkFaultOverhead(b *testing.B) {
+	variants := []struct {
+		name   string
+		faults *FaultConfig
+	}{
+		{"ideal", nil},
+		{"hook", &FaultConfig{LossP: 0, Seed: 1}},
+		{"retry", &FaultConfig{RetryLimit: 5, RetryTimeoutSec: 0.2, Seed: 1}},
+		{"lossy-retry", &FaultConfig{LossP: 0.1, RetryLimit: 5, RetryTimeoutSec: 0.2, Seed: 1}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Faults = v.faults
+			net, err := NewRandomNetwork(cfg, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src, dst, err := net.PickFlowEndpoints(3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var last *Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim, err := NewSimulation(cfg, net)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.AddFlow(src, dst, 10<<20); err != nil {
+					b.Fatal(err)
+				}
+				if last, err = sim.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if !last.Flows[0].Completed {
+				b.Fatalf("flow did not complete under %s", v.name)
+			}
+			b.ReportMetric(last.Flows[0].DeliveryRatio, "delivery-ratio")
+		})
+	}
+}
+
 // BenchmarkNeighborRecompute measures a full neighbor-table recomputation
 // (one InRange query per node — what netsim's initial HELLO seeding and
 // the discovery flood fan-out do) under the grid index versus the

@@ -8,6 +8,8 @@
 //	imobif-sim -nodes 100 -flow-kb 1024 -strategy min-energy -mode informed
 //	imobif-sim -mode cost-unaware -k 1.0 -alpha 3 -seed 7
 //	imobif-sim -trials 200 -concurrency 0 -compare
+//	imobif-sim -loss 0.1 -retry 5 -retry-timeout 0.2
+//	imobif-sim -loss 0.2 -burst 4 -crash 3 -repair -retry 5 -retry-timeout 0.2
 //	imobif-sim -scenario examples/scenarios/chain.json
 package main
 
@@ -15,7 +17,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"math/rand"
 	"os"
 
 	imobif "repro"
@@ -42,24 +46,45 @@ func main() {
 		energyLo    = flag.Float64("energy-lo", 5000, "min initial node energy, J")
 		energyHi    = flag.Float64("energy-hi", 10000, "max initial node energy, J")
 		scenFile    = flag.String("scenario", "", "run a JSON scenario file instead of the flag-driven setup")
+
+		loss         = flag.Float64("loss", 0, "per-transmission loss probability in [0,1) (0 = ideal channel)")
+		burst        = flag.Float64("burst", 0, "mean loss-burst length; >= 1 switches to a Gilbert-Elliott bursty channel")
+		crash        = flag.Int("crash", 0, "crash this many random relay nodes during the run (each recovers 10 s later)")
+		retry        = flag.Int("retry", 0, "hop-by-hop retransmissions per packet (0 = no retry transport)")
+		retryTimeout = flag.Float64("retry-timeout", 0.2, "per-hop ack wait before retransmitting, seconds")
+		repair       = flag.Bool("repair", false, "re-plan flow paths around dead or unreachable relays")
+		faultSeed    = flag.Int64("fault-seed", 1, "seed for the fault injector's private stream and crash choice")
 	)
 	flag.Parse()
 
+	fo := faultOpts{
+		loss: *loss, burst: *burst, crash: *crash, retry: *retry,
+		retryTimeout: *retryTimeout, repair: *repair, seed: *faultSeed,
+	}
 	side := fieldSide(*field, *nodes)
 	var err error
 	switch {
 	case *scenFile != "":
-		err = runScenario(*scenFile)
+		err = runScenario(os.Stdout, *scenFile)
 	case *trials > 1:
-		err = runBatch(batchOpts{
-			nodes: *nodes, field: side, rng: *rng, k: *k, alpha: *alpha,
-			flowKB: *flowKB, strategy: *strategy, mode: *mode, seed: *seed,
-			trials: *trials, concurrency: *concurrency, compare: *compare,
-			deaths: *deaths, energyLo: *energyLo, energyHi: *energyHi,
-			index: *index,
+		err = runBatch(os.Stdout, batchOpts{
+			runOpts: runOpts{
+				nodes: *nodes, field: side, rng: *rng, k: *k, alpha: *alpha,
+				flowKB: *flowKB, strategy: *strategy, mode: *mode, seed: *seed,
+				compare: *compare, deaths: *deaths,
+				energyLo: *energyLo, energyHi: *energyHi,
+				index: *index, faults: fo,
+			},
+			trials: *trials, concurrency: *concurrency,
 		})
 	default:
-		err = run(*nodes, side, *rng, *k, *alpha, *flowKB, *strategy, *mode, *index, *seed, *compare, *deaths, *energyLo, *energyHi)
+		err = run(os.Stdout, runOpts{
+			nodes: *nodes, field: side, rng: *rng, k: *k, alpha: *alpha,
+			flowKB: *flowKB, strategy: *strategy, mode: *mode, seed: *seed,
+			compare: *compare, deaths: *deaths,
+			energyLo: *energyLo, energyHi: *energyHi,
+			index: *index, faults: fo,
+		})
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imobif-sim: %v\n", err)
@@ -78,23 +103,55 @@ func fieldSide(field float64, nodes int) float64 {
 	return 1000 * math.Sqrt(float64(nodes)/100)
 }
 
-type batchOpts struct {
-	nodes               int
-	field, rng, k       float64
-	alpha, flowKB       float64
-	strategy, mode      string
-	index               string
-	seed                int64
-	trials, concurrency int
-	compare, deaths     bool
-	energyLo, energyHi  float64
+// faultOpts carries the fault-injection flags. The zero value means the
+// ideal channel: no loss, no crashes, no retry transport.
+type faultOpts struct {
+	loss, burst  float64
+	crash        int
+	retry        int
+	retryTimeout float64
+	repair       bool
+	seed         int64
 }
 
-// runBatch runs the flag-driven setup as a Monte-Carlo batch: trial t
-// draws its network and endpoints from the seed derived from
-// (-seed, t), so the aggregate is independent of -concurrency and
-// reproducible from -seed alone.
-func runBatch(o batchOpts) error {
+func (f faultOpts) enabled() bool {
+	return f.loss > 0 || f.burst >= 1 || f.crash > 0 || f.retry > 0 || f.repair
+}
+
+// config converts the flags to the public fault configuration, or nil
+// when every fault knob is off so the zero-fault fast path stays active.
+func (f faultOpts) config() *imobif.FaultConfig {
+	if !f.enabled() {
+		return nil
+	}
+	return &imobif.FaultConfig{
+		LossP:           f.loss,
+		LossBurst:       f.burst,
+		Seed:            f.seed,
+		RetryLimit:      f.retry,
+		RetryTimeoutSec: f.retryTimeout,
+		RouteRepair:     f.repair,
+	}
+}
+
+type runOpts struct {
+	nodes              int
+	field, rng, k      float64
+	alpha, flowKB      float64
+	strategy, mode     string
+	index              string
+	seed               int64
+	compare, deaths    bool
+	energyLo, energyHi float64
+	faults             faultOpts
+}
+
+type batchOpts struct {
+	runOpts
+	trials, concurrency int
+}
+
+func (o runOpts) config() (imobif.Config, error) {
 	cfg := imobif.DefaultConfig()
 	cfg.Nodes = o.nodes
 	cfg.FieldWidth, cfg.FieldHeight = o.field, o.field
@@ -105,13 +162,24 @@ func runBatch(o batchOpts) error {
 	cfg.Mode = imobif.Mode(o.mode)
 	cfg.NeighborIndex = o.index
 	cfg.StopOnFirstDeath = o.deaths
-	if err := cfg.Validate(); err != nil {
+	cfg.Faults = o.faults.config()
+	return cfg, cfg.Validate()
+}
+
+// runBatch runs the flag-driven setup as a Monte-Carlo batch: trial t
+// draws its network and endpoints from the seed derived from
+// (-seed, t), so the aggregate is independent of -concurrency and
+// reproducible from -seed alone.
+func runBatch(w io.Writer, o batchOpts) error {
+	cfg, err := o.config()
+	if err != nil {
 		return err
 	}
 
 	type trialOut struct {
 		Total     float64
 		Ratio     float64
+		Delivery  float64
 		Completed bool
 	}
 	r := sweep.Runner{Concurrency: o.concurrency}
@@ -126,15 +194,19 @@ func runBatch(o batchOpts) error {
 			if err != nil {
 				return trialOut{}, err
 			}
-			res, err := runOnce(cfg, net, src, dst, o.flowKB)
+			res, err := runOnce(cfg, net, src, dst, o.flowKB, o.faults)
 			if err != nil {
 				return trialOut{}, err
 			}
-			out := trialOut{Total: res.TotalJoules(), Completed: res.Flows[0].Completed}
+			out := trialOut{
+				Total:     res.TotalJoules(),
+				Delivery:  res.Flows[0].DeliveryRatio,
+				Completed: res.Flows[0].Completed,
+			}
 			if o.compare {
 				base := cfg
 				base.Mode = imobif.ModeNoMobility
-				baseRes, err := runOnce(base, net, src, dst, o.flowKB)
+				baseRes, err := runOnce(base, net, src, dst, o.flowKB, o.faults)
 				if err != nil {
 					return trialOut{}, err
 				}
@@ -148,72 +220,72 @@ func runBatch(o batchOpts) error {
 		return err
 	}
 
-	var totalJ, ratioSum float64
+	var totalJ, ratioSum, deliverySum float64
 	completed := 0
 	for _, out := range outs {
 		totalJ += out.Total
 		ratioSum += out.Ratio
+		deliverySum += out.Delivery
 		if out.Completed {
 			completed++
 		}
 	}
 	n := float64(len(outs))
-	fmt.Printf("batch: %d trial(s), %d nodes, %.0f KB flow, strategy %s, mode %s, master seed %d\n",
+	fmt.Fprintf(w, "batch: %d trial(s), %d nodes, %.0f KB flow, strategy %s, mode %s, master seed %d\n",
 		o.trials, o.nodes, o.flowKB, o.strategy, o.mode, o.seed)
-	fmt.Printf("completed: %d/%d  mean energy: %.2f J\n", completed, len(outs), totalJ/n)
-	if o.compare {
-		fmt.Printf("mean energy consumption ratio vs no-mobility: %.3f\n", ratioSum/n)
+	fmt.Fprintf(w, "completed: %d/%d  mean energy: %.2f J\n", completed, len(outs), totalJ/n)
+	if o.faults.enabled() {
+		fmt.Fprintf(w, "mean delivery ratio: %.3f\n", deliverySum/n)
 	}
-	fmt.Printf("sweep: %s\n", stats)
+	if o.compare {
+		fmt.Fprintf(w, "mean energy consumption ratio vs no-mobility: %.3f\n", ratioSum/n)
+	}
+	fmt.Fprintf(w, "sweep: %s\n", stats)
 	return nil
 }
 
 // runScenario loads and executes a declarative JSON scenario.
-func runScenario(path string) error {
+func runScenario(w io.Writer, path string) error {
 	s, err := scenario.LoadFile(path)
 	if err != nil {
 		return err
 	}
-	w, _, err := s.Build()
+	world, _, err := s.Build()
 	if err != nil {
 		return err
 	}
-	res, err := w.Run()
+	res, err := world.Run()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("scenario: %s (%s, %s)\n", s.Name, s.Strategy, s.Mode)
+	fmt.Fprintf(w, "scenario: %s (%s, %s)\n", s.Name, s.Strategy, s.Mode)
 	for i, f := range res.Flows {
-		fmt.Printf("flow %d: completed=%v delivered %.0f KB in %.1f s, %d status change(s)\n",
+		fmt.Fprintf(w, "flow %d: completed=%v delivered %.0f KB in %.1f s, %d status change(s)\n",
 			i, f.Completed, f.DeliveredBits/8/1024, float64(f.Duration), f.StatusFlips)
 	}
-	fmt.Printf("energy: %s\n", res.Energy)
+	fmt.Fprintf(w, "energy: %s\n", res.Energy)
+	if s.Faults != nil {
+		fmt.Fprintf(w, "transport: %s\n", res.Transport)
+		fmt.Fprintf(w, "channel loss rate: %.3f (%d/%d evaluations dropped)\n",
+			res.Faults.LossRate(), res.Faults.Dropped, res.Faults.Evaluated)
+	}
 	if res.FirstDeath >= 0 {
-		fmt.Printf("first node death at %.1f s\n", float64(res.FirstDeath))
+		fmt.Fprintf(w, "first node death at %.1f s\n", float64(res.FirstDeath))
 	}
 	return nil
 }
 
-func run(nodes int, field, rng, k, alpha, flowKB float64, strategy, mode, index string, seed int64, compare, deaths bool, energyLo, energyHi float64) error {
-	cfg := imobif.DefaultConfig()
-	cfg.Nodes = nodes
-	cfg.FieldWidth, cfg.FieldHeight = field, field
-	cfg.Range = rng
-	cfg.MobilityCost = k
-	cfg.PathLossExp = alpha
-	cfg.Strategy = imobif.Strategy(strategy)
-	cfg.Mode = imobif.Mode(mode)
-	cfg.NeighborIndex = index
-	cfg.StopOnFirstDeath = deaths
-	if err := cfg.Validate(); err != nil {
-		return err
-	}
-
-	net, err := buildNetwork(cfg, seed, energyLo, energyHi)
+func run(w io.Writer, o runOpts) error {
+	cfg, err := o.config()
 	if err != nil {
 		return err
 	}
-	src, dst, err := net.PickFlowEndpoints(seed)
+
+	net, err := buildNetwork(cfg, o.seed, o.energyLo, o.energyHi)
+	if err != nil {
+		return err
+	}
+	src, dst, err := net.PickFlowEndpoints(o.seed)
 	if err != nil {
 		return err
 	}
@@ -221,28 +293,33 @@ func run(nodes int, field, rng, k, alpha, flowKB float64, strategy, mode, index 
 	if err != nil {
 		return err
 	}
-	fmt.Printf("network: %d nodes on %.0fx%.0f m, range %.0f m\n", nodes, field, field, rng)
-	fmt.Printf("flow: %d -> %d (%.0f KB over %d hops), strategy %s, mode %s\n",
-		src, dst, flowKB, len(route)-1, strategy, mode)
+	fmt.Fprintf(w, "network: %d nodes on %.0fx%.0f m, range %.0f m\n", o.nodes, o.field, o.field, o.rng)
+	fmt.Fprintf(w, "flow: %d -> %d (%.0f KB over %d hops), strategy %s, mode %s\n",
+		src, dst, o.flowKB, len(route)-1, o.strategy, o.mode)
+	if o.faults.enabled() {
+		fmt.Fprintf(w, "faults: loss %.2f, burst %.1f, %d crash(es), retry %d @ %.2f s, repair %v, seed %d\n",
+			o.faults.loss, o.faults.burst, o.faults.crash,
+			o.faults.retry, o.faults.retryTimeout, o.faults.repair, o.faults.seed)
+	}
 
-	res, err := runOnce(cfg, net, src, dst, flowKB)
+	res, err := runOnce(cfg, net, src, dst, o.flowKB, o.faults)
 	if err != nil {
 		return err
 	}
-	report(res)
+	report(w, res, o.faults.enabled())
 
-	if compare {
+	if o.compare {
 		base := cfg
 		base.Mode = imobif.ModeNoMobility
-		baseRes, err := runOnce(base, net, src, dst, flowKB)
+		baseRes, err := runOnce(base, net, src, dst, o.flowKB, o.faults)
 		if err != nil {
 			return err
 		}
 		if t := baseRes.TotalJoules(); t > 0 {
-			fmt.Printf("energy consumption ratio vs no-mobility: %.3f\n", res.TotalJoules()/t)
+			fmt.Fprintf(w, "energy consumption ratio vs no-mobility: %.3f\n", res.TotalJoules()/t)
 		}
-		if deaths && baseRes.Flows[0].LifetimeSeconds > 0 {
-			fmt.Printf("system lifetime ratio vs no-mobility: %.3f\n",
+		if o.deaths && baseRes.Flows[0].LifetimeSeconds > 0 {
+			fmt.Fprintf(w, "system lifetime ratio vs no-mobility: %.3f\n",
 				res.Flows[0].LifetimeSeconds/baseRes.Flows[0].LifetimeSeconds)
 		}
 	}
@@ -266,7 +343,7 @@ func buildNetwork(cfg imobif.Config, seed int64, lo, hi float64) (*imobif.Networ
 	return imobif.NewNetwork(nodes, cfg.Range)
 }
 
-func runOnce(cfg imobif.Config, net *imobif.Network, src, dst int, flowKB float64) (*imobif.Result, error) {
+func runOnce(cfg imobif.Config, net *imobif.Network, src, dst int, flowKB float64, fo faultOpts) (*imobif.Result, error) {
 	sim, err := imobif.NewSimulation(cfg, net)
 	if err != nil {
 		return nil, err
@@ -274,17 +351,63 @@ func runOnce(cfg imobif.Config, net *imobif.Network, src, dst int, flowKB float6
 	if _, err := sim.AddFlow(src, dst, flowKB*1024); err != nil {
 		return nil, err
 	}
+	if err := scheduleCrashes(sim, cfg.Nodes, src, dst, fo); err != nil {
+		return nil, err
+	}
 	return sim.Run()
 }
 
-func report(res *imobif.Result) {
+// scheduleCrashes picks fo.crash distinct relay nodes (never the flow
+// endpoints) from a permutation seeded by -fault-seed and crashes them at
+// 5 s intervals starting at t=5 s; each recovers 10 s after crashing.
+// The choice depends only on the seed, so runs are reproducible.
+func scheduleCrashes(sim *imobif.Simulation, nodes, src, dst int, fo faultOpts) error {
+	if fo.crash <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(fo.seed))
+	scheduled := 0
+	at := 5.0
+	for _, n := range rng.Perm(nodes) {
+		if scheduled == fo.crash {
+			break
+		}
+		if n == src || n == dst {
+			continue
+		}
+		if err := sim.ScheduleNodeFailure(n, at); err != nil {
+			return err
+		}
+		if err := sim.ScheduleNodeRecovery(n, at+10); err != nil {
+			return err
+		}
+		scheduled++
+		at += 5
+	}
+	if scheduled < fo.crash {
+		return fmt.Errorf("cannot crash %d of %d nodes (flow endpoints are exempt)", fo.crash, nodes)
+	}
+	return nil
+}
+
+func report(w io.Writer, res *imobif.Result, faults bool) {
 	f := res.Flows[0]
-	fmt.Printf("completed: %v  delivered: %.0f KB  duration: %.1f s\n",
+	fmt.Fprintf(w, "completed: %v  delivered: %.0f KB  duration: %.1f s\n",
 		f.Completed, f.DeliveredBytes/1024, f.DurationSeconds)
-	fmt.Printf("energy: tx %.2f J + movement %.2f J + control %.2f J = %.2f J\n",
+	fmt.Fprintf(w, "energy: tx %.2f J + movement %.2f J + control %.2f J = %.2f J\n",
 		res.TxJoules, res.MoveJoules, res.ControlJoules, res.TotalJoules())
-	fmt.Printf("notifications: %d  status flips: %d\n", f.Notifications, f.StatusFlips)
+	fmt.Fprintf(w, "notifications: %d  status flips: %d\n", f.Notifications, f.StatusFlips)
+	if faults {
+		c := res.Channel
+		fmt.Fprintf(w, "channel: %d unicast / %d broadcast, %d delivered, drops: %d range, %d dead, %d fault\n",
+			c.Unicasts, c.Broadcasts, c.Delivered, c.RangeDrops, c.DeadDrops, c.FaultDrops)
+		tr := res.Transport
+		fmt.Fprintf(w, "transport: %d retransmit(s), %d ack(s), %d dup-ack(s), %d dup-data, %d link-break(s), %d repair(s)\n",
+			tr.Retransmits, tr.Acks, tr.DupAcks, tr.DupData, tr.LinkBreaks, tr.RouteRepairs)
+		fmt.Fprintf(w, "delivery: %d/%d packets (ratio %.3f), channel loss rate %.3f\n",
+			f.PacketsEmitted-f.PacketsDropped, f.PacketsEmitted, f.DeliveryRatio, res.ChannelLossRate)
+	}
 	if res.FirstDeathSeconds >= 0 {
-		fmt.Printf("first node death at %.1f s\n", res.FirstDeathSeconds)
+		fmt.Fprintf(w, "first node death at %.1f s\n", res.FirstDeathSeconds)
 	}
 }

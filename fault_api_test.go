@@ -1,0 +1,160 @@
+package imobif
+
+import "testing"
+
+// TestFaultConfigValidation checks that bad fault parameters are rejected
+// at the public layer.
+func TestFaultConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		faults *FaultConfig
+	}{
+		{"loss out of range", &FaultConfig{LossP: 1}},
+		{"negative loss", &FaultConfig{LossP: -0.1}},
+		{"sub-one burst", &FaultConfig{LossP: 0.1, LossBurst: 0.5}},
+		{"retry without timeout", &FaultConfig{RetryLimit: 3}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Faults = tt.faults
+			if err := cfg.Validate(); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+	cfg := DefaultConfig()
+	cfg.Faults = &FaultConfig{LossP: 0.1, RetryLimit: 3, RetryTimeoutSec: 0.5}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid fault config rejected: %v", err)
+	}
+}
+
+// TestLossyRunThroughPublicAPI drives the whole fault stack end-to-end
+// through the public surface: lossy channel, retry transport, delivery
+// accounting, and the channel/transport counters on Result.
+func TestLossyRunThroughPublicAPI(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 60
+	cfg.FieldWidth, cfg.FieldHeight = 800, 800
+	cfg.Faults = &FaultConfig{
+		LossP: 0.1, Seed: 5,
+		RetryLimit: 5, RetryTimeoutSec: 0.2,
+	}
+	net, err := NewRandomNetwork(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst, err := net.PickFlowEndpoints(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulation(cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.AddFlow(src, dst, 256*1024); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Flows[0]
+	if f.DeliveryRatio < 0.99 {
+		t.Errorf("delivery ratio %v at 10%% loss with retries, want >= 0.99", f.DeliveryRatio)
+	}
+	if f.PacketsEmitted == 0 {
+		t.Error("no packets emitted")
+	}
+	if res.Transport.Retransmits == 0 {
+		t.Error("no retransmissions recorded at p=0.1")
+	}
+	if res.Channel.FaultDrops == 0 {
+		t.Error("no fault drops recorded at p=0.1")
+	}
+	if res.ChannelLossRate <= 0 {
+		t.Errorf("channel loss rate %v, want > 0", res.ChannelLossRate)
+	}
+}
+
+// TestIdealChannelKeepsCountersZero pins the zero-fault contract at the
+// public layer: without Config.Faults every fault/transport counter stays
+// zero and delivery is perfect.
+func TestIdealChannelKeepsCountersZero(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 40
+	cfg.FieldWidth, cfg.FieldHeight = 700, 700
+	net, err := NewRandomNetwork(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst, err := net.PickFlowEndpoints(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulation(cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.AddFlow(src, dst, 64*1024); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transport != (TransportStats{}) {
+		t.Errorf("transport counters %+v on the ideal channel, want zeros", res.Transport)
+	}
+	if res.Channel.FaultDrops != 0 {
+		t.Errorf("fault drops = %d on the ideal channel", res.Channel.FaultDrops)
+	}
+	if res.ChannelLossRate != 0 {
+		t.Errorf("channel loss rate = %v on the ideal channel", res.ChannelLossRate)
+	}
+	if f := res.Flows[0]; f.DeliveryRatio != 1 || f.PacketsDropped != 0 {
+		t.Errorf("ideal channel dropped packets: %+v", f)
+	}
+}
+
+// TestCrashRecoveryThroughPublicAPI exercises Simulation's failure and
+// recovery scheduling.
+func TestCrashRecoveryThroughPublicAPI(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeNoMobility
+	cfg.Faults = &FaultConfig{RetryLimit: 1, RetryTimeoutSec: 0.25}
+	nodes := []Node{
+		{ID: 0, X: 0, Y: 0, Joules: 1e6},
+		{ID: 1, X: 150, Y: 120, Joules: 1e6},
+		{ID: 2, X: 300, Y: 0, Joules: 1e6},
+	}
+	net, err := NewNetwork(nodes, cfg.Range)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulation(cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.AddFlowPath([]int{0, 1, 2}, 15*1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.ScheduleNodeFailure(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.ScheduleNodeRecovery(1, 8); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Flows[0]
+	if f.PacketsDropped == 0 {
+		t.Error("no packets dropped during the relay outage")
+	}
+	if f.PacketsDropped >= f.PacketsEmitted {
+		t.Error("recovery never resumed delivery")
+	}
+}

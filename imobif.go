@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/mobility"
 	"repro/internal/netsim"
@@ -93,6 +94,53 @@ type Config struct {
 	// "brute" is the O(n) reference scan kept for differential testing.
 	// Both produce bit-identical results.
 	NeighborIndex string
+	// Faults optionally enables the fault-injection layer: seeded per-link
+	// packet loss, scheduled node crash/recovery, the hop-by-hop retry/ack
+	// transport, and route repair around dead relays. Nil keeps the ideal
+	// channel, bit-identical to a build without the fault layer.
+	Faults *FaultConfig
+}
+
+// FaultConfig parameterizes the fault-injection layer (see internal/fault
+// for the underlying models).
+type FaultConfig struct {
+	// LossP is the per-transmission loss probability in [0, 1).
+	LossP float64
+	// DistanceScaledLoss scales the loss probability with
+	// (distance/range)², so links at the radio edge are the lossiest.
+	DistanceScaledLoss bool
+	// LossBurst >= 1 switches to a Gilbert-Elliott bursty channel with
+	// this mean loss-burst length (in transmissions); 0 keeps independent
+	// losses.
+	LossBurst float64
+	// Seed seeds the injector's private deterministic stream.
+	Seed int64
+	// RetryLimit > 0 enables the hop-by-hop retry/ack transport with that
+	// many retransmissions per packet per hop.
+	RetryLimit int
+	// RetryTimeoutSec is the per-hop ack wait before retransmitting.
+	RetryTimeoutSec float64
+	// AckBytes sizes the hop-level ack packet (default 8 bytes).
+	AckBytes float64
+	// RouteRepair re-plans flow paths around dead or unreachable relays.
+	RouteRepair bool
+}
+
+// fault converts the public fault configuration to the internal one.
+func (f *FaultConfig) fault() *fault.Config {
+	if f == nil {
+		return nil
+	}
+	return &fault.Config{
+		LossP:         f.LossP,
+		DistanceScale: f.DistanceScaledLoss,
+		MeanBurst:     f.LossBurst,
+		Seed:          f.Seed,
+		RetryLimit:    f.RetryLimit,
+		RetryTimeout:  f.RetryTimeoutSec,
+		AckBits:       f.AckBytes * 8,
+		RouteRepair:   f.RouteRepair,
+	}
 }
 
 // DefaultConfig returns the paper's reconstructed evaluation parameters
@@ -182,6 +230,7 @@ func (c Config) netsim() (netsim.Config, error) {
 	cfg.EstimateScale = c.EstimateScale
 	cfg.StopOnFirstDeath = c.StopOnFirstDeath
 	cfg.NeighborIndex = spatial.Kind(c.NeighborIndex)
+	cfg.Faults = c.Faults.fault()
 	return cfg, nil
 }
 
@@ -304,6 +353,45 @@ type FlowResult struct {
 	LifetimeSeconds float64
 	// PathNodes is the number of nodes on the flow path.
 	PathNodes int
+	// PacketsEmitted and PacketsDropped count the flow's data packets put
+	// on the air and those that never reached the destination. On the
+	// ideal channel (Config.Faults nil) PacketsDropped is zero.
+	PacketsEmitted int
+	PacketsDropped int
+	// DeliveryRatio is the delivered fraction of emitted packets (1 for
+	// an idle flow).
+	DeliveryRatio float64
+}
+
+// ChannelStats reports the radio medium's activity during a run.
+type ChannelStats struct {
+	// Unicasts and Broadcasts count transmissions; Delivered counts
+	// per-receiver handoffs.
+	Unicasts   uint64
+	Broadcasts uint64
+	Delivered  uint64
+	// RangeDrops counts unicasts to out-of-range receivers; DeadDrops
+	// counts transmissions lost to depleted senders or receivers;
+	// FaultDrops counts losses injected by the fault layer.
+	RangeDrops uint64
+	DeadDrops  uint64
+	FaultDrops uint64
+}
+
+// TransportStats reports the retry/ack transport's activity during a run.
+// All counters are zero when the fault layer or its retry transport is
+// disabled.
+type TransportStats struct {
+	// Retransmits counts hop-level data retransmissions; Acks counts acks
+	// accepted; DupAcks and DupData count suppressed duplicates.
+	Retransmits uint64
+	Acks        uint64
+	DupAcks     uint64
+	DupData     uint64
+	// LinkBreaks counts retry-limit exhaustions; RouteRepairs counts
+	// successful path re-plans around dead or unreachable relays.
+	LinkBreaks   uint64
+	RouteRepairs uint64
 }
 
 // Result summarizes a simulation run.
@@ -323,6 +411,13 @@ type Result struct {
 	// Before and After are node states at the start and end of the run
 	// (the paper's Figure 5 views).
 	Before, After []Node
+	// Channel reports radio medium counters; Transport reports the
+	// retry/ack transport's counters (all zero on the ideal channel).
+	Channel   ChannelStats
+	Transport TransportStats
+	// ChannelLossRate is the fault injector's observed loss fraction
+	// (0 when fault injection is off).
+	ChannelLossRate float64
 }
 
 // TotalJoules returns the total energy consumed network-wide.
@@ -389,6 +484,13 @@ func (s *Simulation) FlowPath(id FlowID) ([]int, error) {
 	return s.world.FlowPath(core.FlowID(id))
 }
 
+// ScheduleNodeRecovery brings a crashed node back at the given virtual
+// time; it re-announces itself so neighbors relearn it. Must be called
+// before Run.
+func (s *Simulation) ScheduleNodeRecovery(node int, atSeconds float64) error {
+	return s.world.ScheduleNodeRecovery(node, simTime(atSeconds))
+}
+
 // Run executes the simulation to completion and returns the result.
 // Simulations are single-use.
 func (s *Simulation) Run() (*Result, error) {
@@ -402,6 +504,23 @@ func (s *Simulation) Run() (*Result, error) {
 		ControlJoules:     res.Energy.Control,
 		FirstDeathSeconds: float64(res.FirstDeath),
 		DurationSeconds:   float64(res.Duration),
+		Channel: ChannelStats{
+			Unicasts:   res.Medium.Unicasts,
+			Broadcasts: res.Medium.Broadcasts,
+			Delivered:  res.Medium.Delivered,
+			RangeDrops: res.Medium.RangeDrops,
+			DeadDrops:  res.Medium.DeadDrops,
+			FaultDrops: res.Medium.FaultDrops,
+		},
+		Transport: TransportStats{
+			Retransmits:  res.Transport.Retransmits,
+			Acks:         res.Transport.Acks,
+			DupAcks:      res.Transport.DupAcks,
+			DupData:      res.Transport.DupData,
+			LinkBreaks:   res.Transport.LinkBreaks,
+			RouteRepairs: res.Transport.RouteRepairs,
+		},
+		ChannelLossRate: res.Faults.LossRate(),
 	}
 	for _, n := range res.Initial.Nodes {
 		out.Before = append(out.Before, Node{ID: n.ID, X: n.Pos.X, Y: n.Pos.Y, Joules: n.Residual})
@@ -418,6 +537,9 @@ func (s *Simulation) Run() (*Result, error) {
 			DurationSeconds: float64(f.Duration),
 			LifetimeSeconds: float64(f.Lifetime()),
 			PathNodes:       f.PathLen,
+			PacketsEmitted:  f.PacketsEmitted,
+			PacketsDropped:  f.PacketsDropped,
+			DeliveryRatio:   f.DeliveryRatio(),
 		})
 	}
 	return out, nil

@@ -1,0 +1,268 @@
+// Package fault provides deterministic fault injection for the simulator:
+// a seeded, per-link probabilistic packet-loss model (independent or
+// distance-scaled Bernoulli, with an optional Gilbert-Elliott bursty
+// mode), scheduled node crash/recovery events, and the configuration of
+// the hop-by-hop retry/ack transport that lets data flows survive loss.
+//
+// The paper's channel is ideal (internal/radio: "no loss, no MAC
+// contention"); this package is the controlled departure from that ideal,
+// used to measure where iMobif's benefit/cost decisions degrade. The
+// design constraint is the same as everywhere else in the repository:
+// determinism. An Injector owns a private SplitMix64-seeded stream (the
+// internal/sweep per-trial discipline), all draws happen in scheduler
+// order inside a single-threaded world, and identical seeds therefore
+// yield identical loss sequences at any sweep concurrency.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/sweep"
+)
+
+// Crash schedules one node outage: the node stops transmitting,
+// receiving, moving, and beaconing at At, and (optionally) comes back at
+// RecoverAt.
+type Crash struct {
+	// Node is the node ID to crash.
+	Node int
+	// At is the crash time in virtual seconds.
+	At float64
+	// RecoverAt is the recovery time in virtual seconds; zero or negative
+	// means the node never recovers.
+	RecoverAt float64
+}
+
+// Config parameterizes the fault layer. The zero value injects nothing: no
+// loss, no crashes, no retry transport. A nil *Config passed to the
+// simulator disables the layer entirely (the ideal-channel seed behavior,
+// bit-identical — see the golden tests in internal/netsim).
+type Config struct {
+	// LossP is the per-transmission loss probability in [0, 1). Each
+	// delivery (unicast, or broadcast per receiver) is lost independently
+	// with this probability, unless MeanBurst enables the bursty model.
+	LossP float64
+	// DistanceScale, when true, scales the independent loss probability
+	// with link distance: p_eff = LossP · (d/range)², so near links are
+	// nearly clean and links at the radio edge see the configured LossP.
+	// Ignored in Gilbert-Elliott mode (burst state is per link, not per
+	// distance).
+	DistanceScale bool
+	// MeanBurst, when >= 1, switches the loss model to a two-state
+	// Gilbert-Elliott chain per directed link: lossless in the good state,
+	// lossy (always) in the bad state, with mean bad-state sojourn of
+	// MeanBurst transmissions and stationary loss rate LossP. Zero keeps
+	// independent Bernoulli losses.
+	MeanBurst float64
+	// Seed seeds the injector's private SplitMix64 stream. Worlds built
+	// from the same fault seed replay the same loss sequence.
+	Seed int64
+	// Crashes schedules node crash/recovery events.
+	Crashes []Crash
+
+	// RetryLimit is the maximum number of retransmissions per data packet
+	// per hop before the link is declared broken; zero disables the
+	// hop-by-hop retry/ack transport (losses then silently reduce
+	// delivery).
+	RetryLimit int
+	// RetryTimeout is the per-hop ack wait in virtual seconds before a
+	// retransmission. Zero with RetryLimit > 0 is rejected by Validate.
+	RetryTimeout float64
+	// AckBits is the size of a hop-level ack (control traffic). Zero
+	// defaults to 64 bits.
+	AckBits float64
+	// RouteRepair enables re-planning a flow's pinned path around dead or
+	// unreachable relays (AODV-style route error + rediscovery): on retry
+	// exhaustion or a relay crash the path is re-planned on the live
+	// topology and the stuck packet retransmitted along it.
+	RouteRepair bool
+
+	// Script, when non-empty, overrides the random loss model for the
+	// first len(Script) delivery evaluations: evaluation i is dropped iff
+	// Script[i]. After the script is exhausted no further losses are
+	// injected. This is a deterministic testing hook; production configs
+	// leave it nil.
+	Script []bool
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c == nil {
+		return nil
+	}
+	if c.LossP < 0 || c.LossP >= 1 {
+		return fmt.Errorf("fault: loss probability %v outside [0, 1)", c.LossP)
+	}
+	if c.MeanBurst != 0 && c.MeanBurst < 1 {
+		return fmt.Errorf("fault: mean burst length %v below 1 transmission", c.MeanBurst)
+	}
+	if c.RetryLimit < 0 {
+		return fmt.Errorf("fault: negative retry limit %d", c.RetryLimit)
+	}
+	if c.RetryLimit > 0 && c.RetryTimeout <= 0 {
+		return fmt.Errorf("fault: retry limit %d needs a positive retry timeout, got %v", c.RetryLimit, c.RetryTimeout)
+	}
+	if c.AckBits < 0 {
+		return fmt.Errorf("fault: negative ack size %v", c.AckBits)
+	}
+	for i, cr := range c.Crashes {
+		if cr.Node < 0 {
+			return fmt.Errorf("fault: crash %d has negative node id %d", i, cr.Node)
+		}
+		if cr.At < 0 {
+			return fmt.Errorf("fault: crash %d at negative time %v", i, cr.At)
+		}
+		if cr.RecoverAt > 0 && cr.RecoverAt <= cr.At {
+			return fmt.Errorf("fault: crash %d recovers at %v, not after crash at %v", i, cr.RecoverAt, cr.At)
+		}
+	}
+	return nil
+}
+
+// RetryEnabled reports whether the retry/ack transport is on. A nil config
+// has it off.
+func (c *Config) RetryEnabled() bool { return c != nil && c.RetryLimit > 0 }
+
+// EffectiveAckBits returns the configured ack size, defaulting to 64 bits.
+func (c *Config) EffectiveAckBits() float64 {
+	if c == nil || c.AckBits <= 0 {
+		return 64
+	}
+	return c.AckBits
+}
+
+// Stats counts injector activity.
+type Stats struct {
+	// Evaluated is the number of delivery decisions made.
+	Evaluated uint64
+	// Dropped is the number of deliveries lost.
+	Dropped uint64
+}
+
+// LossRate returns the observed loss fraction (0 when nothing was
+// evaluated).
+func (s Stats) LossRate() float64 {
+	if s.Evaluated == 0 {
+		return 0
+	}
+	return float64(s.Dropped) / float64(s.Evaluated)
+}
+
+// linkKey identifies a directed link for per-link Gilbert-Elliott state.
+type linkKey struct{ from, to int }
+
+// Injector decides, per delivery, whether the transmission is lost. It is
+// not safe for concurrent use: like the scheduler it belongs to exactly
+// one single-threaded world, which is what makes its draw sequence
+// deterministic.
+type Injector struct {
+	cfg Config
+	rng *stats.Source
+	// pGB and pBG are the Gilbert-Elliott transition probabilities
+	// (good→bad, bad→good), precomputed from (LossP, MeanBurst).
+	pGB, pBG float64
+	// bad holds the links currently in the bad state; absent links are
+	// good (the stationary-favored state for small LossP).
+	bad      map[linkKey]bool
+	scriptAt int
+	stats    Stats
+}
+
+// NewInjector builds an injector for the given configuration. A nil config
+// yields a nil injector, which is a valid "inject nothing" value.
+func NewInjector(cfg *Config) (*Injector, error) {
+	if cfg == nil {
+		return nil, nil
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Injector{
+		cfg: *cfg,
+		rng: stats.NewSourceOf(sweep.NewStream(cfg.Seed, 0)),
+	}
+	in.cfg.Script = append([]bool(nil), cfg.Script...)
+	in.cfg.Crashes = append([]Crash(nil), cfg.Crashes...)
+	if cfg.MeanBurst >= 1 {
+		// Bad-state sojourn is geometric with mean MeanBurst, so the
+		// bad→good probability is its inverse; the good→bad probability
+		// then pins the stationary bad fraction — the long-run loss rate —
+		// at LossP.
+		in.pBG = 1 / cfg.MeanBurst
+		in.pGB = cfg.LossP * in.pBG / (1 - cfg.LossP)
+		in.bad = make(map[linkKey]bool)
+	}
+	return in, nil
+}
+
+// Drop reports whether the delivery from→to over distance dist (with the
+// medium's radio range) is lost. Calling Drop on a nil injector never
+// drops and draws no randomness.
+func (in *Injector) Drop(from, to int, dist, radioRange float64) bool {
+	if in == nil {
+		return false
+	}
+	in.stats.Evaluated++
+	drop := in.decide(from, to, dist, radioRange)
+	if drop {
+		in.stats.Dropped++
+	}
+	return drop
+}
+
+func (in *Injector) decide(from, to int, dist, radioRange float64) bool {
+	if in.scriptAt < len(in.cfg.Script) {
+		drop := in.cfg.Script[in.scriptAt]
+		in.scriptAt++
+		return drop
+	}
+	if len(in.cfg.Script) > 0 {
+		// An exhausted script injects nothing further, keeping scripted
+		// tests exact.
+		return false
+	}
+	if in.cfg.LossP <= 0 {
+		return false
+	}
+	if in.bad != nil {
+		return in.decideBurst(from, to)
+	}
+	p := in.cfg.LossP
+	if in.cfg.DistanceScale && radioRange > 0 {
+		frac := dist / radioRange
+		p *= frac * frac
+	}
+	return in.rng.Float64() < p
+}
+
+// decideBurst advances the link's Gilbert-Elliott chain one transmission
+// and reports loss (always in the bad state, never in the good state).
+func (in *Injector) decideBurst(from, to int) bool {
+	key := linkKey{from, to}
+	bad := in.bad[key]
+	if bad {
+		if in.rng.Float64() < in.pBG {
+			bad = false
+		}
+	} else {
+		if in.rng.Float64() < in.pGB {
+			bad = true
+		}
+	}
+	if bad {
+		in.bad[key] = true
+	} else {
+		delete(in.bad, key)
+	}
+	return bad
+}
+
+// Stats returns a copy of the injector's counters. A nil injector reports
+// zeros.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return in.stats
+}

@@ -1,0 +1,300 @@
+package fault
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  *Config
+		ok   bool
+	}{
+		{"nil config", nil, true},
+		{"zero value", &Config{}, true},
+		{"plain loss", &Config{LossP: 0.1}, true},
+		{"bursty", &Config{LossP: 0.1, MeanBurst: 4}, true},
+		{"retry", &Config{LossP: 0.1, RetryLimit: 3, RetryTimeout: 0.5}, true},
+		{"loss p one", &Config{LossP: 1}, false},
+		{"negative loss", &Config{LossP: -0.1}, false},
+		{"sub-one burst", &Config{LossP: 0.1, MeanBurst: 0.5}, false},
+		{"negative retry limit", &Config{RetryLimit: -1}, false},
+		{"retry without timeout", &Config{RetryLimit: 3}, false},
+		{"negative ack bits", &Config{AckBits: -1}, false},
+		{"negative crash node", &Config{Crashes: []Crash{{Node: -1, At: 1}}}, false},
+		{"negative crash time", &Config{Crashes: []Crash{{Node: 0, At: -1}}}, false},
+		{"recover before crash", &Config{Crashes: []Crash{{Node: 0, At: 5, RecoverAt: 3}}}, false},
+		{"recover after crash", &Config{Crashes: []Crash{{Node: 0, At: 5, RecoverAt: 9}}}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	in, err := NewInjector(nil)
+	if err != nil {
+		t.Fatalf("NewInjector(nil): %v", err)
+	}
+	if in != nil {
+		t.Fatalf("NewInjector(nil) = %v, want nil injector", in)
+	}
+	for i := 0; i < 100; i++ {
+		if in.Drop(0, 1, 50, 200) {
+			t.Fatal("nil injector dropped a delivery")
+		}
+	}
+	if s := in.Stats(); s != (Stats{}) {
+		t.Fatalf("nil injector stats = %+v, want zeros", s)
+	}
+}
+
+// drops runs n delivery decisions over a fixed link and returns the
+// drop sequence.
+func drops(t *testing.T, cfg Config, n int) []bool {
+	t.Helper()
+	in, err := NewInjector(&cfg)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = in.Drop(0, 1, 100, 200)
+	}
+	return out
+}
+
+// TestLossRateConverges checks the Bernoulli model's empirical loss rate
+// against the configured probability with a z-test at ~4 sigma: for n
+// trials the standard error is sqrt(p(1-p)/n).
+func TestLossRateConverges(t *testing.T) {
+	const n = 200000
+	for _, p := range []float64{0.01, 0.1, 0.3, 0.5} {
+		seq := drops(t, Config{LossP: p, Seed: 42}, n)
+		lost := 0
+		for _, d := range seq {
+			if d {
+				lost++
+			}
+		}
+		got := float64(lost) / n
+		sigma := math.Sqrt(p * (1 - p) / n)
+		if math.Abs(got-p) > 4*sigma {
+			t.Errorf("p=%v: empirical loss rate %v off by more than 4 sigma (%v)", p, got, 4*sigma)
+		}
+	}
+}
+
+// TestDistanceScaledLoss checks p_eff = LossP·(d/range)²: zero at the
+// transmitter, the configured LossP at the radio edge.
+func TestDistanceScaledLoss(t *testing.T) {
+	const n = 100000
+	const p = 0.4
+	cases := []struct {
+		dist float64
+		want float64
+	}{
+		{0, 0},
+		{100, p * 0.25},
+		{200, p},
+	}
+	for _, tc := range cases {
+		in, err := NewInjector(&Config{LossP: p, DistanceScale: true, Seed: 7})
+		if err != nil {
+			t.Fatalf("NewInjector: %v", err)
+		}
+		lost := 0
+		for i := 0; i < n; i++ {
+			if in.Drop(0, 1, tc.dist, 200) {
+				lost++
+			}
+		}
+		got := float64(lost) / n
+		sigma := math.Sqrt(tc.want*(1-tc.want)/n) + 1e-9
+		if math.Abs(got-tc.want) > 4*sigma+1e-9 {
+			t.Errorf("dist=%v: loss rate %v, want %v ± %v", tc.dist, got, tc.want, 4*sigma)
+		}
+	}
+}
+
+// TestGilbertElliott checks the bursty model's two defining statistics:
+// the stationary loss rate stays LossP and the mean loss-burst length is
+// MeanBurst.
+func TestGilbertElliott(t *testing.T) {
+	const n = 400000
+	const p = 0.2
+	const burst = 5.0
+	seq := drops(t, Config{LossP: p, MeanBurst: burst, Seed: 11}, n)
+
+	lost := 0
+	var bursts []int
+	run := 0
+	for _, d := range seq {
+		if d {
+			lost++
+			run++
+		} else if run > 0 {
+			bursts = append(bursts, run)
+			run = 0
+		}
+	}
+	if run > 0 {
+		bursts = append(bursts, run)
+	}
+
+	gotRate := float64(lost) / n
+	// Bursts inflate the variance of the empirical rate by roughly the
+	// mean burst length; use a generous 6-sigma-equivalent band.
+	sigma := math.Sqrt(p * (1 - p) * burst / n)
+	if math.Abs(gotRate-p) > 6*sigma {
+		t.Errorf("stationary loss rate %v, want %v ± %v", gotRate, p, 6*sigma)
+	}
+
+	var sum float64
+	for _, b := range bursts {
+		sum += float64(b)
+	}
+	meanBurst := sum / float64(len(bursts))
+	// Geometric(1/burst) has stddev ≈ burst; the mean of len(bursts)
+	// samples is tight.
+	tol := 6 * burst / math.Sqrt(float64(len(bursts)))
+	if math.Abs(meanBurst-burst) > tol {
+		t.Errorf("mean burst length %v over %d bursts, want %v ± %v", meanBurst, len(bursts), burst, tol)
+	}
+}
+
+// TestBurstStatePerLink checks that Gilbert-Elliott chains are independent
+// per directed link: a bad state on one link must not leak onto another.
+func TestBurstStatePerLink(t *testing.T) {
+	in, err := NewInjector(&Config{LossP: 0.3, MeanBurst: 8, Seed: 3})
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	// Drive link (0,1) until it enters the bad state.
+	entered := false
+	for i := 0; i < 10000; i++ {
+		if in.Drop(0, 1, 100, 200) {
+			entered = true
+			break
+		}
+	}
+	if !entered {
+		t.Fatal("link (0,1) never entered the bad state")
+	}
+	if len(in.bad) != 1 || !in.bad[linkKey{0, 1}] {
+		t.Fatalf("bad set = %v, want exactly {(0,1)}", in.bad)
+	}
+}
+
+func TestScriptedLoss(t *testing.T) {
+	script := []bool{true, false, true, true, false}
+	in, err := NewInjector(&Config{LossP: 0.9, Script: script, Seed: 1})
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	for i, want := range script {
+		if got := in.Drop(0, 1, 100, 200); got != want {
+			t.Fatalf("scripted decision %d = %v, want %v", i, got, want)
+		}
+	}
+	// An exhausted script injects nothing, regardless of LossP.
+	for i := 0; i < 1000; i++ {
+		if in.Drop(0, 1, 100, 200) {
+			t.Fatal("exhausted script still dropped")
+		}
+	}
+	if s := in.Stats(); s.Evaluated != uint64(len(script))+1000 || s.Dropped != 3 {
+		t.Fatalf("stats = %+v, want evaluated=%d dropped=3", s, len(script)+1000)
+	}
+}
+
+func TestSameSeedSameSequence(t *testing.T) {
+	cfgs := []Config{
+		{LossP: 0.25, Seed: 99},
+		{LossP: 0.25, DistanceScale: true, Seed: 99},
+		{LossP: 0.25, MeanBurst: 3, Seed: 99},
+	}
+	for _, cfg := range cfgs {
+		a := drops(t, cfg, 5000)
+		b := drops(t, cfg, 5000)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("config %+v: identical seeds produced different sequences", cfg)
+		}
+	}
+	if reflect.DeepEqual(drops(t, Config{LossP: 0.25, Seed: 1}, 5000), drops(t, Config{LossP: 0.25, Seed: 2}, 5000)) {
+		t.Error("different seeds produced identical sequences")
+	}
+}
+
+// TestConcurrencyInvariance reuses the sweep engine's per-trial seeding
+// discipline: each trial derives its injector seed from (master, trial),
+// so the per-trial drop sequences must be identical whether the sweep
+// runs on one worker or eight.
+func TestConcurrencyInvariance(t *testing.T) {
+	const trials = 32
+	const perTrial = 2000
+	run := func(workers int) [][]bool {
+		out, _, err := sweep.Map(context.Background(), sweep.Runner{Concurrency: workers}, trials,
+			func(_ context.Context, trial int) ([]bool, error) {
+				seed := int64(sweep.DeriveSeed(4242, uint64(trial)))
+				in, err := NewInjector(&Config{LossP: 0.3, MeanBurst: 4, Seed: seed})
+				if err != nil {
+					return nil, err
+				}
+				seq := make([]bool, perTrial)
+				for i := range seq {
+					seq[i] = in.Drop(i%7, (i+1)%7, 100, 200)
+				}
+				return seq, nil
+			})
+		if err != nil {
+			t.Fatalf("sweep.Map(workers=%d): %v", workers, err)
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("per-trial drop sequences differ between 1 and 8 workers")
+	}
+}
+
+func TestRetryConfigHelpers(t *testing.T) {
+	var nilCfg *Config
+	if nilCfg.RetryEnabled() {
+		t.Error("nil config reports retry enabled")
+	}
+	if got := nilCfg.EffectiveAckBits(); got != 64 {
+		t.Errorf("nil config ack bits = %v, want 64", got)
+	}
+	cfg := &Config{RetryLimit: 3, RetryTimeout: 1}
+	if !cfg.RetryEnabled() {
+		t.Error("retry limit 3 reports retry disabled")
+	}
+	cfg2 := &Config{AckBits: 128}
+	if got := cfg2.EffectiveAckBits(); got != 128 {
+		t.Errorf("ack bits = %v, want 128", got)
+	}
+}
+
+func TestStatsLossRate(t *testing.T) {
+	if got := (Stats{}).LossRate(); got != 0 {
+		t.Errorf("empty stats loss rate = %v, want 0", got)
+	}
+	if got := (Stats{Evaluated: 10, Dropped: 3}).LossRate(); got != 0.3 {
+		t.Errorf("loss rate = %v, want 0.3", got)
+	}
+}

@@ -137,6 +137,50 @@ type FlowOutcome struct {
 	StatusFlips int
 	// PathLen is the number of nodes on the flow path.
 	PathLen int
+	// PacketsEmitted counts data packets the source put on the air;
+	// PacketsDropped counts those that never reached the destination
+	// (crashed relays, strayed packets, retry exhaustion under fault
+	// injection). On the ideal channel every emitted packet is delivered.
+	PacketsEmitted int
+	PacketsDropped int
+}
+
+// DeliveryRatio returns the fraction of emitted packets that reached the
+// destination (1 when nothing was emitted, so an idle flow is not
+// reported as lossy).
+func (o FlowOutcome) DeliveryRatio() float64 {
+	if o.PacketsEmitted == 0 {
+		return 1
+	}
+	return float64(o.PacketsEmitted-o.PacketsDropped) / float64(o.PacketsEmitted)
+}
+
+// TransportStats counts the hop-by-hop retry/ack transport's activity
+// during a run. All counters stay zero on the ideal channel (fault
+// injection disabled).
+type TransportStats struct {
+	// Retransmits counts data retransmissions (including re-sends along a
+	// repaired route).
+	Retransmits uint64
+	// Acks counts hop-level acks accepted; DupAcks counts acks that
+	// matched no pending packet (the retransmit raced the ack).
+	Acks    uint64
+	DupAcks uint64
+	// DupData counts duplicate data receptions suppressed (and re-acked)
+	// at receivers.
+	DupData uint64
+	// LinkBreaks counts retry-limit exhaustions declaring a next hop
+	// unreachable.
+	LinkBreaks uint64
+	// RouteRepairs counts successful re-plans of a flow path around a
+	// dead or unreachable relay.
+	RouteRepairs uint64
+}
+
+// String implements fmt.Stringer.
+func (t TransportStats) String() string {
+	return fmt.Sprintf("retransmits=%d acks=%d dup-acks=%d dup-data=%d link-breaks=%d route-repairs=%d",
+		t.Retransmits, t.Acks, t.DupAcks, t.DupData, t.LinkBreaks, t.RouteRepairs)
 }
 
 // Lifetime returns the system lifetime under the paper's definition: the

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/mobility"
 	"repro/internal/radio"
 	"repro/internal/routing"
@@ -112,6 +113,14 @@ type Config struct {
 	// testing. Both produce bit-identical runs (see the equivalence
 	// tests).
 	NeighborIndex spatial.Kind
+	// Faults, when non-nil, enables the fault-injection layer: seeded
+	// per-link packet loss on the radio medium, scheduled node
+	// crash/recovery events, the hop-by-hop retry/ack transport, and
+	// (optionally) route repair around dead relays. Nil keeps the ideal
+	// channel and is guaranteed bit-identical to the pre-fault simulator
+	// (golden tests enforce it). Radio.Faults must be left nil; the world
+	// installs its own injector.
+	Faults *fault.Config
 	// StopOnFirstDeath ends the run when any node depletes its battery
 	// (lifetime experiments).
 	StopOnFirstDeath bool
@@ -182,6 +191,12 @@ func (c Config) Validate() error {
 	}
 	if err := c.NeighborIndex.Validate(); err != nil {
 		return err
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if c.Radio.Faults != nil {
+		return errors.New("netsim: set Config.Faults, not Radio.Faults (the world installs its own injector)")
 	}
 	if c.Horizon <= 0 {
 		return fmt.Errorf("netsim: non-positive horizon %v", c.Horizon)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/mobility"
 	"repro/internal/radio"
 	"repro/internal/routing"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -27,7 +28,34 @@ type node struct {
 	// aodv is the on-demand routing instance, created when the world
 	// uses AODV discovery.
 	aodv *routing.Instance
-	dead bool
+	// pending tracks unacked data transmissions and seen suppresses
+	// duplicate data receptions; both are only populated when the retry
+	// transport is enabled (Config.Faults.RetryLimit > 0).
+	pending map[pendingKey]*pendingTx
+	seen    map[pendingKey]bool
+	dead    bool
+}
+
+// ackPacket is the hop-level acknowledgement of one data packet.
+type ackPacket struct {
+	flow core.FlowID
+	seq  uint64
+}
+
+// pendingKey identifies an in-flight (flow, seq) pair awaiting an ack.
+type pendingKey struct {
+	flow core.FlowID
+	seq  uint64
+}
+
+// pendingTx is one unacked data transmission: the header to retransmit,
+// the retry budget spent so far, and the armed timeout.
+type pendingTx struct {
+	hdr      core.Header
+	fr       *flowRuntime
+	attempts int
+	timer    sim.Handle
+	armed    bool
 }
 
 var _ radio.Endpoint = (*node)(nil)
@@ -66,9 +94,12 @@ func (n *node) maybeBeacon() {
 // Receive implements radio.Endpoint: dispatch on message type.
 func (n *node) Receive(from NodeID, msg any) {
 	if n.dead {
-		// A dead relay silently swallows traffic, but in-flight
-		// accounting must still see the packet end.
-		if pkt, ok := msg.(dataPacket); ok {
+		// A dead relay silently swallows traffic. Without the retry
+		// transport, in-flight accounting must still see the packet end;
+		// with it, the sender's retry timer owns the packet's fate (it will
+		// retransmit, then exhaust into a drop or a route repair), so
+		// accounting the loss here would double-count it.
+		if pkt, ok := msg.(dataPacket); ok && !n.world.retryEnabled() {
 			if fr := n.world.flow(pkt.hdr.Flow); fr != nil {
 				n.world.drop(fr)
 			}
@@ -80,9 +111,105 @@ func (n *node) Receive(from NodeID, msg any) {
 		n.neighbors.Update(m, n.world.sched.Now())
 	case dataPacket:
 		n.onData(from, m)
+	case ackPacket:
+		n.onAck(m)
 	case core.Notification:
 		n.onNotification(from, m)
 	}
+}
+
+// sendReliable transmits a data packet to the flow's current next hop
+// under the retry/ack transport: the pending entry is registered before
+// the transmission because the zero-bandwidth medium delivers — and acks —
+// synchronously, so by the time Unicast returns the packet may already be
+// acked.
+func (n *node) sendReliable(fr *flowRuntime, hdr core.Header) {
+	if n.pending == nil {
+		n.pending = make(map[pendingKey]*pendingTx)
+	}
+	key := pendingKey{flow: hdr.Flow, seq: hdr.Seq}
+	pt := &pendingTx{hdr: hdr, fr: fr}
+	n.pending[key] = pt
+	n.transmitPending(key, pt)
+}
+
+// transmitPending puts one pending packet on the air toward the flow
+// table's current next hop and, if it is still unacked afterwards, arms
+// the retry timeout.
+func (n *node) transmitPending(key pendingKey, pt *pendingTx) {
+	w := n.world
+	entry, err := n.flows.Get(key.flow)
+	if err != nil || entry.Next < 0 {
+		delete(n.pending, key)
+		w.drop(pt.fr)
+		return
+	}
+	if err := w.medium.Unicast(n.id, entry.Next, pt.hdr.PayloadBits, energy.CatTx, dataPacket{hdr: pt.hdr}); err != nil {
+		delete(n.pending, key)
+		w.drop(pt.fr)
+		w.noteDepletion(n, err)
+		return
+	}
+	if _, still := n.pending[key]; !still {
+		return // acked synchronously during the Unicast
+	}
+	h, err := w.sched.After(sim.Time(w.cfg.Faults.RetryTimeout), func() { n.onRetryTimeout(key) })
+	if err != nil {
+		return
+	}
+	pt.timer, pt.armed = h, true
+}
+
+// onRetryTimeout fires when a transmitted packet's ack did not arrive in
+// time: retransmit while budget remains, then declare the link broken and
+// either repair the route or drop the packet.
+func (n *node) onRetryTimeout(key pendingKey) {
+	w := n.world
+	pt, ok := n.pending[key]
+	if !ok {
+		return
+	}
+	pt.armed = false
+	if pt.attempts < w.cfg.Faults.RetryLimit {
+		pt.attempts++
+		w.transport.Retransmits++
+		n.transmitPending(key, pt)
+		return
+	}
+	// Retry budget exhausted: the next hop is unreachable from here.
+	delete(n.pending, key)
+	w.transport.LinkBreaks++
+	next := -1
+	if entry, err := n.flows.Get(key.flow); err == nil {
+		next = entry.Next
+	}
+	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindLinkBreak, Node: n.id,
+		Detail: fmt.Sprintf("flow=%d seq=%d next=%d", key.flow, key.seq, next)})
+	if w.cfg.Faults.RouteRepair && w.repairFlow(pt.fr, n.id) {
+		w.transport.Retransmits++
+		n.sendReliable(pt.fr, pt.hdr)
+		return
+	}
+	w.drop(pt.fr)
+}
+
+// onAck resolves a pending transmission. Acks that match nothing (the
+// packet was already acked, or a retransmission raced its own late ack)
+// are counted and ignored.
+func (n *node) onAck(ack ackPacket) {
+	w := n.world
+	key := pendingKey{flow: ack.flow, seq: ack.seq}
+	pt, ok := n.pending[key]
+	if !ok {
+		w.transport.DupAcks++
+		return
+	}
+	delete(n.pending, key)
+	if pt.armed {
+		pt.timer.Cancel()
+		pt.armed = false
+	}
+	w.transport.Acks++
 }
 
 // onData executes the Figure 1 FlowOperations for a received data packet.
@@ -92,6 +219,26 @@ func (n *node) onData(from NodeID, pkt dataPacket) {
 	fr := w.flow(hdr.Flow)
 	if fr == nil {
 		return
+	}
+	if w.retryEnabled() {
+		// Ack first — even duplicates, whose previous ack may have been
+		// lost — then suppress re-processing of data already seen here.
+		ack := ackPacket{flow: hdr.Flow, seq: hdr.Seq}
+		if err := w.medium.Unicast(n.id, from, w.cfg.Faults.EffectiveAckBits(), energy.CatControl, ack); err != nil {
+			w.noteDepletion(n, err)
+			if n.dead {
+				return
+			}
+		}
+		key := pendingKey{flow: hdr.Flow, seq: hdr.Seq}
+		if n.seen[key] {
+			w.transport.DupData++
+			return
+		}
+		if n.seen == nil {
+			n.seen = make(map[pendingKey]bool)
+		}
+		n.seen[key] = true
 	}
 	entry, err := n.flows.Get(hdr.Flow)
 	if err != nil {
@@ -121,7 +268,12 @@ func (n *node) onData(from NodeID, pkt dataPacket) {
 		return
 	}
 	// Forward first (from the current position), then move.
-	if err := w.medium.Unicast(n.id, entry.Next, hdr.PayloadBits, energy.CatTx, dataPacket{hdr: hdr}); err != nil {
+	if w.retryEnabled() {
+		n.sendReliable(fr, hdr)
+		if n.dead {
+			return
+		}
+	} else if err := w.medium.Unicast(n.id, entry.Next, hdr.PayloadBits, energy.CatTx, dataPacket{hdr: hdr}); err != nil {
 		w.drop(fr)
 		w.noteDepletion(n, err)
 		if n.dead {
@@ -137,7 +289,10 @@ func (n *node) onData(from NodeID, pkt dataPacket) {
 // UpdateMobilityStatus.
 func (n *node) deliver(fr *flowRuntime, entry *core.FlowEntry, hdr *core.Header) {
 	w := n.world
-	fr.inflight--
+	if fr.inflight > 0 {
+		fr.inflight--
+	}
+	fr.deliveredPkts++
 	fr.delivered += hdr.PayloadBits
 	fr.lastDelivery = w.sched.Now()
 	w.lastActivity = w.sched.Now()

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/topo"
 )
@@ -53,6 +54,58 @@ func TestRaceParallelWorlds(t *testing.T) {
 	for i := 1; i < workers; i++ {
 		if !reflect.DeepEqual(results[0], results[i]) {
 			t.Fatalf("world %d produced a different result than world 0:\n%+v\nvs\n%+v",
+				i, results[i], results[0])
+		}
+	}
+}
+
+// TestRaceParallelFaultWorlds is the fault-layer variant of the parallel
+// determinism check: every worker runs the same lossy, bursty, crashing,
+// retrying scenario — each world owning its private injector stream — and
+// all results must match bit for bit under the race detector.
+func TestRaceParallelFaultWorlds(t *testing.T) {
+	const workers = 8
+	run := func() Result {
+		cfg := DefaultConfig()
+		cfg.Faults = &fault.Config{
+			LossP: 0.15, MeanBurst: 3, Seed: 1234,
+			RetryLimit: 3, RetryTimeout: 0.25, RouteRepair: true,
+			Crashes: []fault.Crash{{Node: 2, At: 30, RecoverAt: 60}},
+		}
+		pts := topo.PlaceArc(6, geom.Pt(0, 0), geom.Pt(500, 0), 60)
+		energies := []float64{5e3, 5e3, 5e3, 5e3, 5e3, 5e3}
+		w, err := NewWorld(cfg, pts, energies)
+		if err != nil {
+			t.Error(err)
+			return Result{}
+		}
+		if _, err := w.AddFlow(FlowSpec{Src: 0, Dst: 5, LengthBits: 2e6}); err != nil {
+			t.Error(err)
+			return Result{}
+		}
+		res, err := w.Run()
+		if err != nil {
+			t.Error(err)
+			return Result{}
+		}
+		return res
+	}
+	results := make([]Result, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = run()
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for i := 1; i < workers; i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Fatalf("fault world %d produced a different result than world 0:\n%+v\nvs\n%+v",
 				i, results[i], results[0])
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/hello"
 	"repro/internal/metrics"
@@ -38,6 +39,7 @@ type flowRuntime struct {
 	path          []NodeID
 	source        *core.Source
 	delivered     float64
+	deliveredPkts int
 	drops         int
 	emitted       int
 	notifications int
@@ -67,7 +69,12 @@ type World struct {
 
 	beaconer   *hello.Beaconer
 	failures   []failure
+	recoveries []failure
 	firstDeath sim.Time // negative until a node dies
+	// injector is the fault layer's loss model, nil on the ideal channel.
+	// transport counts the retry/ack layer's activity.
+	injector  *fault.Injector
+	transport metrics.TransportStats
 	// lastActivity is the time of the most recent flow event (emission,
 	// delivery, or drop); the beacon-round watchdog uses it to end runs
 	// whose in-flight accounting was broken by silent packet loss (e.g. a
@@ -123,7 +130,18 @@ func NewWorld(cfg Config, positions []geom.Point, energies []float64) (*World, e
 		return nil, errors.New("netsim: need at least two nodes")
 	}
 	sched := sim.NewScheduler()
-	medium, err := radio.NewMedium(sched, cfg.Radio)
+	// Build the fault injector (nil config → nil injector → ideal channel)
+	// and install it as the medium's loss hook. The hook is set on a local
+	// copy so the caller's Config is never mutated.
+	injector, err := fault.NewInjector(cfg.Faults)
+	if err != nil {
+		return nil, err
+	}
+	rcfg := cfg.Radio
+	if injector != nil {
+		rcfg.Faults = injector
+	}
+	medium, err := radio.NewMedium(sched, rcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +149,7 @@ func NewWorld(cfg Config, positions []geom.Point, energies []float64) (*World, e
 	if err != nil {
 		return nil, err
 	}
-	w := &World{cfg: cfg, sched: sched, medium: medium, index: index, firstDeath: -1}
+	w := &World{cfg: cfg, sched: sched, medium: medium, index: index, firstDeath: -1, injector: injector}
 	for i, pos := range positions {
 		if energies[i] < 0 {
 			return nil, fmt.Errorf("netsim: negative energy %v for node %d", energies[i], i)
@@ -152,8 +170,25 @@ func NewWorld(cfg Config, positions []geom.Point, energies []float64) (*World, e
 	}
 	medium.UseLocator(w.index)
 	w.seedNeighborTables()
+	// Adopt the fault layer's crash/recovery schedule (node IDs can only
+	// be range-checked here, once the node count is known).
+	if cfg.Faults != nil {
+		for _, cr := range cfg.Faults.Crashes {
+			if err := w.ScheduleNodeFailure(cr.Node, sim.Time(cr.At)); err != nil {
+				return nil, err
+			}
+			if cr.RecoverAt > 0 {
+				if err := w.ScheduleNodeRecovery(cr.Node, sim.Time(cr.RecoverAt)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
 	return w, nil
 }
+
+// retryEnabled reports whether the hop-by-hop retry/ack transport is on.
+func (w *World) retryEnabled() bool { return w.cfg.Faults.RetryEnabled() }
 
 // seedNeighborTables performs the initial HELLO exchange: every node
 // learns its in-range neighbors' position and energy at t=0. The spatial
@@ -269,6 +304,25 @@ func (w *World) ScheduleNodeFailure(id NodeID, at sim.Time) error {
 	return nil
 }
 
+// ScheduleNodeRecovery brings a crashed node back at the given virtual
+// time: it resumes receiving, relaying, moving, and beaconing, and
+// re-announces itself with an immediate HELLO so neighbors relearn it.
+// Recovering a node that is not dead at that time is a no-op. Recoveries
+// must be scheduled before Run.
+func (w *World) ScheduleNodeRecovery(id NodeID, at sim.Time) error {
+	if w.started {
+		return errors.New("netsim: cannot schedule recoveries after Run")
+	}
+	if id < 0 || id >= len(w.nodes) {
+		return fmt.Errorf("netsim: node id %d out of range", id)
+	}
+	if at < 0 {
+		return fmt.Errorf("netsim: negative recovery time %v", at)
+	}
+	w.recoveries = append(w.recoveries, failure{node: id, at: at})
+	return nil
+}
+
 // Result summarizes a finished run.
 type Result struct {
 	// Flows holds per-flow outcomes in AddFlow order.
@@ -284,6 +338,12 @@ type Result struct {
 	Duration sim.Time
 	// Medium reports channel activity counters.
 	Medium radio.Stats
+	// Transport reports the retry/ack layer's counters (all zero on the
+	// ideal channel).
+	Transport metrics.TransportStats
+	// Faults reports the loss injector's counters (all zero on the ideal
+	// channel).
+	Faults fault.Stats
 }
 
 // Outcome returns the outcome of the single flow in a one-flow world.
@@ -321,10 +381,16 @@ func (w *World) Run() (Result, error) {
 		}
 	}
 
-	// Arm scheduled failures.
+	// Arm scheduled failures and recoveries.
 	for _, f := range w.failures {
 		node := w.nodes[f.node]
 		if _, err := w.sched.At(f.at, func() { w.markDead(node) }); err != nil {
+			return Result{}, err
+		}
+	}
+	for _, f := range w.recoveries {
+		node := w.nodes[f.node]
+		if _, err := w.sched.At(f.at, func() { w.markAlive(node) }); err != nil {
 			return Result{}, err
 		}
 	}
@@ -347,6 +413,8 @@ func (w *World) Run() (Result, error) {
 		FirstDeath: w.firstDeath,
 		Duration:   w.sched.Now(),
 		Medium:     w.medium.Stats(),
+		Transport:  w.transport,
+		Faults:     w.injector.Stats(),
 	}
 	for _, n := range w.nodes {
 		res.Energy = res.Energy.Add(metrics.FromBattery(n.battery))
@@ -357,14 +425,16 @@ func (w *World) Run() (Result, error) {
 			dur = w.sched.Now()
 		}
 		res.Flows = append(res.Flows, metrics.FlowOutcome{
-			Completed:     fr.source.Done() && fr.delivered >= fr.spec.LengthBits-1e-6,
-			DeliveredBits: fr.delivered,
-			Duration:      dur,
-			FirstDeath:    w.firstDeath,
-			Energy:        res.Energy,
-			Notifications: fr.notifications,
-			StatusFlips:   fr.source.Notifications(),
-			PathLen:       len(fr.path),
+			Completed:      fr.source.Done() && fr.delivered >= fr.spec.LengthBits-1e-6,
+			DeliveredBits:  fr.delivered,
+			Duration:       dur,
+			FirstDeath:     w.firstDeath,
+			Energy:         res.Energy,
+			Notifications:  fr.notifications,
+			StatusFlips:    fr.source.Notifications(),
+			PathLen:        len(fr.path),
+			PacketsEmitted: fr.emitted,
+			PacketsDropped: fr.emitted - fr.deliveredPkts,
 		})
 	}
 	return res, nil
@@ -422,14 +492,21 @@ func (w *World) emit(fr *flowRuntime) {
 	if err != nil {
 		return
 	}
+	// The next hop comes from the source's flow-table entry, which route
+	// repair keeps current; before any repair it equals fr.path[1].
 	next := fr.path[1]
+	if entry, err := srcNode.flows.Get(fr.id); err == nil {
+		next = entry.Next
+	}
 	core.AggregateSource(&hdr, w.cfg.Strategy, w.cfg.Radio.Tx, srcNode.pos, w.nodes[next].pos, srcNode.battery.Residual())
 	fr.emitted++
 	fr.inflight++
 	w.lastActivity = w.sched.Now()
 	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindPacketSent, Node: srcNode.id,
 		Detail: fmt.Sprintf("flow=%d seq=%d", hdr.Flow, hdr.Seq)})
-	if err := w.medium.Unicast(srcNode.id, next, hdr.PayloadBits, energy.CatTx, dataPacket{hdr: hdr}); err != nil {
+	if w.retryEnabled() {
+		srcNode.sendReliable(fr, hdr)
+	} else if err := w.medium.Unicast(srcNode.id, next, hdr.PayloadBits, energy.CatTx, dataPacket{hdr: hdr}); err != nil {
 		w.drop(fr)
 		w.noteDepletion(srcNode, err)
 	}
@@ -460,8 +537,14 @@ func (w *World) maybeFinish() {
 }
 
 // drop accounts a lost data packet and re-checks the finish condition.
+// The inflight count is clamped at zero: under the retry transport a
+// packet can, in rare interleavings (every ack of a hop lost until retry
+// exhaustion while the data sailed on), be accounted both as dropped
+// upstream and delivered downstream.
 func (w *World) drop(fr *flowRuntime) {
-	fr.inflight--
+	if fr.inflight > 0 {
+		fr.inflight--
+	}
 	fr.drops++
 	w.lastActivity = w.sched.Now()
 	w.maybeFinish()
@@ -486,7 +569,138 @@ func (w *World) markDead(n *node) {
 	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindNodeDied, Node: n.id})
 	if w.cfg.StopOnFirstDeath {
 		w.sched.Stop()
+		return
 	}
+	// Under route repair, proactively re-plan every live flow whose path
+	// runs through the crashed relay, instead of waiting for upstream
+	// retry exhaustion.
+	if w.cfg.Faults != nil && w.cfg.Faults.RouteRepair && w.started {
+		w.repairAroundDead(n)
+	}
+}
+
+// markAlive reverses a scheduled crash: the node resumes participating
+// and immediately re-broadcasts its HELLO so neighbors relearn it.
+func (w *World) markAlive(n *node) {
+	if !n.dead {
+		return
+	}
+	n.dead = false
+	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindNodeRecovered, Node: n.id})
+	b := n.beacon()
+	if _, err := w.medium.Broadcast(n.id, w.cfg.HelloBits, energy.CatControl, b); err != nil {
+		w.noteDepletion(n, err)
+		return
+	}
+	n.lastAdvert = b
+}
+
+// repairAroundDead re-plans every unfinished flow whose pinned path uses
+// the dead node as a relay, splicing a live detour in from the hop before
+// it.
+func (w *World) repairAroundDead(n *node) {
+	for _, fr := range w.flows {
+		if fr.stalled || (fr.source.Done() && fr.inflight == 0) {
+			continue
+		}
+		for i := 1; i < len(fr.path)-1; i++ {
+			if fr.path[i] != n.id {
+				continue
+			}
+			if prev := w.nodes[fr.path[i-1]]; !prev.dead {
+				w.repairFlow(fr, prev.id)
+			}
+			break
+		}
+	}
+}
+
+// repairFlow re-plans fr's path from the given on-path node to the
+// destination over the live topology (dead nodes excluded), splices the
+// new segment into the pinned path, and refreshes the flow tables along
+// it. It reports whether a usable detour was found. This is the
+// world-level counterpart of AODV route error + rediscovery: the broken
+// tail is torn out and a fresh route takes its place.
+func (w *World) repairFlow(fr *flowRuntime, at NodeID) bool {
+	idx := -1
+	for i, nid := range fr.path {
+		if nid == at {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || w.nodes[at].dead {
+		return false
+	}
+	seg, err := w.planLive(at, fr.spec.Dst)
+	if err != nil {
+		return false
+	}
+	// If the node holds an AODV table (the flow was discovered on
+	// demand), propagate the break so stale routes are invalidated and a
+	// RERR reaches its neighbors.
+	if broken := fr.path[idx+1:]; len(broken) > 0 {
+		if inst := w.nodes[at].aodv; inst != nil {
+			_, _ = inst.LinkBreak(broken[0])
+		}
+	}
+	newPath := append(append([]NodeID(nil), fr.path[:idx]...), seg...)
+	fr.path = newPath
+	seed := core.Header{
+		Flow: fr.id, Src: fr.spec.Src, Dst: fr.spec.Dst,
+		ResidualBits: fr.spec.LengthBits,
+		Strategy:     w.cfg.Strategy.Name(),
+		Enabled:      w.cfg.StartEnabled,
+	}
+	for i := idx; i < len(newPath); i++ {
+		prev, next := -1, -1
+		if i > 0 {
+			prev = newPath[i-1]
+		}
+		if i < len(newPath)-1 {
+			next = newPath[i+1]
+		}
+		e := w.nodes[newPath[i]].flows.Allocate(&seed, prev, next)
+		e.Prev, e.Next = prev, next
+	}
+	w.transport.RouteRepairs++
+	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindRouteRepair, Node: at,
+		Detail: fmt.Sprintf("flow=%d hops=%d", fr.id, len(newPath)-1)})
+	return true
+}
+
+// planLive plans a route over the current positions of live nodes only.
+// Node IDs are preserved by remapping in and out of the compacted live
+// graph.
+func (w *World) planLive(src, dst NodeID) ([]NodeID, error) {
+	if w.nodes[src].dead || w.nodes[dst].dead {
+		return nil, errors.New("netsim: live planning from or to a dead node")
+	}
+	live := make([]geom.Point, 0, len(w.nodes))
+	toOld := make([]NodeID, 0, len(w.nodes))
+	toNew := make([]int, len(w.nodes))
+	for _, n := range w.nodes {
+		if n.dead {
+			toNew[n.id] = -1
+			continue
+		}
+		toNew[n.id] = len(live)
+		live = append(live, n.pos)
+		toOld = append(toOld, n.id)
+	}
+	g, err := topo.NewGraphIndexed(live, w.cfg.Radio.Range, w.cfg.NeighborIndex)
+	if err != nil {
+		return nil, err
+	}
+	seg, err := w.cfg.Planner.PlanRoute(g, toNew[src], toNew[dst])
+	if err != nil {
+		return nil, err
+	}
+	out := make([]NodeID, len(seg))
+	for i, nid := range seg {
+		out[i] = toOld[nid]
+	}
+	return out, nil
 }
 
 func (w *World) trace(e trace.Event) { w.cfg.Tracer.Record(e) }

@@ -3,9 +3,11 @@
 // transmission energy accounting against node batteries, and configurable
 // propagation/serialization delay.
 //
-// The channel is ideal (no loss, no MAC contention), matching the paper's
-// simulator: its results depend on the energy geometry of the network, not
-// on channel dynamics.
+// The channel is ideal by default (no loss, no MAC contention), matching
+// the paper's simulator: its results depend on the energy geometry of the
+// network, not on channel dynamics. A Config.Faults hook (satisfied by
+// internal/fault's seeded Injector) optionally makes individual deliveries
+// lossy; with the hook unset the ideal-channel code path is untouched.
 package radio
 
 import (
@@ -58,6 +60,21 @@ type Config struct {
 	// (the default) reproduces it. Control traffic is charged on receive
 	// only when ChargeControl is also set.
 	RxPerBit float64
+	// Faults, when non-nil, is consulted once per delivery (per unicast,
+	// and per receiver of a broadcast) and may declare the delivery lost.
+	// The sender still pays transmission energy — loss happens in the
+	// channel, after the radio has keyed up. Nil keeps the ideal lossless
+	// channel.
+	Faults FaultHook
+}
+
+// FaultHook decides whether an individual delivery is lost in the channel.
+// internal/fault's *Injector satisfies it with a seeded, deterministic
+// loss model; tests may install scripted hooks.
+type FaultHook interface {
+	// Drop reports whether the delivery from→to over distance dist is
+	// lost, given the medium's configured range.
+	Drop(from, to NodeID, dist, radioRange float64) bool
 }
 
 // Validate checks the configuration.
@@ -84,6 +101,8 @@ type Stats struct {
 	Delivered  uint64
 	RangeDrops uint64
 	DeadDrops  uint64
+	// FaultDrops counts deliveries lost to the fault-injection hook.
+	FaultDrops uint64
 }
 
 // Locator is a spatial view of the registered endpoints: it reports which
@@ -206,6 +225,13 @@ func (m *Medium) Unicast(from, to NodeID, bits float64, cat energy.Category, msg
 		m.stats.DeadDrops++
 		return fmt.Errorf("radio: unicast %d -> %d: %w", from, to, err)
 	}
+	if m.cfg.Faults != nil && m.cfg.Faults.Drop(from, to, d, m.cfg.Range) {
+		// The loss is silent: the sender paid for the transmission and
+		// gets no error — reliability, if wanted, lives in the transport
+		// above (netsim's retry/ack layer).
+		m.stats.FaultDrops++
+		return nil
+	}
 	m.deliver(from, receiver, bits, cat, msg)
 	return nil
 }
@@ -238,6 +264,10 @@ func (m *Medium) Broadcast(from NodeID, bits float64, cat energy.Category, msg a
 				continue
 			}
 			if ep, ok := m.endpoints[id]; ok {
+				if m.cfg.Faults != nil && m.cfg.Faults.Drop(from, id, origin.Dist(ep.Position()), m.cfg.Range) {
+					m.stats.FaultDrops++
+					continue
+				}
 				m.deliver(from, ep, bits, cat, msg)
 				n++
 			}
@@ -252,6 +282,10 @@ func (m *Medium) Broadcast(from NodeID, bits float64, cat energy.Category, msg a
 		}
 		ep := m.endpoints[id]
 		if origin.Dist2(ep.Position()) <= m.cfg.Range*m.cfg.Range {
+			if m.cfg.Faults != nil && m.cfg.Faults.Drop(from, id, origin.Dist(ep.Position()), m.cfg.Range) {
+				m.stats.FaultDrops++
+				continue
+			}
 			m.deliver(from, ep, bits, cat, msg)
 			n++
 		}

@@ -10,9 +10,9 @@ import (
 // & Royer (the paper's §2 cites AODV as the protocol managing routing
 // tables and carrying HELLO beacons). It implements RREQ flooding with
 // duplicate suppression, destination sequence numbers, RREP unicast along
-// the reverse path, and expanding-route maintenance sufficient for the
-// simulator's needs. Route error handling is intentionally minimal: pinned
-// flow paths (the paper's model) do not exercise link breakage.
+// the reverse path, route-error (RERR) propagation on link breakage with
+// rediscovery, and expanding-route maintenance sufficient for the
+// simulator's needs.
 
 // Transport abstracts the medium AODV runs over. Implementations deliver
 // synchronously or via a scheduler; AODV only requires that Receive is
@@ -44,6 +44,15 @@ type RREP struct {
 	TargetSeq    uint64
 }
 
+// RERR is a route error, broadcast when a link break makes destinations
+// unreachable through the sender. Broken and Seqs are parallel: each
+// destination carries its invalidated route's (incremented) sequence
+// number so receivers can tell a fresh error from stale news.
+type RERR struct {
+	Broken []NodeID
+	Seqs   []uint64
+}
+
 // tableEntry is one row of an AODV routing table.
 type tableEntry struct {
 	nextHop NodeID
@@ -66,7 +75,10 @@ type Instance struct {
 	// discovered is invoked when a route to a previously requested
 	// target becomes available.
 	discovered func(target NodeID)
-	pending    map[NodeID]bool
+	// routeLost is invoked when a previously valid route is invalidated
+	// by a link break or an incoming RERR; callers typically re-request.
+	routeLost func(target NodeID)
+	pending   map[NodeID]bool
 }
 
 type rreqKey struct {
@@ -91,6 +103,11 @@ func NewInstance(id NodeID, transport Transport) (*Instance, error) {
 // OnRouteDiscovered registers a callback fired when a pending route
 // request resolves.
 func (a *Instance) OnRouteDiscovered(fn func(target NodeID)) { a.discovered = fn }
+
+// OnRouteLost registers a callback fired once per destination whose valid
+// route is invalidated by LinkBreak or an incoming RERR. Rediscovery is
+// the caller's choice: call RequestRoute from the callback to re-flood.
+func (a *Instance) OnRouteLost(fn func(target NodeID)) { a.routeLost = fn }
 
 // NextHop returns the next hop toward dst, or ErrNoTableRoute.
 func (a *Instance) NextHop(dst NodeID) (NodeID, error) {
@@ -161,6 +178,8 @@ func (a *Instance) Receive(from NodeID, msg any) error {
 		return a.onRREQ(from, m)
 	case RREP:
 		return a.onRREP(from, m)
+	case RERR:
+		return a.onRERR(from, m)
 	default:
 		return nil
 	}
@@ -240,4 +259,69 @@ func (a *Instance) Invalidate(dst NodeID) {
 		e.valid = false
 		a.table[dst] = e
 	}
+}
+
+// LinkBreak reports that the link to neighbor is broken: every valid route
+// through that next hop is invalidated with a bumped sequence number, a
+// RERR listing the lost destinations is broadcast (when any), the
+// routeLost callback fires per destination, and the invalidated
+// destinations are returned in ascending order.
+func (a *Instance) LinkBreak(neighbor NodeID) ([]NodeID, error) {
+	var broken []NodeID
+	var seqs []uint64
+	for dst, e := range a.table {
+		if e.valid && e.nextHop == neighbor {
+			e.valid = false
+			e.seq++
+			a.table[dst] = e
+			broken = append(broken, dst)
+		}
+	}
+	if len(broken) == 0 {
+		return nil, nil
+	}
+	sort.Ints(broken)
+	for _, dst := range broken {
+		seqs = append(seqs, a.table[dst].seq)
+		if a.routeLost != nil {
+			a.routeLost(dst)
+		}
+	}
+	if err := a.transport.Broadcast(a.id, RERR{Broken: broken, Seqs: seqs}); err != nil {
+		return broken, fmt.Errorf("routing: RERR broadcast: %w", err)
+	}
+	return broken, nil
+}
+
+// onRERR invalidates the routes the sender just lost, if they run through
+// the sender, and propagates a RERR for the destinations actually
+// invalidated here. Propagation terminates because a RERR that invalidates
+// nothing is not re-broadcast.
+func (a *Instance) onRERR(from NodeID, m RERR) error {
+	if len(m.Broken) != len(m.Seqs) {
+		return fmt.Errorf("routing: malformed RERR: %d destinations vs %d seqs", len(m.Broken), len(m.Seqs))
+	}
+	var broken []NodeID
+	var seqs []uint64
+	for i, dst := range m.Broken {
+		e, ok := a.table[dst]
+		if !ok || !e.valid || e.nextHop != from || m.Seqs[i] < e.seq {
+			continue
+		}
+		e.valid = false
+		e.seq = m.Seqs[i]
+		a.table[dst] = e
+		broken = append(broken, dst)
+		seqs = append(seqs, e.seq)
+		if a.routeLost != nil {
+			a.routeLost(dst)
+		}
+	}
+	if len(broken) == 0 {
+		return nil
+	}
+	if err := a.transport.Broadcast(a.id, RERR{Broken: broken, Seqs: seqs}); err != nil {
+		return fmt.Errorf("routing: RERR re-broadcast: %w", err)
+	}
+	return nil
 }

@@ -1,0 +1,240 @@
+package routing
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/topo"
+)
+
+// TestLinkBreakInvalidatesRoutes covers the LinkBreak half of route
+// maintenance: routes through the broken next hop are invalidated with
+// bumped sequence numbers, other routes survive, and the lost
+// destinations come back sorted.
+func TestLinkBreakInvalidatesRoutes(t *testing.T) {
+	cases := []struct {
+		name string
+		// routes installs (dst, nextHop, hops, seq) rows.
+		routes [][4]int
+		break_ NodeID
+		want   []NodeID
+	}{
+		{
+			name:   "single route through broken hop",
+			routes: [][4]int{{5, 1, 3, 10}},
+			break_: 1,
+			want:   []NodeID{5},
+		},
+		{
+			name:   "unrelated next hop survives",
+			routes: [][4]int{{5, 1, 3, 10}, {6, 2, 2, 4}},
+			break_: 1,
+			want:   []NodeID{5},
+		},
+		{
+			name:   "multiple routes sorted ascending",
+			routes: [][4]int{{9, 1, 3, 10}, {4, 1, 2, 7}, {6, 1, 5, 1}},
+			break_: 1,
+			want:   []NodeID{4, 6, 9},
+		},
+		{
+			name:   "no routes through hop",
+			routes: [][4]int{{5, 2, 3, 10}},
+			break_: 1,
+			want:   nil,
+		},
+		{
+			name:   "direct route to broken neighbor",
+			routes: [][4]int{{1, 1, 1, 2}},
+			break_: 1,
+			want:   []NodeID{1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := lineGraph(t, 3, 100, 150)
+			tr := newGraphTransport(g)
+			inst := tr.add(t, 0)
+			for _, r := range tc.routes {
+				inst.updateRoute(r[0], r[1], r[2], uint64(r[3]))
+			}
+			var lost []NodeID
+			inst.OnRouteLost(func(target NodeID) { lost = append(lost, target) })
+
+			broken, err := inst.LinkBreak(tc.break_)
+			if err != nil {
+				t.Fatalf("LinkBreak: %v", err)
+			}
+			if !reflect.DeepEqual(broken, tc.want) {
+				t.Fatalf("broken = %v, want %v", broken, tc.want)
+			}
+			if !reflect.DeepEqual(lost, tc.want) {
+				t.Fatalf("routeLost fired for %v, want %v", lost, tc.want)
+			}
+			for _, dst := range tc.want {
+				if _, err := inst.NextHop(dst); err == nil {
+					t.Errorf("route to %d still valid after link break", dst)
+				}
+			}
+			// Seq numbers of invalidated routes must have been bumped so
+			// the RERR supersedes the stale route at receivers.
+			for _, r := range tc.routes {
+				for _, dst := range tc.want {
+					if r[0] == dst && inst.table[dst].seq != uint64(r[3])+1 {
+						t.Errorf("route to %d seq = %d, want %d", dst, inst.table[dst].seq, r[3]+1)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRERRPropagatesUpstream checks the full chain reaction on a line
+// topology: a link break at a mid-chain node invalidates the routes of
+// every upstream node that routed through it, each hop re-broadcasting
+// only what it actually invalidated, and propagation terminates.
+func TestRERRPropagatesUpstream(t *testing.T) {
+	g := lineGraph(t, 5, 100, 150)
+	_, insts := aodvNetwork(t, g)
+	if err := insts[0].RequestRoute(4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := insts[i].NextHop(4); err != nil {
+			t.Fatalf("node %d missing route to 4 before break: %v", i, err)
+		}
+	}
+
+	var lostAtSource []NodeID
+	insts[0].OnRouteLost(func(target NodeID) { lostAtSource = append(lostAtSource, target) })
+
+	// Node 3 loses its link to 4.
+	if _, err := insts[3].LinkBreak(4); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 4; i++ {
+		if _, err := insts[i].NextHop(4); err == nil {
+			t.Errorf("node %d still has a route to 4 after upstream RERR", i)
+		}
+	}
+	if !reflect.DeepEqual(lostAtSource, []NodeID{4}) {
+		t.Errorf("source routeLost = %v, want [4]", lostAtSource)
+	}
+}
+
+// TestRERRStaleSeqIgnored checks freshness: a RERR carrying a sequence
+// number older than the receiver's route must not invalidate it.
+func TestRERRStaleSeqIgnored(t *testing.T) {
+	g := lineGraph(t, 3, 100, 150)
+	tr := newGraphTransport(g)
+	inst := tr.add(t, 0)
+	inst.updateRoute(5, 1, 3, 10)
+
+	if err := inst.Receive(1, RERR{Broken: []NodeID{5}, Seqs: []uint64{9}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.NextHop(5); err != nil {
+		t.Error("stale RERR invalidated a fresher route")
+	}
+
+	if err := inst.Receive(1, RERR{Broken: []NodeID{5}, Seqs: []uint64{10}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.NextHop(5); err == nil {
+		t.Error("equal-seq RERR did not invalidate the route")
+	}
+}
+
+// TestRERRWrongHopIgnored checks that a RERR only invalidates routes that
+// actually run through its sender.
+func TestRERRWrongHopIgnored(t *testing.T) {
+	g := lineGraph(t, 4, 100, 150)
+	tr := newGraphTransport(g)
+	inst := tr.add(t, 1)
+	inst.updateRoute(5, 0, 3, 10)
+
+	// Node 2 reporting 5 unreachable is irrelevant: our route goes via 0.
+	if err := inst.Receive(2, RERR{Broken: []NodeID{5}, Seqs: []uint64{12}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.NextHop(5); err != nil {
+		t.Error("RERR from a non-next-hop neighbor invalidated the route")
+	}
+}
+
+func TestRERRMalformed(t *testing.T) {
+	g := lineGraph(t, 3, 100, 150)
+	tr := newGraphTransport(g)
+	inst := tr.add(t, 0)
+	if err := inst.Receive(1, RERR{Broken: []NodeID{5}, Seqs: nil}); err == nil {
+		t.Error("malformed RERR (len mismatch) accepted")
+	}
+}
+
+// TestRediscoveryAfterRERR is the end-to-end maintenance loop: break,
+// RERR to the source, re-request from the routeLost callback, and a fresh
+// usable route on the (changed) topology.
+func TestRediscoveryAfterRERR(t *testing.T) {
+	// Diamond: 0-1-3 and 0-2-3; range covers adjacent nodes only.
+	g := diamondGraph(t)
+	_, insts := aodvNetwork(t, g)
+	if err := insts[0].RequestRoute(3); err != nil {
+		t.Fatal(err)
+	}
+	first, err := insts[0].NextHop(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rediscover from the callback, exactly as the simulator would.
+	rediscoveries := 0
+	insts[0].OnRouteLost(func(target NodeID) {
+		rediscoveries++
+		if err := insts[0].RequestRoute(target); err != nil {
+			t.Errorf("re-request: %v", err)
+		}
+	})
+
+	// The first relay loses its link to 3 and tells the network.
+	if _, err := insts[first].LinkBreak(3); err != nil {
+		t.Fatal(err)
+	}
+	if rediscoveries == 0 {
+		t.Fatal("routeLost never fired at the source")
+	}
+	next, err := insts[0].NextHop(3)
+	if err != nil {
+		t.Fatalf("no route after rediscovery: %v", err)
+	}
+	// The route must be usable: walk it.
+	cur, hops := 0, 0
+	for cur != 3 {
+		nh, err := insts[cur].NextHop(3)
+		if err != nil {
+			t.Fatalf("walking rediscovered route: dead end at %d: %v", cur, err)
+		}
+		cur = nh
+		hops++
+		if hops > g.Len() {
+			t.Fatalf("routing loop via %d", next)
+		}
+	}
+}
+
+// diamondGraph builds 0-1-3 / 0-2-3 with no 1-2 or 0-3 links.
+func diamondGraph(t *testing.T) *topo.Graph {
+	t.Helper()
+	pts := []geom.Point{
+		geom.Pt(0, 0),     // 0
+		geom.Pt(100, 80),  // 1
+		geom.Pt(100, -80), // 2
+		geom.Pt(200, 0),   // 3
+	}
+	g, err := topo.NewGraph(pts, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -23,6 +23,12 @@ func FuzzScenarioJSON(f *testing.F) {
 	f.Add(`{"flows":[{"src":-1,"dst":99,"length_kb":-3}]}`)
 	f.Add(`not json at all`)
 	f.Add(`{"nodes":[{"x":1e999}]}`)
+	f.Add(`{"nodes":[{"x":0,"y":0,"joules":1},{"x":1,"y":1,"joules":1}],"flows":[{"src":0,"dst":1,"length_kb":1}],` +
+		`"faults":{"loss_p":0.1,"mean_burst":4,"seed":7,"retry_limit":3,"retry_timeout_s":0.5,"route_repair":true,` +
+		`"crashes":[{"node":1,"at_s":5,"recover_at_s":10}]}}`)
+	f.Add(`{"faults":{"loss_p":1.5}}`)
+	f.Add(`{"faults":{"loss_p":0.1,"retry_limit":3}}`)
+	f.Add(`{"faults":{"crashes":[{"node":-1,"at_s":-2,"recover_at_s":1}]}}`)
 	f.Fuzz(func(t *testing.T, data string) {
 		s, err := Load(strings.NewReader(data))
 		if err != nil {

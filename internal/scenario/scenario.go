@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/mobility"
 	"repro/internal/netsim"
@@ -55,6 +56,9 @@ type Scenario struct {
 	RandomNodes *RandomNodesSpec `json:"random_nodes,omitempty"`
 	Flows       []FlowSpec       `json:"flows"`
 	Failures    []FailureSpec    `json:"failures,omitempty"`
+	// Faults optionally enables the fault-injection layer (lossy channel,
+	// crash/recovery schedule, retry/ack transport, route repair).
+	Faults *FaultsSpec `json:"faults,omitempty"`
 }
 
 // NodeSpec is one explicit node.
@@ -86,6 +90,38 @@ type FlowSpec struct {
 type FailureSpec struct {
 	Node      int     `json:"node"`
 	AtSeconds float64 `json:"at_seconds"`
+}
+
+// FaultsSpec configures the fault-injection layer (internal/fault).
+type FaultsSpec struct {
+	// LossP is the per-transmission loss probability in [0, 1).
+	LossP float64 `json:"loss_p"`
+	// DistanceScale scales loss with (distance/range)².
+	DistanceScale bool `json:"distance_scale,omitempty"`
+	// MeanBurst >= 1 switches to Gilbert-Elliott bursty loss with this
+	// mean loss-burst length.
+	MeanBurst float64 `json:"mean_burst,omitempty"`
+	// Seed seeds the injector's private random stream (the scenario's
+	// top-level seed is for placement, not loss).
+	Seed int64 `json:"seed,omitempty"`
+	// RetryLimit > 0 turns on the hop-by-hop retry/ack transport with
+	// that many retransmissions per packet per hop.
+	RetryLimit int `json:"retry_limit,omitempty"`
+	// RetryTimeoutSec is the per-hop ack wait before a retransmission.
+	RetryTimeoutSec float64 `json:"retry_timeout_s,omitempty"`
+	// AckBytes sizes the hop-level ack (default 8 bytes).
+	AckBytes float64 `json:"ack_bytes,omitempty"`
+	// RouteRepair re-plans flow paths around dead or unreachable relays.
+	RouteRepair bool `json:"route_repair,omitempty"`
+	// Crashes schedules node outages with optional recovery.
+	Crashes []CrashSpec `json:"crashes,omitempty"`
+}
+
+// CrashSpec is one scheduled node outage.
+type CrashSpec struct {
+	Node       int     `json:"node"`
+	AtSeconds  float64 `json:"at_s"`
+	RecoverAtS float64 `json:"recover_at_s,omitempty"`
 }
 
 // Load parses a scenario from JSON.
@@ -193,7 +229,41 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("scenario: failure %d at negative time", i)
 		}
 	}
+	if s.Faults != nil {
+		for i, cr := range s.Faults.Crashes {
+			if cr.Node < 0 || cr.Node >= n {
+				return fmt.Errorf("scenario: faults crash %d node %d out of range", i, cr.Node)
+			}
+		}
+		if err := s.Faults.config().Validate(); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
 	return nil
+}
+
+// config converts the JSON spec to the fault layer's configuration. A nil
+// spec maps to a nil config (fault layer off).
+func (f *FaultsSpec) config() *fault.Config {
+	if f == nil {
+		return nil
+	}
+	cfg := &fault.Config{
+		LossP:         f.LossP,
+		DistanceScale: f.DistanceScale,
+		MeanBurst:     f.MeanBurst,
+		Seed:          f.Seed,
+		RetryLimit:    f.RetryLimit,
+		RetryTimeout:  f.RetryTimeoutSec,
+		AckBits:       f.AckBytes * 8,
+		RouteRepair:   f.RouteRepair,
+	}
+	for _, cr := range f.Crashes {
+		cfg.Crashes = append(cfg.Crashes, fault.Crash{
+			Node: cr.Node, At: cr.AtSeconds, RecoverAt: cr.RecoverAtS,
+		})
+	}
+	return cfg
 }
 
 // mode maps the JSON mode name.
@@ -235,6 +305,7 @@ func (s *Scenario) Build() (*netsim.World, []netsim.NodeID, error) {
 	cfg.FlowRateBps = s.RateBytesPerSec * 8
 	cfg.EstimateScale = s.EstimateScale
 	cfg.StopOnFirstDeath = s.StopOnFirstDeath
+	cfg.Faults = s.Faults.config()
 
 	var positions []geom.Point
 	var energies []float64

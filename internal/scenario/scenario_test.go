@@ -93,6 +93,37 @@ func TestLoadWithFailure(t *testing.T) {
 	}
 }
 
+func TestLoadWithFaults(t *testing.T) {
+	js := strings.Replace(chainScenario,
+		`"flows"`,
+		`"faults": {"loss_p": 0.1, "seed": 3, "retry_limit": 4, "retry_timeout_s": 0.25,
+		  "route_repair": true, "crashes": [{"node": 2, "at_s": 5, "recover_at_s": 20}]}, "flows"`, 1)
+	s, err := Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Faults == nil || s.Faults.LossP != 0.1 || s.Faults.RetryLimit != 4 {
+		t.Fatalf("faults spec not parsed: %+v", s.Faults)
+	}
+	w, _, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Evaluated == 0 {
+		t.Error("fault injector never consulted despite loss_p > 0")
+	}
+	if res.Transport.Acks == 0 {
+		t.Error("retry transport never acked despite retry_limit > 0")
+	}
+	if res.FirstDeath != 5 {
+		t.Errorf("FirstDeath = %v, want the scheduled crash at 5", res.FirstDeath)
+	}
+}
+
 func TestLoadRejectsBadScenarios(t *testing.T) {
 	tests := []struct {
 		name string
@@ -116,6 +147,15 @@ func TestLoadRejectsBadScenarios(t *testing.T) {
 			"flows":[{"src":0,"dst":1,"length_kb":1}]}`},
 		{"negative failure time", `{"nodes":[{"x":0,"y":0,"joules":1},{"x":1,"y":0,"joules":1}],
 			"failures":[{"node":0,"at_seconds":-1}],
+			"flows":[{"src":0,"dst":1,"length_kb":1}]}`},
+		{"fault loss out of range", `{"nodes":[{"x":0,"y":0,"joules":1},{"x":1,"y":0,"joules":1}],
+			"faults":{"loss_p":1.5},
+			"flows":[{"src":0,"dst":1,"length_kb":1}]}`},
+		{"fault retry without timeout", `{"nodes":[{"x":0,"y":0,"joules":1},{"x":1,"y":0,"joules":1}],
+			"faults":{"retry_limit":3},
+			"flows":[{"src":0,"dst":1,"length_kb":1}]}`},
+		{"fault crash node out of range", `{"nodes":[{"x":0,"y":0,"joules":1},{"x":1,"y":0,"joules":1}],
+			"faults":{"crashes":[{"node":9,"at_s":1}]},
 			"flows":[{"src":0,"dst":1,"length_kb":1}]}`},
 		{"unknown field", `{"bogus": 1, "nodes":[{"x":0,"y":0,"joules":1},{"x":1,"y":0,"joules":1}],
 			"flows":[{"src":0,"dst":1,"length_kb":1}]}`},

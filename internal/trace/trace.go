@@ -24,6 +24,14 @@ const (
 	KindStatusChange
 	KindNodeDied
 	KindFlowDone
+	// KindNodeRecovered marks a crashed node coming back (fault layer).
+	KindNodeRecovered
+	// KindLinkBreak marks a retry-limit exhaustion declaring a next hop
+	// unreachable (fault layer).
+	KindLinkBreak
+	// KindRouteRepair marks a flow path re-planned around a dead or
+	// unreachable relay (fault layer).
+	KindRouteRepair
 )
 
 // String implements fmt.Stringer.
@@ -43,6 +51,12 @@ func (k Kind) String() string {
 		return "node-died"
 	case KindFlowDone:
 		return "flow-done"
+	case KindNodeRecovered:
+		return "node-recovered"
+	case KindLinkBreak:
+		return "link-break"
+	case KindRouteRepair:
+		return "route-repair"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
