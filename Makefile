@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench smoke vet doclint ci
+.PHONY: build test race fuzz bench smoke vet doclint observability ci
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,10 @@ doclint:
 	$(GO) run ./cmd/doclint .
 
 # race runs the concurrency-sensitive suites (parallel sweeps, shared
-# world state, golden serial-vs-parallel determinism) under the race
-# detector.
+# world state, golden serial-vs-parallel determinism, per-trial observers
+# under concurrent sweeps, mid-run cancellation) under the race detector.
 race:
-	$(GO) test -race ./internal/... -run 'Race|Determinism'
+	$(GO) test -race . ./internal/... -run 'Race|Determinism'
 
 # fuzz gives each fuzzer a short budget; go test accepts one -fuzz
 # target per invocation, hence two runs.
@@ -30,6 +30,14 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# observability pins the observability layer's two contracts: the JSONL
+# trace schema golden (any wire-format drift fails here) and the
+# pay-for-what-you-use benchmark ladder (a zero-option simulation must
+# not regress toward the observed rungs).
+observability:
+	$(GO) test -run 'TestJSONLSchemaGolden|TestJSONLRoundTrip' ./internal/trace/
+	$(GO) test -run xxx -bench BenchmarkObserverOverhead -benchtime 1x .
 
 # smoke drives the CLI end-to-end through the faulty regime — lossy
 # bursty channel, node churn, retry transport, route repair — over a
@@ -41,4 +49,4 @@ smoke:
 	$(GO) run -race ./cmd/imobif-sim -nodes 40 -field 800 -flow-kb 512 \
 		-crash 2 -retry 3 -retry-timeout 0.25 -repair -fault-seed 11 -seed 1
 
-ci: vet doclint build test race fuzz smoke
+ci: vet doclint build test race fuzz smoke observability

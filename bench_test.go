@@ -7,6 +7,7 @@ package imobif
 // timing, so `go test -bench=.` doubles as a compact results table.
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"testing"
@@ -308,6 +309,62 @@ func BenchmarkFaultOverhead(b *testing.B) {
 				b.Fatalf("flow did not complete under %s", v.name)
 			}
 			b.ReportMetric(last.Flows[0].DeliveryRatio, "delivery-ratio")
+		})
+	}
+}
+
+// BenchmarkObserverOverhead quantifies what the observability layer costs
+// along the hot path, one sub-benchmark per rung:
+//
+//   - none: zero options — the pay-for-what-you-use baseline; the world's
+//     single cached `observing` branch is the entire cost, so this rung
+//     must stay within noise of the pre-observability simulator.
+//   - observer: a no-op Observer attached — every event pays typed-struct
+//     construction and one dynamic dispatch.
+//   - timeseries: per-second metrics sampling, no event dispatch.
+//   - trace-jsonl: every event JSON-encoded to an in-memory buffer — the
+//     full export path minus the disk.
+func BenchmarkObserverOverhead(b *testing.B) {
+	variants := []struct {
+		name string
+		opts func() []Option
+	}{
+		{"none", func() []Option { return nil }},
+		{"observer", func() []Option { return []Option{WithObserver(BaseObserver{})} }},
+		{"timeseries", func() []Option { return []Option{WithTimeSeries(1)} }},
+		{"trace-jsonl", func() []Option {
+			var sink bytes.Buffer
+			return []Option{WithTraceWriter(&sink)}
+		}},
+	}
+	cfg := DefaultConfig()
+	net, err := NewRandomNetwork(cfg, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, dst, err := net.PickFlowEndpoints(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var last *Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim, err := NewSimulation(cfg, net, v.opts()...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.AddFlow(src, dst, 10<<20); err != nil {
+					b.Fatal(err)
+				}
+				if last, err = sim.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if !last.Flows[0].Completed {
+				b.Fatalf("flow did not complete under %s", v.name)
+			}
 		})
 	}
 }

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/prof"
 )
 
 // runOpts carries the sweep-level settings into each figure runner.
@@ -64,10 +65,21 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write CSV series into (optional)")
 	nodes := flag.Int("nodes", 0, "override network size (0 = paper's value; pairs with -field)")
 	field := flag.Float64("field", 0, "override square field side in meters (0 with -nodes = auto-scale to the paper's 100 nodes/km²)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imobif-figures: %v\n", err)
+		os.Exit(1)
+	}
 	opts := runOpts{flows: *flows, seed: *seed, concurrency: *concurrency, csvDir: *csvDir, nodes: *nodes, field: *field}
-	if err := run(*fig, opts); err != nil {
+	err = run(*fig, opts)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "imobif-figures: %v\n", err)
 		os.Exit(1)
 	}

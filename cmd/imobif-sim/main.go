@@ -11,9 +11,12 @@
 //	imobif-sim -loss 0.1 -retry 5 -retry-timeout 0.2
 //	imobif-sim -loss 0.2 -burst 4 -crash 3 -repair -retry 5 -retry-timeout 0.2
 //	imobif-sim -scenario examples/scenarios/chain.json
+//	imobif-sim -trace-out run.trace.jsonl -metrics-out run.metrics.jsonl -sample-interval 0.5
+//	imobif-sim -trials 500 -progress -cpuprofile cpu.pprof
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -23,6 +26,7 @@ import (
 	"os"
 
 	imobif "repro"
+	"repro/internal/prof"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
 )
@@ -54,15 +58,27 @@ func main() {
 		retryTimeout = flag.Float64("retry-timeout", 0.2, "per-hop ack wait before retransmitting, seconds")
 		repair       = flag.Bool("repair", false, "re-plan flow paths around dead or unreachable relays")
 		faultSeed    = flag.Int64("fault-seed", 1, "seed for the fault injector's private stream and crash choice")
+
+		traceOut       = flag.String("trace-out", "", "write the single-run event trace to this file as JSONL (single-run mode only)")
+		metricsOut     = flag.String("metrics-out", "", "write time-resolved run metrics to this file as JSONL (single-run mode only)")
+		sampleInterval = flag.Float64("sample-interval", 1, "metrics sampling period for -metrics-out, virtual seconds")
+		progress       = flag.Bool("progress", false, "report per-trial progress of a -trials batch on stderr")
+		cpuprofile     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile     = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imobif-sim: %v\n", err)
+		os.Exit(1)
+	}
 
 	fo := faultOpts{
 		loss: *loss, burst: *burst, crash: *crash, retry: *retry,
 		retryTimeout: *retryTimeout, repair: *repair, seed: *faultSeed,
 	}
 	side := fieldSide(*field, *nodes)
-	var err error
 	switch {
 	case *scenFile != "":
 		err = runScenario(os.Stdout, *scenFile)
@@ -75,7 +91,7 @@ func main() {
 				energyLo: *energyLo, energyHi: *energyHi,
 				index: *index, faults: fo,
 			},
-			trials: *trials, concurrency: *concurrency,
+			trials: *trials, concurrency: *concurrency, progress: *progress,
 		})
 	default:
 		err = run(os.Stdout, runOpts{
@@ -84,7 +100,11 @@ func main() {
 			compare: *compare, deaths: *deaths,
 			energyLo: *energyLo, energyHi: *energyHi,
 			index: *index, faults: fo,
+			traceOut: *traceOut, metricsOut: *metricsOut, sampleInterval: *sampleInterval,
 		})
+	}
+	if perr := stopProf(); err == nil {
+		err = perr
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imobif-sim: %v\n", err)
@@ -144,11 +164,17 @@ type runOpts struct {
 	compare, deaths    bool
 	energyLo, energyHi float64
 	faults             faultOpts
+
+	// Observability outputs (single-run mode): JSONL event trace and
+	// sampled run metrics. Empty paths disable them.
+	traceOut, metricsOut string
+	sampleInterval       float64
 }
 
 type batchOpts struct {
 	runOpts
 	trials, concurrency int
+	progress            bool
 }
 
 func (o runOpts) config() (imobif.Config, error) {
@@ -183,6 +209,14 @@ func runBatch(w io.Writer, o batchOpts) error {
 		Completed bool
 	}
 	r := sweep.Runner{Concurrency: o.concurrency}
+	if o.progress {
+		r.OnProgress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rtrial %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 	outs, stats, err := sweep.Map(context.Background(), r, o.trials,
 		func(_ context.Context, trial int) (trialOut, error) {
 			trialSeed := int64(sweep.DeriveSeed(o.seed, uint64(trial)))
@@ -302,9 +336,21 @@ func run(w io.Writer, o runOpts) error {
 			o.faults.retry, o.faults.retryTimeout, o.faults.repair, o.faults.seed)
 	}
 
-	res, err := runOnce(cfg, net, src, dst, o.flowKB, o.faults)
+	opts, flush, err := o.observability()
 	if err != nil {
 		return err
+	}
+	res, err := runOnce(cfg, net, src, dst, o.flowKB, o.faults, opts...)
+	if ferr := flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return err
+	}
+	if o.metricsOut != "" {
+		if err := writeMetricsFile(o.metricsOut, res.Series); err != nil {
+			return err
+		}
 	}
 	report(w, res, o.faults.enabled())
 
@@ -343,8 +389,47 @@ func buildNetwork(cfg imobif.Config, seed int64, lo, hi float64) (*imobif.Networ
 	return imobif.NewNetwork(nodes, cfg.Range)
 }
 
-func runOnce(cfg imobif.Config, net *imobif.Network, src, dst int, flowKB float64, fo faultOpts) (*imobif.Result, error) {
-	sim, err := imobif.NewSimulation(cfg, net)
+// observability converts the -trace-out / -metrics-out flags into
+// simulation options plus a flush function that finalizes the trace file.
+// flush is safe to call even when no outputs are enabled.
+func (o runOpts) observability() (opts []imobif.Option, flush func() error, err error) {
+	flush = func() error { return nil }
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return nil, nil, err
+		}
+		bw := bufio.NewWriter(f)
+		opts = append(opts, imobif.WithTraceWriter(bw))
+		flush = func() error {
+			if err := bw.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+	}
+	if o.metricsOut != "" {
+		opts = append(opts, imobif.WithTimeSeries(o.sampleInterval))
+	}
+	return opts, flush, nil
+}
+
+// writeMetricsFile writes the sampled time series to path as JSONL.
+func writeMetricsFile(path string, series []imobif.Sample) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := imobif.WriteMetricsJSONL(f, series); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func runOnce(cfg imobif.Config, net *imobif.Network, src, dst int, flowKB float64, fo faultOpts, opts ...imobif.Option) (*imobif.Result, error) {
+	sim, err := imobif.NewSimulation(cfg, net, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -48,6 +48,17 @@
 // cmd/imobif-figures binary regenerates every table and figure of the
 // paper's evaluation.
 //
+// # Observability
+//
+// Runs are silent by default and observable on demand through options on
+// NewSimulation: WithObserver attaches typed per-event callbacks,
+// WithTimeSeries samples energy and delivery metrics over simulated time
+// into Result.Series, and WithTraceWriter streams every event as JSON
+// Lines. RunContext makes a run cancelable between events, returning a
+// deterministic partial Result with the Canceled flag set. A zero-option
+// simulation skips event dispatch entirely and is bit-identical to one
+// built before the observability layer existed.
+//
 // # Determinism
 //
 // One seed reproduces any run byte-for-byte: all randomness flows from

@@ -1,0 +1,97 @@
+package imobif
+
+// The public fault-injection surface, consolidated in one place: the
+// FaultConfig knobs that parameterize the channel/transport models, and
+// the Simulation methods that script node outages.
+//
+// The failure→recovery lifecycle: ScheduleNodeFailure crashes a node at a
+// virtual time — it stops transmitting, receiving, moving, and beaconing,
+// with its battery left intact (hardware failure, not depletion), and the
+// crash counts as the first "death" for lifetime metrics. Flows routed
+// through a crashed relay drop packets (or, with FaultConfig.RetryLimit
+// and RouteRepair set, retry and re-plan around it). ScheduleNodeRecovery
+// reverses a crash at a later time: the node resumes participating and
+// immediately re-broadcasts its HELLO so neighbors relearn it; recovering
+// a node that is not down at that moment is a no-op. ScheduleNodeOutage
+// composes the two into one down/up window. All scheduling must happen
+// before Run.
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+)
+
+// FaultConfig parameterizes the fault-injection layer (see internal/fault
+// for the underlying models). Attach one via Config.Faults; nil keeps the
+// ideal lossless channel.
+type FaultConfig struct {
+	// LossP is the per-transmission loss probability in [0, 1).
+	LossP float64
+	// DistanceScaledLoss scales the loss probability with
+	// (distance/range)², so links at the radio edge are the lossiest.
+	DistanceScaledLoss bool
+	// LossBurst >= 1 switches to a Gilbert-Elliott bursty channel with
+	// this mean loss-burst length (in transmissions); 0 keeps independent
+	// losses.
+	LossBurst float64
+	// Seed seeds the injector's private deterministic stream.
+	Seed int64
+	// RetryLimit > 0 enables the hop-by-hop retry/ack transport with that
+	// many retransmissions per packet per hop.
+	RetryLimit int
+	// RetryTimeoutSec is the per-hop ack wait before retransmitting.
+	RetryTimeoutSec float64
+	// AckBytes sizes the hop-level ack packet (default 8 bytes).
+	AckBytes float64
+	// RouteRepair re-plans flow paths around dead or unreachable relays.
+	RouteRepair bool
+}
+
+// fault converts the public fault configuration to the internal one.
+func (f *FaultConfig) fault() *fault.Config {
+	if f == nil {
+		return nil
+	}
+	return &fault.Config{
+		LossP:         f.LossP,
+		DistanceScale: f.DistanceScaledLoss,
+		MeanBurst:     f.LossBurst,
+		Seed:          f.Seed,
+		RetryLimit:    f.RetryLimit,
+		RetryTimeout:  f.RetryTimeoutSec,
+		AckBits:       f.AckBytes * 8,
+		RouteRepair:   f.RouteRepair,
+	}
+}
+
+// ScheduleNodeFailure crashes a node at the given virtual time (seconds):
+// it stops transmitting, receiving, moving, and beaconing, with its
+// battery left intact. Flows routed through it stall unless the retry
+// transport and route repair are enabled. Must be called before Run; see
+// the package comment above on the failure→recovery lifecycle.
+func (s *Simulation) ScheduleNodeFailure(node int, atSeconds float64) error {
+	return s.world.ScheduleNodeFailure(node, simTime(atSeconds))
+}
+
+// ScheduleNodeRecovery brings a crashed node back at the given virtual
+// time: it resumes receiving, relaying, moving, and beaconing, and
+// re-announces itself so neighbors relearn it. Recovering a node that is
+// not down at that time is a no-op. Must be called before Run.
+func (s *Simulation) ScheduleNodeRecovery(node int, atSeconds float64) error {
+	return s.world.ScheduleNodeRecovery(node, simTime(atSeconds))
+}
+
+// ScheduleNodeOutage takes a node down for the window [downAt, upAt)
+// (virtual seconds): a failure at downAt and a recovery at upAt in one
+// call — the common crash-then-heal experiment. upAt must be greater than
+// downAt. Must be called before Run.
+func (s *Simulation) ScheduleNodeOutage(node int, downAt, upAt float64) error {
+	if upAt <= downAt {
+		return fmt.Errorf("imobif: outage window [%v, %v) is empty", downAt, upAt)
+	}
+	if err := s.ScheduleNodeFailure(node, downAt); err != nil {
+		return err
+	}
+	return s.ScheduleNodeRecovery(node, upAt)
+}

@@ -60,11 +60,3 @@ func (s *Simulation) AddMulticast(src int, destinations []int, lengthBytes float
 func (s *Simulation) DiscoverRoute(src, dst int) ([]int, error) {
 	return s.world.DiscoverPath(src, dst)
 }
-
-// ScheduleNodeFailure crashes a node at the given virtual time (seconds):
-// it stops transmitting, receiving, moving, and beaconing, with its
-// battery left intact. Flows routed through it stall. Use it to study the
-// framework's behaviour under node failures.
-func (s *Simulation) ScheduleNodeFailure(node int, atSeconds float64) error {
-	return s.world.ScheduleNodeFailure(node, simTime(atSeconds))
-}

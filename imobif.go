@@ -1,12 +1,12 @@
 package imobif
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/energy"
-	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/mobility"
 	"repro/internal/netsim"
@@ -16,6 +16,7 @@ import (
 	"repro/internal/spatial"
 	"repro/internal/stats"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // Strategy selects the mobility strategy a flow runs.
@@ -99,48 +100,6 @@ type Config struct {
 	// transport, and route repair around dead relays. Nil keeps the ideal
 	// channel, bit-identical to a build without the fault layer.
 	Faults *FaultConfig
-}
-
-// FaultConfig parameterizes the fault-injection layer (see internal/fault
-// for the underlying models).
-type FaultConfig struct {
-	// LossP is the per-transmission loss probability in [0, 1).
-	LossP float64
-	// DistanceScaledLoss scales the loss probability with
-	// (distance/range)², so links at the radio edge are the lossiest.
-	DistanceScaledLoss bool
-	// LossBurst >= 1 switches to a Gilbert-Elliott bursty channel with
-	// this mean loss-burst length (in transmissions); 0 keeps independent
-	// losses.
-	LossBurst float64
-	// Seed seeds the injector's private deterministic stream.
-	Seed int64
-	// RetryLimit > 0 enables the hop-by-hop retry/ack transport with that
-	// many retransmissions per packet per hop.
-	RetryLimit int
-	// RetryTimeoutSec is the per-hop ack wait before retransmitting.
-	RetryTimeoutSec float64
-	// AckBytes sizes the hop-level ack packet (default 8 bytes).
-	AckBytes float64
-	// RouteRepair re-plans flow paths around dead or unreachable relays.
-	RouteRepair bool
-}
-
-// fault converts the public fault configuration to the internal one.
-func (f *FaultConfig) fault() *fault.Config {
-	if f == nil {
-		return nil
-	}
-	return &fault.Config{
-		LossP:         f.LossP,
-		DistanceScale: f.DistanceScaledLoss,
-		MeanBurst:     f.LossBurst,
-		Seed:          f.Seed,
-		RetryLimit:    f.RetryLimit,
-		RetryTimeout:  f.RetryTimeoutSec,
-		AckBits:       f.AckBytes * 8,
-		RouteRepair:   f.RouteRepair,
-	}
 }
 
 // DefaultConfig returns the paper's reconstructed evaluation parameters
@@ -418,27 +377,48 @@ type Result struct {
 	// ChannelLossRate is the fault injector's observed loss fraction
 	// (0 when fault injection is off).
 	ChannelLossRate float64
+	// Series holds time-resolved run metrics when the simulation was built
+	// with WithTimeSeries; nil otherwise. Samples are in strictly
+	// increasing time order: one at t=0, one per interval, and one at the
+	// moment the run ended.
+	Series []Sample
+	// Canceled reports that RunContext stopped early because its context
+	// was canceled. The rest of the Result is the deterministic partial
+	// state at the point the run stopped.
+	Canceled bool
 }
 
 // TotalJoules returns the total energy consumed network-wide.
 func (r *Result) TotalJoules() float64 { return r.TxJoules + r.MoveJoules + r.ControlJoules }
 
 // Simulation is a single runnable scenario. Create with NewSimulation, add
-// flows, then call Run once.
+// flows, then call Run (or RunContext) once.
 type Simulation struct {
 	world *netsim.World
 	flows []FlowID
+	jsonl []*trace.JSONLWriter
 }
 
 // NewSimulation builds a simulation of the given network under the given
 // configuration. The network state is copied; the Network can be reused.
-func NewSimulation(cfg Config, net *Network) (*Simulation, error) {
+// Options attach observability — WithObserver, WithTimeSeries,
+// WithTraceWriter — and cost nothing when absent: the zero-option call is
+// bit-identical to a build without the observability layer.
+func NewSimulation(cfg Config, net *Network, opts ...Option) (*Simulation, error) {
 	if net == nil {
 		return nil, errors.New("imobif: nil network")
+	}
+	o, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
 	}
 	ncfg, err := cfg.netsim()
 	if err != nil {
 		return nil, err
+	}
+	ncfg.Sink = trace.Multi(o.sinks...)
+	if o.sampleInterval > 0 {
+		ncfg.SampleInterval = simTime(o.sampleInterval)
 	}
 	positions := append([]geom.Point(nil), net.positions...)
 	energies := append([]float64(nil), net.energies...)
@@ -446,7 +426,7 @@ func NewSimulation(cfg Config, net *Network) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Simulation{world: world}, nil
+	return &Simulation{world: world, jsonl: o.jsonl}, nil
 }
 
 // AddFlow registers a one-to-one flow of lengthBytes bytes. The route is
@@ -484,19 +464,27 @@ func (s *Simulation) FlowPath(id FlowID) ([]int, error) {
 	return s.world.FlowPath(core.FlowID(id))
 }
 
-// ScheduleNodeRecovery brings a crashed node back at the given virtual
-// time; it re-announces itself so neighbors relearn it. Must be called
-// before Run.
-func (s *Simulation) ScheduleNodeRecovery(node int, atSeconds float64) error {
-	return s.world.ScheduleNodeRecovery(node, simTime(atSeconds))
+// Run executes the simulation to completion and returns the result.
+// Simulations are single-use. Run is RunContext with a background
+// context.
+func (s *Simulation) Run() (*Result, error) {
+	return s.RunContext(context.Background())
 }
 
-// Run executes the simulation to completion and returns the result.
-// Simulations are single-use.
-func (s *Simulation) Run() (*Result, error) {
-	res, err := s.world.Run()
+// RunContext executes the simulation to completion, or until ctx is
+// canceled. Cancellation is checked between simulation events, never
+// mid-event, so a canceled run still returns a well-formed, deterministic
+// Result — the partial state at the moment the run stopped — with
+// Canceled set and a nil error. Simulations are single-use.
+func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
+	res, err := s.world.RunContext(ctx)
 	if err != nil {
 		return nil, err
+	}
+	for _, jw := range s.jsonl {
+		if werr := jw.Err(); werr != nil {
+			return nil, fmt.Errorf("imobif: trace export: %w", werr)
+		}
 	}
 	out := &Result{
 		TxJoules:          res.Energy.Tx,
@@ -521,6 +509,13 @@ func (s *Simulation) Run() (*Result, error) {
 			RouteRepairs: res.Transport.RouteRepairs,
 		},
 		ChannelLossRate: res.Faults.LossRate(),
+		Canceled:        res.Canceled,
+	}
+	if res.Series != nil {
+		out.Series = make([]Sample, 0, len(res.Series.Samples))
+		for _, smp := range res.Series.Samples {
+			out.Series = append(out.Series, sampleFromInternal(smp))
+		}
 	}
 	for _, n := range res.Initial.Nodes {
 		out.Before = append(out.Before, Node{ID: n.ID, X: n.Pos.X, Y: n.Pos.Y, Joules: n.Residual})

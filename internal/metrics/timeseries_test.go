@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestTimeSeriesAppendMonotonic checks Append enforces strictly
+// increasing sample times by dropping stale or duplicate timestamps (the
+// run-end sample can coincide with the last periodic tick).
+func TestTimeSeriesAppendMonotonic(t *testing.T) {
+	ts := NewTimeSeries(1)
+	ts.Append(Sample{At: 0, AliveNodes: 10})
+	ts.Append(Sample{At: 1, AliveNodes: 9})
+	ts.Append(Sample{At: 1, AliveNodes: 8})   // duplicate time: dropped
+	ts.Append(Sample{At: 0.5, AliveNodes: 7}) // stale time: dropped
+	ts.Append(Sample{At: 2, AliveNodes: 6})
+	if len(ts.Samples) != 3 {
+		t.Fatalf("got %d samples, want 3", len(ts.Samples))
+	}
+	for i := 1; i < len(ts.Samples); i++ {
+		if ts.Samples[i].At <= ts.Samples[i-1].At {
+			t.Fatalf("sample %d: time %v not after %v", i, ts.Samples[i].At, ts.Samples[i-1].At)
+		}
+	}
+	if last := ts.Last(); last.AliveNodes != 6 {
+		t.Errorf("Last() = %+v, want the t=2 sample", last)
+	}
+}
+
+// TestSamplesJSONLRoundTrip checks the metrics exporter's wire schema:
+// every pinned key appears on every line, and parsing inverts writing.
+func TestSamplesJSONLRoundTrip(t *testing.T) {
+	ts := TimeSeries{Samples: []Sample{
+		{At: 0, ResidualMin: 5000, ResidualMean: 7500, AliveNodes: 100},
+		{
+			At:          1.5,
+			Energy:      EnergyBreakdown{Tx: 1.25, Move: 0.5, Control: 0.125, Rx: 0.0625},
+			ResidualMin: 4990, ResidualMean: 7499, AliveNodes: 99,
+			DeliveredPackets: 12, DroppedPackets: 3, Retransmits: 7,
+		},
+	}}
+	var buf bytes.Buffer
+	if err := ts.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{
+		`"t"`, `"tx_j"`, `"move_j"`, `"control_j"`, `"rx_j"`,
+		`"residual_min_j"`, `"residual_mean_j"`, `"alive"`,
+		`"delivered"`, `"dropped"`, `"retransmits"`,
+	}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		for _, k := range keys {
+			if !strings.Contains(line, k) {
+				t.Errorf("line %q is missing pinned key %s", line, k)
+			}
+		}
+	}
+	back, err := ParseSamplesJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, ts.Samples) {
+		t.Errorf("round trip diverged:\ngot:  %+v\nwant: %+v", back, ts.Samples)
+	}
+}

@@ -128,6 +128,19 @@ type Config struct {
 	Horizon sim.Time
 	// Tracer optionally records structured events; nil disables tracing.
 	Tracer *trace.Tracer
+	// Sink, when non-nil, receives every trace event as the simulation
+	// produces it, in simulated-time order — the feed behind the public
+	// Observer callbacks and the JSONL trace export. It composes with
+	// Tracer: both see the same stream. With Tracer and Sink both nil the
+	// world skips event dispatch entirely, so the zero-observer run is
+	// bit-identical to (and as fast as) a build without observability.
+	Sink trace.Sink
+	// SampleInterval, when positive, samples time-resolved run metrics —
+	// cumulative per-category energy, residual-energy min/mean, alive
+	// node count, delivery/retry counters — every SampleInterval
+	// simulated seconds into Result.Series, plus one sample at t=0 and
+	// one when the run ends. Zero disables sampling.
+	SampleInterval sim.Time
 }
 
 // DefaultConfig returns the paper-reconstructed parameters (DESIGN.md §1):
@@ -200,6 +213,9 @@ func (c Config) Validate() error {
 	}
 	if c.Horizon <= 0 {
 		return fmt.Errorf("netsim: non-positive horizon %v", c.Horizon)
+	}
+	if c.SampleInterval < 0 {
+		return fmt.Errorf("netsim: negative sample interval %v", c.SampleInterval)
 	}
 	return nil
 }

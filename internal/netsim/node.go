@@ -1,7 +1,6 @@
 package netsim
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/core"
@@ -184,7 +183,7 @@ func (n *node) onRetryTimeout(key pendingKey) {
 		next = entry.Next
 	}
 	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindLinkBreak, Node: n.id,
-		Detail: fmt.Sprintf("flow=%d seq=%d next=%d", key.flow, key.seq, next)})
+		Flow: uint64(key.flow), Seq: key.seq, Peer: next})
 	if w.cfg.Faults.RouteRepair && w.repairFlow(pt.fr, n.id) {
 		w.transport.Retransmits++
 		n.sendReliable(pt.fr, pt.hdr)
@@ -248,7 +247,7 @@ func (n *node) onData(from NodeID, pkt dataPacket) {
 		return
 	}
 	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindPacketDelivered, Node: n.id,
-		Detail: fmt.Sprintf("flow=%d seq=%d", hdr.Flow, hdr.Seq)})
+		Flow: uint64(hdr.Flow), Seq: hdr.Seq})
 
 	if hdr.Dst == n.id {
 		n.deliver(fr, entry, &hdr)
@@ -303,7 +302,7 @@ func (n *node) deliver(fr *flowRuntime, entry *core.FlowEntry, hdr *core.Header)
 		if dec := core.EvaluateStatus(hdr); dec.Notify {
 			fr.notifications++
 			w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindNotification, Node: n.id,
-				Detail: fmt.Sprintf("flow=%d enable=%v", hdr.Flow, dec.Enable)})
+				Flow: uint64(hdr.Flow), Enable: dec.Enable})
 			n.sendNotification(fr, core.Notification{
 				Flow: hdr.Flow, Src: hdr.Src, Dst: hdr.Dst,
 				Enable: dec.Enable, With: hdr.With, Without: hdr.Without,
@@ -312,7 +311,7 @@ func (n *node) deliver(fr *flowRuntime, entry *core.FlowEntry, hdr *core.Header)
 	}
 	if fr.source.Done() && fr.inflight == 0 {
 		w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindFlowDone, Node: n.id,
-			Detail: fmt.Sprintf("flow=%d delivered=%.0f", fr.id, fr.delivered)})
+			Flow: uint64(fr.id), Bits: fr.delivered})
 		w.maybeFinish()
 	}
 }
@@ -345,7 +344,7 @@ func (n *node) onNotification(from NodeID, note core.Notification) {
 		if err := fr.source.ApplyNotification(note); err == nil {
 			fr.statusFlips++
 			w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindStatusChange, Node: n.id,
-				Detail: fmt.Sprintf("flow=%d enable=%v", note.Flow, note.Enable)})
+				Flow: uint64(note.Flow), Enable: note.Enable})
 		}
 		return
 	}

@@ -1,8 +1,10 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/energy"
@@ -75,6 +77,13 @@ type World struct {
 	// transport counts the retry/ack layer's activity.
 	injector  *fault.Injector
 	transport metrics.TransportStats
+	// observing caches whether any event consumer (Tracer or Sink) is
+	// attached; the hot-path trace() bails on this single bool so the
+	// zero-observer run pays one predictable branch per event point.
+	observing bool
+	// series collects time-resolved metrics when Config.SampleInterval
+	// is positive; nil disables sampling.
+	series *metrics.TimeSeries
 	// lastActivity is the time of the most recent flow event (emission,
 	// delivery, or drop); the beacon-round watchdog uses it to end runs
 	// whose in-flight accounting was broken by silent packet loss (e.g. a
@@ -149,7 +158,8 @@ func NewWorld(cfg Config, positions []geom.Point, energies []float64) (*World, e
 	if err != nil {
 		return nil, err
 	}
-	w := &World{cfg: cfg, sched: sched, medium: medium, index: index, firstDeath: -1, injector: injector}
+	w := &World{cfg: cfg, sched: sched, medium: medium, index: index, firstDeath: -1, injector: injector,
+		observing: cfg.Tracer != nil || cfg.Sink != nil}
 	for i, pos := range positions {
 		if energies[i] < 0 {
 			return nil, fmt.Errorf("netsim: negative energy %v for node %d", energies[i], i)
@@ -344,6 +354,13 @@ type Result struct {
 	// Faults reports the loss injector's counters (all zero on the ideal
 	// channel).
 	Faults fault.Stats
+	// Series holds the sampled time-resolved metrics when
+	// Config.SampleInterval is positive, nil otherwise.
+	Series *metrics.TimeSeries
+	// Canceled reports that RunContext returned early because its
+	// context was canceled. The rest of the Result is the deterministic
+	// partial state as of the last event that fired.
+	Canceled bool
 }
 
 // Outcome returns the outcome of the single flow in a one-flow world.
@@ -359,6 +376,16 @@ func (r Result) Outcome() metrics.FlowOutcome {
 // dead), first death if StopOnFirstDeath, or the horizon. Worlds are
 // single-use; calling Run twice is an error.
 func (w *World) Run() (Result, error) {
+	return w.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: ctx is checked between
+// scheduler events, so a canceled run stops at an event boundary and
+// returns the deterministic partial Result as of the last event that
+// fired, with Result.Canceled set and a nil error. Cancellation is the
+// only behavioural difference — RunContext(context.Background()) is
+// exactly Run.
+func (w *World) RunContext(ctx context.Context) (Result, error) {
 	if w.started {
 		return Result{}, errors.New("netsim: world already ran")
 	}
@@ -377,6 +404,22 @@ func (w *World) Run() (Result, error) {
 		}
 		w.beaconer = b
 		if err := b.Start(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Start metrics sampling before the flows so the t=0 sample sees the
+	// untouched initial state. The tick reschedules itself; once the run
+	// stops, pending ticks die with the queue and the final sample below
+	// closes the series.
+	if w.cfg.SampleInterval > 0 {
+		w.series = metrics.NewTimeSeries(w.cfg.SampleInterval)
+		var tick func()
+		tick = func() {
+			w.sample()
+			_, _ = w.sched.After(w.cfg.SampleInterval, tick)
+		}
+		if _, err := w.sched.At(0, tick); err != nil {
 			return Result{}, err
 		}
 	}
@@ -403,8 +446,20 @@ func (w *World) Run() (Result, error) {
 		}
 	}
 
-	if err := w.sched.RunUntil(w.cfg.Horizon); err != nil && !errors.Is(err, sim.ErrStopped) {
-		return Result{}, err
+	canceled := false
+	if err := w.sched.RunUntilContext(ctx, w.cfg.Horizon); err != nil {
+		switch {
+		case errors.Is(err, sim.ErrStopped):
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			canceled = true
+		default:
+			return Result{}, err
+		}
+	}
+	if w.series != nil {
+		// Close the series with the end-of-run state (dropped by Append
+		// when a periodic tick already sampled this instant).
+		w.sample()
 	}
 
 	res := Result{
@@ -415,6 +470,8 @@ func (w *World) Run() (Result, error) {
 		Medium:     w.medium.Stats(),
 		Transport:  w.transport,
 		Faults:     w.injector.Stats(),
+		Series:     w.series,
+		Canceled:   canceled,
 	}
 	for _, n := range w.nodes {
 		res.Energy = res.Energy.Add(metrics.FromBattery(n.battery))
@@ -438,6 +495,32 @@ func (w *World) Run() (Result, error) {
 		})
 	}
 	return res, nil
+}
+
+// sample appends one time-series point capturing the network's current
+// cumulative energy spend, residual-energy distribution, and delivery
+// counters. It reads state only, so sampling never perturbs the run.
+func (w *World) sample() {
+	s := metrics.Sample{At: w.sched.Now(), ResidualMin: math.Inf(1)}
+	var residualTotal float64
+	for _, n := range w.nodes {
+		r := n.battery.Residual()
+		residualTotal += r
+		if r < s.ResidualMin {
+			s.ResidualMin = r
+		}
+		if !n.dead {
+			s.AliveNodes++
+		}
+		s.Energy = s.Energy.Add(metrics.FromBattery(n.battery))
+	}
+	s.ResidualMean = residualTotal / float64(len(w.nodes))
+	for _, fr := range w.flows {
+		s.DeliveredPackets += uint64(fr.deliveredPkts)
+		s.DroppedPackets += uint64(fr.drops)
+	}
+	s.Retransmits = w.transport.Retransmits
+	w.series.Append(s)
 }
 
 // snapshot captures all node states.
@@ -503,7 +586,7 @@ func (w *World) emit(fr *flowRuntime) {
 	fr.inflight++
 	w.lastActivity = w.sched.Now()
 	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindPacketSent, Node: srcNode.id,
-		Detail: fmt.Sprintf("flow=%d seq=%d", hdr.Flow, hdr.Seq)})
+		Flow: uint64(hdr.Flow), Seq: hdr.Seq})
 	if w.retryEnabled() {
 		srcNode.sendReliable(fr, hdr)
 	} else if err := w.medium.Unicast(srcNode.id, next, hdr.PayloadBits, energy.CatTx, dataPacket{hdr: hdr}); err != nil {
@@ -566,7 +649,7 @@ func (w *World) markDead(n *node) {
 	if w.firstDeath < 0 {
 		w.firstDeath = w.sched.Now()
 	}
-	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindNodeDied, Node: n.id})
+	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindNodeDied, Node: n.id, Pos: n.pos})
 	if w.cfg.StopOnFirstDeath {
 		w.sched.Stop()
 		return
@@ -586,7 +669,7 @@ func (w *World) markAlive(n *node) {
 		return
 	}
 	n.dead = false
-	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindNodeRecovered, Node: n.id})
+	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindNodeRecovered, Node: n.id, Pos: n.pos})
 	b := n.beacon()
 	if _, err := w.medium.Broadcast(n.id, w.cfg.HelloBits, energy.CatControl, b); err != nil {
 		w.noteDepletion(n, err)
@@ -665,7 +748,7 @@ func (w *World) repairFlow(fr *flowRuntime, at NodeID) bool {
 	}
 	w.transport.RouteRepairs++
 	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindRouteRepair, Node: at,
-		Detail: fmt.Sprintf("flow=%d hops=%d", fr.id, len(newPath)-1)})
+		Flow: uint64(fr.id), Hops: len(newPath) - 1})
 	return true
 }
 
@@ -703,7 +786,19 @@ func (w *World) planLive(src, dst NodeID) ([]NodeID, error) {
 	return out, nil
 }
 
-func (w *World) trace(e trace.Event) { w.cfg.Tracer.Record(e) }
+// trace dispatches one event to the attached consumers. With no Tracer
+// and no Sink it is a single predicted branch, keeping the zero-observer
+// hot path at pre-observability cost (BenchmarkObserverOverhead pins
+// this).
+func (w *World) trace(e trace.Event) {
+	if !w.observing {
+		return
+	}
+	w.cfg.Tracer.Record(e)
+	if w.cfg.Sink != nil {
+		w.cfg.Sink.Record(e)
+	}
+}
 
 // node is one wireless node: radio endpoint, HELLO participant, flow
 // relay/source/destination, and mobile platform.

@@ -1,0 +1,52 @@
+// Package prof wires runtime/pprof profiling into the command-line tools:
+// one call at startup starts the CPU profile, and the returned stop
+// function finalizes both the CPU and heap profiles on the way out. Both
+// profiles are optional and independently selected by passing a non-empty
+// output path.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the given output paths; empty paths disable
+// the corresponding profile. When cpuPath is non-empty the CPU profile
+// starts immediately. The returned stop function must be called exactly
+// once before the process exits: it stops the CPU profile and, when
+// memPath is non-empty, runs a GC and writes the heap profile.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: starting cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: closing cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			memFile, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: creating mem profile: %w", err)
+			}
+			defer memFile.Close()
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(memFile); err != nil {
+				return fmt.Errorf("prof: writing mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

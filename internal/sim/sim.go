@@ -9,6 +9,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -178,11 +179,29 @@ func (s *Scheduler) Run() error {
 // horizon if the queue drains or only later events remain. It returns
 // ErrStopped if Stop was called first.
 func (s *Scheduler) RunUntil(horizon Time) error {
+	return s.RunUntilContext(context.Background(), horizon)
+}
+
+// RunUntilContext is RunUntil with cooperative cancellation: ctx is
+// checked between events, never mid-event, so the virtual clock and all
+// simulation state remain consistent (deterministic up to the last event
+// that fired) when it returns ctx.Err(). A context that can never be
+// canceled (context.Background) adds no per-event work — the loop is the
+// plain RunUntil loop.
+func (s *Scheduler) RunUntilContext(ctx context.Context, horizon Time) error {
 	if horizon < s.now {
 		return fmt.Errorf("sim: horizon %v is in the past (now %v)", horizon, s.now)
 	}
+	done := ctx.Done()
 	s.stopped = false
 	for !s.stopped {
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
 		// Peek for the next live event within the horizon.
 		next := s.peek()
 		if next == nil || next.at > horizon {

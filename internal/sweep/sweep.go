@@ -75,6 +75,14 @@ type Runner struct {
 	// serially on the calling goroutine's schedule, values above 1 fan
 	// out, and values <= 0 use GOMAXPROCS.
 	Concurrency int
+	// OnProgress, when non-nil, is called after each trial completes
+	// successfully with the number of trials done so far and the total.
+	// Calls are serialized (never concurrent with each other) and `done`
+	// is non-decreasing across them, but completion order is scheduling-
+	// dependent, so the callback must not attribute a call to a specific
+	// trial index. It runs on worker goroutines and delays trial
+	// completion, so it should be fast.
+	OnProgress func(done, total int)
 }
 
 // workers resolves the effective worker count for n trials.
@@ -118,10 +126,20 @@ func Map[T any](ctx context.Context, r Runner, trials int, fn func(ctx context.C
 	var (
 		next     atomic.Int64
 		mu       sync.Mutex
+		done     int
 		firstErr error
 		errTrial = -1
 		wg       sync.WaitGroup
 	)
+	progress := func() {
+		if r.OnProgress == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		r.OnProgress(done, trials)
+		mu.Unlock()
+	}
 	fail := func(trial int, err error) {
 		mu.Lock()
 		if errTrial < 0 || trial < errTrial {
@@ -145,6 +163,7 @@ func Map[T any](ctx context.Context, r Runner, trials int, fn func(ctx context.C
 					return
 				}
 				results[i] = v
+				progress()
 			}
 		}()
 	}

@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// JSONLSchemaVersion identifies the exporter's line schema. Each output
+// line is one JSON object; which keys appear depends only on the event
+// kind (see jsonEvent). The golden schema test pins the kind→key mapping,
+// so any drift — renamed keys, new fields, dropped fields — fails the
+// build. Bump this constant (and the golden file) on deliberate changes.
+const JSONLSchemaVersion = 1
+
+// jsonEvent is the pinned wire form of one trace event. Keys "t", "kind"
+// and "node" always appear; the rest appear exactly for the kinds that
+// define them (pointer fields so false/zero values still serialize).
+type jsonEvent struct {
+	T    float64  `json:"t"`
+	Kind string   `json:"kind"`
+	Node int      `json:"node"`
+	X    *float64 `json:"x,omitempty"`
+	Y    *float64 `json:"y,omitempty"`
+	Flow *uint64  `json:"flow,omitempty"`
+	Seq  *uint64  `json:"seq,omitempty"`
+	Peer *int     `json:"peer,omitempty"`
+	En   *bool    `json:"enable,omitempty"`
+	Bits *float64 `json:"bits,omitempty"`
+	Hops *int     `json:"hops,omitempty"`
+}
+
+// encode converts an event to its wire form.
+func encode(e Event) jsonEvent {
+	je := jsonEvent{T: float64(e.At), Kind: e.Kind.String(), Node: e.Node}
+	switch e.Kind {
+	case KindNodeMoved, KindNodeDied, KindNodeRecovered:
+		x, y := e.Pos.X, e.Pos.Y
+		je.X, je.Y = &x, &y
+	case KindPacketSent, KindPacketDelivered:
+		flow, seq := e.Flow, e.Seq
+		je.Flow, je.Seq = &flow, &seq
+	case KindLinkBreak:
+		flow, seq, peer := e.Flow, e.Seq, e.Peer
+		je.Flow, je.Seq, je.Peer = &flow, &seq, &peer
+	case KindNotification, KindStatusChange:
+		flow, en := e.Flow, e.Enable
+		je.Flow, je.En = &flow, &en
+	case KindRouteRepair:
+		flow, hops := e.Flow, e.Hops
+		je.Flow, je.Hops = &flow, &hops
+	case KindFlowDone:
+		flow, bits := e.Flow, e.Bits
+		je.Flow, je.Bits = &flow, &bits
+	}
+	return je
+}
+
+// kindByName maps the wire names back to kinds.
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := KindPacketSent; k <= KindRouteRepair; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// decode converts a wire-form event back to an Event. Unknown kinds are
+// an error (the schema is closed).
+func decode(je jsonEvent) (Event, error) {
+	k, ok := kindByName[je.Kind]
+	if !ok {
+		return Event{}, fmt.Errorf("trace: unknown event kind %q", je.Kind)
+	}
+	e := Event{At: sim.Time(je.T), Kind: k, Node: je.Node}
+	if je.X != nil && je.Y != nil {
+		e.Pos = geom.Pt(*je.X, *je.Y)
+	}
+	if je.Flow != nil {
+		e.Flow = *je.Flow
+	}
+	if je.Seq != nil {
+		e.Seq = *je.Seq
+	}
+	if je.Peer != nil {
+		e.Peer = *je.Peer
+	}
+	if je.En != nil {
+		e.Enable = *je.En
+	}
+	if je.Bits != nil {
+		e.Bits = *je.Bits
+	}
+	if je.Hops != nil {
+		e.Hops = *je.Hops
+	}
+	return e, nil
+}
+
+// JSONLWriter streams events to an io.Writer, one JSON object per line
+// (the JSONL trace export behind imobif-sim -trace-out and the public
+// WithTraceWriter option). Write errors are sticky: the first one stops
+// all further output and is reported by Err, so a full disk surfaces once
+// at the end of the run instead of panicking mid-simulation.
+type JSONLWriter struct {
+	w   io.Writer
+	n   int
+	err error
+}
+
+// NewJSONLWriter returns a writer streaming to w. The caller owns
+// buffering and closing of w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: w}
+}
+
+// Record implements Sink: it writes the event as one JSON line.
+func (jw *JSONLWriter) Record(e Event) {
+	if jw.err != nil {
+		return
+	}
+	b, err := json.Marshal(encode(e))
+	if err != nil {
+		jw.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := jw.w.Write(b); err != nil {
+		jw.err = err
+		return
+	}
+	jw.n++
+}
+
+// Count returns the number of lines successfully written.
+func (jw *JSONLWriter) Count() int { return jw.n }
+
+// Err returns the first write or encoding error, if any.
+func (jw *JSONLWriter) Err() error { return jw.err }
+
+// ParseJSONL reads a JSONL trace back into events. It is the exporter's
+// inverse: for every event e the simulator records, decode(encode(e))
+// equals e (the round-trip test enforces this).
+func ParseJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal(sc.Bytes(), &je); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		e, err := decode(je)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

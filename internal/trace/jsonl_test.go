@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+var update = flag.Bool("update", false, "rewrite the JSONL schema golden file")
+
+// schemaEvents holds one event per kind with representative field values,
+// chosen so zero-ish values (enable=false, peer=-1) must still serialize —
+// the pointer-field part of the schema contract.
+func schemaEvents() []Event {
+	return []Event{
+		{At: 1.5, Kind: KindPacketSent, Node: 3, Flow: 7, Seq: 42},
+		{At: 2, Kind: KindPacketDelivered, Node: 4, Flow: 7, Seq: 42},
+		{At: 2.5, Kind: KindNodeMoved, Node: 5, Pos: geom.Pt(3, 4)},
+		{At: 3, Kind: KindNodeDied, Node: 6, Pos: geom.Pt(1.5, -2)},
+		{At: 4, Kind: KindNodeRecovered, Node: 6, Pos: geom.Pt(1.5, -2)},
+		{At: 5, Kind: KindNotification, Node: 9, Flow: 7, Enable: false},
+		{At: 5.5, Kind: KindStatusChange, Node: 2, Flow: 7, Enable: true},
+		{At: 6, Kind: KindLinkBreak, Node: 3, Flow: 7, Seq: 50, Peer: -1},
+		{At: 6.5, Kind: KindRouteRepair, Node: 3, Flow: 7, Hops: 4},
+		{At: 7, Kind: KindFlowDone, Node: 9, Flow: 7, Bits: 8192},
+	}
+}
+
+// TestJSONLSchemaGolden pins the exporter's wire schema: one line per
+// event kind, compared byte-for-byte against the checked-in golden file.
+// Any schema drift — renamed keys, reordered fields, dropped or added
+// keys — fails here; deliberate changes regenerate with -update and bump
+// JSONLSchemaVersion.
+func TestJSONLSchemaGolden(t *testing.T) {
+	var buf bytes.Buffer
+	jw := NewJSONLWriter(&buf)
+	for _, e := range schemaEvents() {
+		jw.Record(e)
+	}
+	if err := jw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "jsonl_schema.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSONL schema drifted from golden (schema version %d).\ngot:\n%s\nwant:\n%s",
+			JSONLSchemaVersion, buf.Bytes(), want)
+	}
+}
+
+// TestJSONLRoundTrip checks decode∘encode is the identity for every kind.
+func TestJSONLRoundTrip(t *testing.T) {
+	events := schemaEvents()
+	var buf bytes.Buffer
+	jw := NewJSONLWriter(&buf)
+	for _, e := range events {
+		jw.Record(e)
+	}
+	if err := jw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if jw.Count() != len(events) {
+		t.Fatalf("wrote %d lines, want %d", jw.Count(), len(events))
+	}
+	got, err := ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Errorf("round trip diverged:\ngot:  %+v\nwant: %+v", got, events)
+	}
+}
+
+// TestParseJSONLErrors checks malformed input is rejected with the line
+// number, and blank lines are tolerated.
+func TestParseJSONLErrors(t *testing.T) {
+	if _, err := ParseJSONL(strings.NewReader("{\"t\":0,\"kind\":\"warp\",\"node\":1}\n")); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := ParseJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+	events, err := ParseJSONL(strings.NewReader("\n{\"t\":1,\"kind\":\"packet-sent\",\"node\":2,\"flow\":1,\"seq\":1}\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Errorf("got %d events, want 1", len(events))
+	}
+}
+
+// TestJSONLWriterStickyError checks the first write error stops output
+// and surfaces once via Err.
+func TestJSONLWriterStickyError(t *testing.T) {
+	jw := NewJSONLWriter(failWriter{})
+	for _, e := range schemaEvents() {
+		jw.Record(e)
+	}
+	if jw.Err() == nil {
+		t.Fatal("write error not reported")
+	}
+	if jw.Count() != 0 {
+		t.Errorf("counted %d successful lines on a failing writer", jw.Count())
+	}
+}
+
+// failWriter fails every write.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, os.ErrClosed }

@@ -1,7 +1,16 @@
-// Package trace provides a lightweight structured event log for the
-// simulator: packet sends and deliveries, node movement, mobility status
-// changes, notifications, and node deaths. Experiments run with tracing
-// off; debugging and the topology CLI turn it on.
+// Package trace provides the simulator's structured event stream: packet
+// sends and deliveries, node movement, mobility status changes,
+// notifications, node deaths/recoveries, link breaks, route repairs, and
+// flow completions. Events carry typed fields (flow, sequence number,
+// peer, position) so consumers never parse strings.
+//
+// The stream fans out through the Sink interface: the ring-buffered
+// Tracer retains recent events for post-run inspection, JSONLWriter
+// streams them to an io.Writer in a pinned line-oriented JSON schema, and
+// the public package adapts a Sink onto its typed Observer callbacks.
+// Experiments run with every sink nil; the simulator skips event
+// construction entirely on that path, so observability is strictly
+// pay-for-what-you-use.
 package trace
 
 import (
@@ -62,14 +71,35 @@ func (k Kind) String() string {
 	}
 }
 
-// Event is one trace record.
+// Event is one trace record. Only the fields meaningful for the Kind are
+// set; the rest stay zero (see the per-field comments). Events are plain
+// values: constructing one allocates nothing, which keeps the simulator's
+// hot paths cheap even when a sink is attached.
 type Event struct {
 	At   sim.Time
 	Kind Kind
 	Node int
-	// Pos is the node position for movement events.
+	// Pos is the node position for movement, death, and recovery events.
 	Pos geom.Point
-	// Detail is a short human-readable elaboration.
+	// Flow and Seq identify the data packet for packet-sent,
+	// packet-delivered, and link-break events; Flow alone is set for
+	// notification, status-change, route-repair, and flow-done events.
+	Flow uint64
+	Seq  uint64
+	// Peer is the unreachable next hop for link-break events (-1 when
+	// the broken flow's table entry was already gone); other kinds leave
+	// it zero.
+	Peer int
+	// Enable is the mobility status carried by notification and
+	// status-change events.
+	Enable bool
+	// Bits is the cumulative delivered payload for flow-done events.
+	Bits float64
+	// Hops is the repaired path's hop count for route-repair events.
+	Hops int
+	// Detail is an optional human-readable elaboration; the simulator
+	// leaves it empty (the typed fields carry the data) but tests and
+	// tools may attach one.
 	Detail string
 }
 
@@ -77,13 +107,61 @@ type Event struct {
 func (e Event) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "t=%.3f %s node=%d", float64(e.At), e.Kind, e.Node)
-	if e.Kind == KindNodeMoved {
+	switch e.Kind {
+	case KindNodeMoved, KindNodeDied, KindNodeRecovered:
 		fmt.Fprintf(&sb, " pos=%s", e.Pos)
+	case KindPacketSent, KindPacketDelivered:
+		fmt.Fprintf(&sb, " flow=%d seq=%d", e.Flow, e.Seq)
+	case KindLinkBreak:
+		fmt.Fprintf(&sb, " flow=%d seq=%d next=%d", e.Flow, e.Seq, e.Peer)
+	case KindNotification, KindStatusChange:
+		fmt.Fprintf(&sb, " flow=%d enable=%v", e.Flow, e.Enable)
+	case KindRouteRepair:
+		fmt.Fprintf(&sb, " flow=%d hops=%d", e.Flow, e.Hops)
+	case KindFlowDone:
+		fmt.Fprintf(&sb, " flow=%d delivered=%.0f", e.Flow, e.Bits)
 	}
 	if e.Detail != "" {
 		fmt.Fprintf(&sb, " %s", e.Detail)
 	}
 	return sb.String()
+}
+
+// Sink consumes trace events as the simulation produces them, in
+// simulated-time order. Implementations run inside the single-threaded
+// simulation loop and must not block; heavyweight processing belongs
+// after the run. *Tracer and *JSONLWriter implement Sink.
+type Sink interface {
+	// Record consumes one event.
+	Record(Event)
+}
+
+// multiSink fans events out to several sinks in order.
+type multiSink []Sink
+
+// Record implements Sink.
+func (m multiSink) Record(e Event) {
+	for _, s := range m {
+		s.Record(e)
+	}
+}
+
+// Multi combines sinks into one, dropping nils. It returns nil when no
+// non-nil sink remains, and the sink itself when only one does.
+func Multi(sinks ...Sink) Sink {
+	var out multiSink
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
 }
 
 // Tracer records events up to a capacity, then drops the oldest (ring

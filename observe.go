@@ -1,0 +1,331 @@
+package imobif
+
+// The observability layer: typed Observer callbacks fed from the
+// simulator's internal event stream, per-run time-series metrics, and a
+// JSONL trace export. All of it is opt-in through NewSimulation options
+// (WithObserver, WithTimeSeries, WithTraceWriter); a zero-option
+// simulation skips event dispatch entirely and stays bit-identical to —
+// and as fast as — the pre-observability simulator (the golden
+// fingerprint tests and BenchmarkObserverOverhead pin both claims).
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// PacketEvent describes one data packet event: the flow's source putting
+// a packet on the air (OnPacketSent) or a node on the path taking
+// delivery of one (OnPacketDelivered — fired at relays and at the final
+// destination alike; the last OnPacketDelivered of a sequence number is
+// the end-to-end delivery).
+type PacketEvent struct {
+	// AtSeconds is the simulated time of the event.
+	AtSeconds float64
+	// Node is the node the event happened at.
+	Node int
+	// Flow and Seq identify the packet within the simulation.
+	Flow FlowID
+	Seq  uint64
+}
+
+// NodeEvent describes a node lifecycle or movement event: a mobility step
+// (OnNodeMoved), a battery depletion or scheduled crash (OnNodeDied), or
+// a scheduled recovery (OnNodeRecovered).
+type NodeEvent struct {
+	// AtSeconds is the simulated time of the event.
+	AtSeconds float64
+	// Node is the node concerned; X, Y its position at the event.
+	Node int
+	X, Y float64
+}
+
+// FlowEvent describes a flow-scoped event: a destination's mobility
+// feedback packet (OnNotification), the source applying one
+// (OnStatusChange), a path re-plan around a dead or unreachable relay
+// (OnRouteRepair), or the flow's completion (OnFlowDone).
+type FlowEvent struct {
+	// AtSeconds is the simulated time of the event.
+	AtSeconds float64
+	// Node is the node the event happened at: the destination for
+	// notifications, the source for status changes, the repair point for
+	// route repairs, the destination for flow completion.
+	Node int
+	// Flow is the flow concerned.
+	Flow FlowID
+	// Enable is the mobility status carried by notification and
+	// status-change events.
+	Enable bool
+	// DeliveredBytes is the cumulative delivered payload for flow-done
+	// events.
+	DeliveredBytes float64
+	// Hops is the repaired path's hop count for route-repair events.
+	Hops int
+}
+
+// LinkEvent describes a retry-limit exhaustion declaring a next hop
+// unreachable (OnLinkBreak, fault layer).
+type LinkEvent struct {
+	// AtSeconds is the simulated time of the event.
+	AtSeconds float64
+	// Node is the sender that gave up; Peer the unreachable next hop
+	// (-1 when the flow's table entry was already gone).
+	Node int
+	Peer int
+	// Flow and Seq identify the packet whose retries were exhausted.
+	Flow FlowID
+	Seq  uint64
+}
+
+// Observer receives typed callbacks for every simulation event, in
+// simulated-time order, as the run produces them. Attach one with
+// WithObserver.
+//
+// Callbacks run synchronously inside the single-threaded simulation loop:
+// they must not block, and must not call back into the Simulation. Embed
+// BaseObserver to implement only the callbacks you need.
+type Observer interface {
+	// OnPacketSent fires when a flow source puts a data packet on the air.
+	OnPacketSent(PacketEvent)
+	// OnPacketDelivered fires when a node on the path receives a data
+	// packet (relays and destination alike).
+	OnPacketDelivered(PacketEvent)
+	// OnNodeMoved fires after a node completes one mobility step.
+	OnNodeMoved(NodeEvent)
+	// OnNodeDied fires when a node depletes its battery or crashes.
+	OnNodeDied(NodeEvent)
+	// OnNodeRecovered fires when a crashed node comes back.
+	OnNodeRecovered(NodeEvent)
+	// OnNotification fires when a destination emits a mobility
+	// status-change feedback packet.
+	OnNotification(FlowEvent)
+	// OnStatusChange fires when a source applies a status change.
+	OnStatusChange(FlowEvent)
+	// OnLinkBreak fires when the retry transport exhausts its budget for
+	// a hop (fault layer).
+	OnLinkBreak(LinkEvent)
+	// OnRouteRepair fires when a flow path is re-planned around a dead
+	// or unreachable relay (fault layer).
+	OnRouteRepair(FlowEvent)
+	// OnFlowDone fires when a flow's last payload byte reaches the
+	// destination.
+	OnFlowDone(FlowEvent)
+}
+
+// BaseObserver is a no-op Observer to embed in partial implementations,
+// so adding callbacks to the interface never breaks user code.
+type BaseObserver struct{}
+
+// OnPacketSent implements Observer.
+func (BaseObserver) OnPacketSent(PacketEvent) {}
+
+// OnPacketDelivered implements Observer.
+func (BaseObserver) OnPacketDelivered(PacketEvent) {}
+
+// OnNodeMoved implements Observer.
+func (BaseObserver) OnNodeMoved(NodeEvent) {}
+
+// OnNodeDied implements Observer.
+func (BaseObserver) OnNodeDied(NodeEvent) {}
+
+// OnNodeRecovered implements Observer.
+func (BaseObserver) OnNodeRecovered(NodeEvent) {}
+
+// OnNotification implements Observer.
+func (BaseObserver) OnNotification(FlowEvent) {}
+
+// OnStatusChange implements Observer.
+func (BaseObserver) OnStatusChange(FlowEvent) {}
+
+// OnLinkBreak implements Observer.
+func (BaseObserver) OnLinkBreak(LinkEvent) {}
+
+// OnRouteRepair implements Observer.
+func (BaseObserver) OnRouteRepair(FlowEvent) {}
+
+// OnFlowDone implements Observer.
+func (BaseObserver) OnFlowDone(FlowEvent) {}
+
+// observerSink adapts the internal trace stream onto an Observer's typed
+// callbacks.
+type observerSink struct{ obs Observer }
+
+// Record implements trace.Sink.
+func (s observerSink) Record(e trace.Event) {
+	switch e.Kind {
+	case trace.KindPacketSent:
+		s.obs.OnPacketSent(PacketEvent{AtSeconds: float64(e.At), Node: e.Node, Flow: FlowID(e.Flow), Seq: e.Seq})
+	case trace.KindPacketDelivered:
+		s.obs.OnPacketDelivered(PacketEvent{AtSeconds: float64(e.At), Node: e.Node, Flow: FlowID(e.Flow), Seq: e.Seq})
+	case trace.KindNodeMoved:
+		s.obs.OnNodeMoved(NodeEvent{AtSeconds: float64(e.At), Node: e.Node, X: e.Pos.X, Y: e.Pos.Y})
+	case trace.KindNodeDied:
+		s.obs.OnNodeDied(NodeEvent{AtSeconds: float64(e.At), Node: e.Node, X: e.Pos.X, Y: e.Pos.Y})
+	case trace.KindNodeRecovered:
+		s.obs.OnNodeRecovered(NodeEvent{AtSeconds: float64(e.At), Node: e.Node, X: e.Pos.X, Y: e.Pos.Y})
+	case trace.KindNotification:
+		s.obs.OnNotification(FlowEvent{AtSeconds: float64(e.At), Node: e.Node, Flow: FlowID(e.Flow), Enable: e.Enable})
+	case trace.KindStatusChange:
+		s.obs.OnStatusChange(FlowEvent{AtSeconds: float64(e.At), Node: e.Node, Flow: FlowID(e.Flow), Enable: e.Enable})
+	case trace.KindLinkBreak:
+		s.obs.OnLinkBreak(LinkEvent{AtSeconds: float64(e.At), Node: e.Node, Peer: e.Peer, Flow: FlowID(e.Flow), Seq: e.Seq})
+	case trace.KindRouteRepair:
+		s.obs.OnRouteRepair(FlowEvent{AtSeconds: float64(e.At), Node: e.Node, Flow: FlowID(e.Flow), Hops: e.Hops})
+	case trace.KindFlowDone:
+		s.obs.OnFlowDone(FlowEvent{AtSeconds: float64(e.At), Node: e.Node, Flow: FlowID(e.Flow), DeliveredBytes: e.Bits / 8})
+	}
+}
+
+// Option configures a Simulation beyond its Config — observability
+// attachments today. Options compose: pass any number to NewSimulation,
+// including several WithObserver or WithTraceWriter.
+type Option func(*simOptions) error
+
+// simOptions accumulates applied options.
+type simOptions struct {
+	sinks          []trace.Sink
+	jsonl          []*trace.JSONLWriter
+	sampleInterval float64
+}
+
+// WithObserver attaches an Observer to the simulation: every event is
+// delivered to obs's typed callbacks as the run produces it.
+func WithObserver(obs Observer) Option {
+	return func(o *simOptions) error {
+		if obs == nil {
+			return errors.New("imobif: WithObserver(nil)")
+		}
+		o.sinks = append(o.sinks, observerSink{obs: obs})
+		return nil
+	}
+}
+
+// WithTimeSeries enables time-resolved run metrics: every
+// intervalSeconds of simulated time (plus once at t=0 and once at run
+// end) the simulation samples cumulative per-category energy,
+// residual-energy min/mean, the alive-node count, and delivery/retry
+// counters into Result.Series — the material of the paper's Figures 5–6
+// energy and lifetime curves.
+func WithTimeSeries(intervalSeconds float64) Option {
+	return func(o *simOptions) error {
+		if intervalSeconds <= 0 {
+			return fmt.Errorf("imobif: non-positive sample interval %v", intervalSeconds)
+		}
+		o.sampleInterval = intervalSeconds
+		return nil
+	}
+}
+
+// WithTraceWriter streams every simulation event to w as JSON Lines, one
+// object per event, in the pinned schema of internal/trace's exporter
+// (fields t, kind, node, plus the kind's typed fields). The caller owns
+// buffering and closing of w; the first write error stops the export and
+// is reported by Run. This is the library form of imobif-sim -trace-out.
+func WithTraceWriter(w io.Writer) Option {
+	return func(o *simOptions) error {
+		if w == nil {
+			return errors.New("imobif: WithTraceWriter(nil)")
+		}
+		jw := trace.NewJSONLWriter(w)
+		o.sinks = append(o.sinks, jw)
+		o.jsonl = append(o.jsonl, jw)
+		return nil
+	}
+}
+
+// applyOptions folds opts into a simOptions, failing on the first bad
+// option.
+func applyOptions(opts []Option) (simOptions, error) {
+	var o simOptions
+	for _, opt := range opts {
+		if opt == nil {
+			return simOptions{}, errors.New("imobif: nil Option")
+		}
+		if err := opt(&o); err != nil {
+			return simOptions{}, err
+		}
+	}
+	return o, nil
+}
+
+// Sample is one point of a run's time series (see WithTimeSeries): the
+// state of the network as of AtSeconds of simulated time. All counters
+// are cumulative since the start of the run.
+type Sample struct {
+	// AtSeconds is the simulated time of the sample.
+	AtSeconds float64
+	// TxJoules, MoveJoules, ControlJoules, RxJoules decompose the
+	// cumulative network-wide energy consumption by category.
+	TxJoules, MoveJoules, ControlJoules, RxJoules float64
+	// ResidualMinJoules and ResidualMeanJoules summarize the
+	// residual-energy distribution over all nodes; the minimum is the
+	// system-lifetime leading indicator.
+	ResidualMinJoules, ResidualMeanJoules float64
+	// AliveNodes counts nodes neither depleted nor crashed.
+	AliveNodes int
+	// DeliveredPackets and DroppedPackets count end-to-end data packet
+	// outcomes over all flows; Retransmits counts hop-level
+	// retransmissions by the retry transport.
+	DeliveredPackets, DroppedPackets, Retransmits uint64
+}
+
+// sampleFromInternal converts one internal metrics sample.
+func sampleFromInternal(s metrics.Sample) Sample {
+	return Sample{
+		AtSeconds: float64(s.At),
+		TxJoules:  s.Energy.Tx, MoveJoules: s.Energy.Move,
+		ControlJoules: s.Energy.Control, RxJoules: s.Energy.Rx,
+		ResidualMinJoules: s.ResidualMin, ResidualMeanJoules: s.ResidualMean,
+		AliveNodes:       s.AliveNodes,
+		DeliveredPackets: s.DeliveredPackets, DroppedPackets: s.DroppedPackets,
+		Retransmits: s.Retransmits,
+	}
+}
+
+// sampleToInternal is sampleFromInternal's inverse, used by the JSONL
+// exporter so the wire schema lives in exactly one place.
+func sampleToInternal(s Sample) metrics.Sample {
+	return metrics.Sample{
+		At: sim.Time(s.AtSeconds),
+		Energy: metrics.EnergyBreakdown{
+			Tx: s.TxJoules, Move: s.MoveJoules,
+			Control: s.ControlJoules, Rx: s.RxJoules,
+		},
+		ResidualMin: s.ResidualMinJoules, ResidualMean: s.ResidualMeanJoules,
+		AliveNodes:       s.AliveNodes,
+		DeliveredPackets: s.DeliveredPackets, DroppedPackets: s.DroppedPackets,
+		Retransmits: s.Retransmits,
+	}
+}
+
+// WriteMetricsJSONL writes samples to w as JSON Lines, one object per
+// sample, in the pinned schema of internal/metrics' exporter (this is the
+// library form of imobif-sim -metrics-out).
+func WriteMetricsJSONL(w io.Writer, samples []Sample) error {
+	if w == nil {
+		return errors.New("imobif: WriteMetricsJSONL(nil writer)")
+	}
+	ts := metrics.TimeSeries{}
+	for _, s := range samples {
+		ts.Samples = append(ts.Samples, sampleToInternal(s))
+	}
+	return ts.WriteJSONL(w)
+}
+
+// ReadMetricsJSONL reads a metrics JSONL stream written by
+// WriteMetricsJSONL (or imobif-sim -metrics-out) back into samples.
+func ReadMetricsJSONL(r io.Reader) ([]Sample, error) {
+	internal, err := metrics.ParseSamplesJSONL(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Sample, len(internal))
+	for i, s := range internal {
+		out[i] = sampleFromInternal(s)
+	}
+	return out, nil
+}

@@ -1,0 +1,464 @@
+package imobif
+
+// Tests of the observability layer's public contracts: callback ordering,
+// passivity (an attached observer never changes the run), context
+// cancellation, time-series invariants, and JSONL round-trips.
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/sweep"
+	"repro/internal/trace"
+)
+
+// recordingObserver records every callback's simulated time, in call
+// order, plus per-callback counts.
+type recordingObserver struct {
+	times  []float64
+	counts map[string]int
+}
+
+func newRecordingObserver() *recordingObserver {
+	return &recordingObserver{counts: make(map[string]int)}
+}
+
+func (r *recordingObserver) hit(name string, at float64) {
+	r.times = append(r.times, at)
+	r.counts[name]++
+}
+
+func (r *recordingObserver) OnPacketSent(e PacketEvent)      { r.hit("sent", e.AtSeconds) }
+func (r *recordingObserver) OnPacketDelivered(e PacketEvent) { r.hit("delivered", e.AtSeconds) }
+func (r *recordingObserver) OnNodeMoved(e NodeEvent)         { r.hit("moved", e.AtSeconds) }
+func (r *recordingObserver) OnNodeDied(e NodeEvent)          { r.hit("died", e.AtSeconds) }
+func (r *recordingObserver) OnNodeRecovered(e NodeEvent)     { r.hit("recovered", e.AtSeconds) }
+func (r *recordingObserver) OnNotification(e FlowEvent)      { r.hit("notification", e.AtSeconds) }
+func (r *recordingObserver) OnStatusChange(e FlowEvent)      { r.hit("status", e.AtSeconds) }
+func (r *recordingObserver) OnLinkBreak(e LinkEvent)         { r.hit("link-break", e.AtSeconds) }
+func (r *recordingObserver) OnRouteRepair(e FlowEvent)       { r.hit("repair", e.AtSeconds) }
+func (r *recordingObserver) OnFlowDone(e FlowEvent)          { r.hit("done", e.AtSeconds) }
+
+// observedConfig is the small scenario the observer tests share.
+func observedConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = 30
+	cfg.FieldWidth, cfg.FieldHeight = 600, 600
+	return cfg
+}
+
+// runObserved runs one observed trial of the shared scenario and returns
+// the observer and the result.
+func runObserved(seed int64, opts ...Option) (*recordingObserver, *Result, error) {
+	cfg := observedConfig()
+	net, err := NewRandomNetwork(cfg, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	src, dst, err := net.PickFlowEndpoints(seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	obs := newRecordingObserver()
+	sim, err := NewSimulation(cfg, net, append([]Option{WithObserver(obs)}, opts...)...)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := sim.AddFlow(src, dst, 32*1024); err != nil {
+		return nil, nil, err
+	}
+	res, err := sim.Run()
+	return obs, res, err
+}
+
+// TestObserverOrderingRace runs independently observed trials across a
+// concurrent sweep and checks that every trial's callbacks arrived in
+// simulated-time order with a live event mix — the per-trial observer
+// contract is unaffected by how many sibling simulations run in parallel.
+func TestObserverOrderingRace(t *testing.T) {
+	r := sweep.Runner{Concurrency: 8}
+	_, _, err := sweep.Map(context.Background(), r, 16,
+		func(_ context.Context, trial int) (struct{}, error) {
+			seed := int64(sweep.DeriveSeed(42, uint64(trial)))
+			obs, _, err := runObserved(seed)
+			if err != nil {
+				return struct{}{}, err
+			}
+			if len(obs.times) == 0 {
+				t.Errorf("trial %d: no callbacks fired", trial)
+			}
+			for i := 1; i < len(obs.times); i++ {
+				if obs.times[i] < obs.times[i-1] {
+					t.Errorf("trial %d: callback %d at t=%v after t=%v",
+						trial, i, obs.times[i], obs.times[i-1])
+					break
+				}
+			}
+			if obs.counts["sent"] == 0 || obs.counts["delivered"] == 0 || obs.counts["done"] != 1 {
+				t.Errorf("trial %d: unexpected event mix %v", trial, obs.counts)
+			}
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObserverIsPassive checks that attaching the full observability
+// stack — observer, time series, trace writer — leaves the simulation
+// outcome bit-identical to a zero-option run.
+func TestObserverIsPassive(t *testing.T) {
+	cfg := observedConfig()
+	net, err := NewRandomNetwork(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst, err := net.PickFlowEndpoints(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(opts ...Option) *Result {
+		t.Helper()
+		sim, err := NewSimulation(cfg, net, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.AddFlow(src, dst, 64*1024); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	bare := run()
+	var buf bytes.Buffer
+	observed := run(WithObserver(newRecordingObserver()), WithTimeSeries(0.5), WithTraceWriter(&buf))
+	if observed.Series == nil {
+		t.Error("WithTimeSeries produced no Series")
+	}
+	if buf.Len() == 0 {
+		t.Error("WithTraceWriter produced no output")
+	}
+	observed.Series = nil // the only field observability is allowed to add
+	if !reflect.DeepEqual(bare, observed) {
+		t.Errorf("observed run diverged from bare run:\nbare:     %+v\nobserved: %+v", bare, observed)
+	}
+}
+
+// TestRunContextCancelRace cancels a run from inside an observer callback
+// and checks the simulation stops at the next event boundary with a
+// well-formed partial result.
+func TestRunContextCancelRace(t *testing.T) {
+	cfg := observedConfig()
+	net, err := NewRandomNetwork(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst, err := net.PickFlowEndpoints(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	canceler := &cancelObserver{cancel: cancel, after: 10}
+	sim, err := NewSimulation(cfg, net, WithObserver(canceler))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.AddFlow(src, dst, 1024*1024); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Canceled {
+		t.Fatal("run was not marked canceled")
+	}
+	if res.Flows[0].Completed {
+		t.Error("canceled run reports a completed flow")
+	}
+	if len(res.After) != cfg.Nodes {
+		t.Errorf("partial result has %d node states, want %d", len(res.After), cfg.Nodes)
+	}
+}
+
+// cancelObserver cancels its context after `after` delivered packets.
+type cancelObserver struct {
+	BaseObserver
+	cancel context.CancelFunc
+	after  int
+	seen   int
+}
+
+func (c *cancelObserver) OnPacketDelivered(PacketEvent) {
+	c.seen++
+	if c.seen == c.after {
+		c.cancel()
+	}
+}
+
+// TestRunContextPrecanceled checks that a run under an already-canceled
+// context returns immediately with the canceled flag and the initial
+// state as its partial result.
+func TestRunContextPrecanceled(t *testing.T) {
+	cfg := observedConfig()
+	net, err := NewRandomNetwork(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst, err := net.PickFlowEndpoints(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulation(cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.AddFlow(src, dst, 64*1024); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := sim.RunContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Canceled {
+		t.Fatal("run under a canceled context was not marked canceled")
+	}
+	if res.TotalJoules() != 0 {
+		t.Errorf("precanceled run consumed %v J, want 0", res.TotalJoules())
+	}
+}
+
+// TestTimeSeriesInvariants checks the sampled series' contracts on a run
+// with movement and battery-charged control traffic: strictly increasing
+// sample times, non-decreasing cumulative energy by category, and energy
+// conservation (mean residual times node count plus cumulative consumption
+// equals the initial energy budget at every sample).
+func TestTimeSeriesInvariants(t *testing.T) {
+	cfg := observedConfig()
+	cfg.Mode = ModeCostUnaware // unconditional movement: Move > 0
+	cfg.ChargeControl = true   // control drains batteries too, so conservation covers it
+	net, err := NewRandomNetwork(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst, err := net.PickFlowEndpoints(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulation(cfg, net, WithTimeSeries(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.AddFlow(src, dst, 64*1024); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) < 3 {
+		t.Fatalf("got %d samples, want at least 3", len(res.Series))
+	}
+	var initial float64
+	for _, n := range res.Before {
+		initial += n.Joules
+	}
+	last := res.Series[len(res.Series)-1]
+	if last.MoveJoules == 0 {
+		t.Error("cost-unaware run sampled no movement energy")
+	}
+	for i, s := range res.Series {
+		if i > 0 {
+			prev := res.Series[i-1]
+			if s.AtSeconds <= prev.AtSeconds {
+				t.Fatalf("sample %d: time %v not after %v", i, s.AtSeconds, prev.AtSeconds)
+			}
+			if s.TxJoules < prev.TxJoules || s.MoveJoules < prev.MoveJoules ||
+				s.ControlJoules < prev.ControlJoules || s.RxJoules < prev.RxJoules {
+				t.Fatalf("sample %d: cumulative energy decreased: %+v -> %+v", i, prev, s)
+			}
+		}
+		consumed := s.TxJoules + s.MoveJoules + s.ControlJoules + s.RxJoules
+		total := s.ResidualMeanJoules*float64(cfg.Nodes) + consumed
+		if math.Abs(total-initial) > 1e-6*initial {
+			t.Fatalf("sample %d: energy not conserved: residual+consumed = %v, initial = %v", i, total, initial)
+		}
+	}
+}
+
+// TestTraceRoundTripFaulty100Nodes exports the JSONL trace of a 100-node
+// faulty run (loss, retries, repair, a scheduled outage) and checks the
+// stream round-trips through the pinned schema: parse, re-encode, compare
+// byte-for-byte, and agree with the observer on the event count.
+func TestTraceRoundTripFaulty100Nodes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = &FaultConfig{
+		LossP: 0.05, Seed: 3,
+		RetryLimit: 3, RetryTimeoutSec: 0.2,
+		RouteRepair: true,
+	}
+	net, err := NewRandomNetwork(cfg, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst, err := net.PickFlowEndpoints(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := newRecordingObserver()
+	var buf bytes.Buffer
+	sim, err := NewSimulation(cfg, net, WithObserver(obs), WithTraceWriter(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.AddFlow(src, dst, 256*1024); err != nil {
+		t.Fatal(err)
+	}
+	route, err := sim.FlowPath(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) > 2 {
+		if err := sim.ScheduleNodeOutage(route[1], 5, 15); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := trace.ParseJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(obs.times) {
+		t.Errorf("trace has %d events, observer saw %d callbacks", len(events), len(obs.times))
+	}
+	var reenc bytes.Buffer
+	jw := trace.NewJSONLWriter(&reenc)
+	for _, e := range events {
+		jw.Record(e)
+	}
+	if err := jw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), reenc.Bytes()) {
+		t.Error("re-encoded trace differs from the original export")
+	}
+}
+
+// TestMetricsJSONLRoundTrip checks WriteMetricsJSONL / ReadMetricsJSONL
+// are inverses on a real run's series.
+func TestMetricsJSONLRoundTrip(t *testing.T) {
+	_, res, err := runObserved(5, WithTimeSeries(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) == 0 {
+		t.Fatal("no samples")
+	}
+	var buf bytes.Buffer
+	if err := WriteMetricsJSONL(&buf, res.Series); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMetricsJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Series, back) {
+		t.Errorf("round trip diverged:\nwrote: %+v\nread:  %+v", res.Series, back)
+	}
+}
+
+// TestOptionValidation checks that bad options fail NewSimulation up
+// front.
+func TestOptionValidation(t *testing.T) {
+	cfg := observedConfig()
+	net, err := NewRandomNetwork(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []struct {
+		name string
+		opt  Option
+	}{
+		{"nil observer", WithObserver(nil)},
+		{"nil trace writer", WithTraceWriter(nil)},
+		{"zero interval", WithTimeSeries(0)},
+		{"negative interval", WithTimeSeries(-1)},
+		{"nil option", nil},
+	}
+	for _, tt := range bad {
+		if _, err := NewSimulation(cfg, net, tt.opt); err == nil {
+			t.Errorf("%s: want error", tt.name)
+		}
+	}
+}
+
+// TestScheduleNodeOutage checks the outage helper is exactly a failure
+// plus a recovery, and that it rejects empty windows.
+func TestScheduleNodeOutage(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeNoMobility
+	cfg.Faults = &FaultConfig{RetryLimit: 1, RetryTimeoutSec: 0.25}
+	nodes := []Node{
+		{ID: 0, X: 0, Y: 0, Joules: 1e6},
+		{ID: 1, X: 150, Y: 120, Joules: 1e6},
+		{ID: 2, X: 300, Y: 0, Joules: 1e6},
+	}
+	net, err := NewNetwork(nodes, cfg.Range)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(schedule func(*Simulation) error) *Result {
+		t.Helper()
+		sim, err := NewSimulation(cfg, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.AddFlowPath([]int{0, 1, 2}, 15*1024); err != nil {
+			t.Fatal(err)
+		}
+		if err := schedule(sim); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	manual := run(func(s *Simulation) error {
+		if err := s.ScheduleNodeFailure(1, 3); err != nil {
+			return err
+		}
+		return s.ScheduleNodeRecovery(1, 8)
+	})
+	outage := run(func(s *Simulation) error { return s.ScheduleNodeOutage(1, 3, 8) })
+	if !reflect.DeepEqual(manual, outage) {
+		t.Error("ScheduleNodeOutage result differs from manual failure+recovery")
+	}
+	if manual.Flows[0].PacketsDropped == 0 {
+		t.Error("no packets dropped during the outage window")
+	}
+
+	sim, err := NewSimulation(cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.ScheduleNodeOutage(1, 8, 8); err == nil {
+		t.Error("empty outage window accepted")
+	}
+	if err := sim.ScheduleNodeOutage(99, 3, 8); err == nil {
+		t.Error("outage of a nonexistent node accepted")
+	}
+}
