@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench smoke vet doclint observability ci
+.PHONY: build test race fuzz bench smoke vet doclint observability \
+	benchgate benchgate-quick bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -23,13 +24,41 @@ race:
 	$(GO) test -race . ./internal/... -run 'Race|Determinism'
 
 # fuzz gives each fuzzer a short budget; go test accepts one -fuzz
-# target per invocation, hence two runs.
+# target per invocation, hence one run per target.
 fuzz:
 	$(GO) test -fuzz=FuzzScenarioJSON -fuzztime=5s ./internal/scenario/
 	$(GO) test -fuzz=FuzzSeedDerive -fuzztime=5s ./internal/sweep/
+	$(GO) test -fuzz=FuzzSchedulerOps -fuzztime=5s ./internal/sim/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# The benchmarks gated against bench_baseline.txt. Three samples absorb
+# scheduler jitter; benchgate compares best-vs-best per metric.
+GATED_BENCH = BenchmarkSimulationRun$$|BenchmarkSchedulerSteadyState$$|BenchmarkSweep/
+GATE_FLAGS  = -run '^$$' -benchmem -count=3
+
+# benchgate is the performance ratchet: rerun the gated benchmarks and
+# fail if any metric is >25% worse than the committed baseline (generous
+# enough for shared-runner noise, far tighter than the 2x+ wins the
+# baseline records).
+benchgate:
+	$(GO) test $(GATE_FLAGS) -bench '$(GATED_BENCH)' -benchtime 10x . ./internal/sim/ \
+		| $(GO) run ./cmd/benchgate -baseline bench_baseline.txt -threshold 0.25
+
+# benchgate-quick is the short-iteration gate wired into ci: same
+# benchmarks and baseline at minimal iteration counts, with a loose
+# threshold that still catches order-of-magnitude regressions (a lost
+# zero-alloc property or an accidental O(n^2)).
+benchgate-quick:
+	$(GO) test $(GATE_FLAGS) -bench '$(GATED_BENCH)' -benchtime 3x . ./internal/sim/ \
+		| $(GO) run ./cmd/benchgate -baseline bench_baseline.txt -threshold 0.6
+
+# bench-baseline refreshes the committed baseline after an intentional
+# performance change. Review the diff before committing.
+bench-baseline:
+	$(GO) test $(GATE_FLAGS) -bench '$(GATED_BENCH)' -benchtime 10x . ./internal/sim/ \
+		| tee bench_baseline.txt
 
 # observability pins the observability layer's two contracts: the JSONL
 # trace schema golden (any wire-format drift fails here) and the
@@ -49,4 +78,4 @@ smoke:
 	$(GO) run -race ./cmd/imobif-sim -nodes 40 -field 800 -flow-kb 512 \
 		-crash 2 -retry 3 -retry-timeout 0.25 -repair -fault-seed 11 -seed 1
 
-ci: vet doclint build test race fuzz smoke observability
+ci: vet doclint build test race fuzz smoke observability benchgate-quick

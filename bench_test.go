@@ -99,30 +99,36 @@ func BenchmarkFig6e(b *testing.B) { benchFig6(b, "e") }
 // BenchmarkFig6f reproduces Figure 6(f): long flows, α=3.
 func BenchmarkFig6f(b *testing.B) { benchFig6(b, "f") }
 
-// benchSweep runs the Figure 6(c) Monte-Carlo sweep at a fixed worker
-// count; serial vs parallel results are bit-identical (see the
-// determinism tests), so the pair below measures the speedup alone.
-func benchSweep(b *testing.B, concurrency int) {
-	p := benchParamsFig6(b, "c")
-	p.Flows = 16
-	p.Concurrency = concurrency
-	var last experiments.Fig6Result
-	var err error
-	for i := 0; i < b.N; i++ {
-		last, err = experiments.RunFig6(p, "c")
-		if err != nil {
-			b.Fatal(err)
-		}
+// BenchmarkSweep runs the Figure 6(c) Monte-Carlo sweep once per explicit
+// worker count. Results are bit-identical at every concurrency (see the
+// determinism tests), so the sub-benchmarks measure scaling alone. The
+// counts are pinned rather than derived from GOMAXPROCS — the old
+// Serial/Parallel pair both resolved to one worker on a single-core
+// machine and measured nothing — and the "workers" gauge reports the
+// count the sweep engine actually used so a misconfigured run is visible
+// in the output.
+func BenchmarkSweep(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := benchParamsFig6(b, "c")
+			p.Flows = 16
+			p.Concurrency = workers
+			var last experiments.Fig6Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				last, err = experiments.RunFig6(p, "c")
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if last.Sweep.Workers != workers {
+				b.Fatalf("sweep ran with %d workers, want %d", last.Sweep.Workers, workers)
+			}
+			b.ReportMetric(last.Sweep.TrialsPerSec(), "trials/s")
+			b.ReportMetric(float64(last.Sweep.Workers), "workers")
+		})
 	}
-	b.ReportMetric(last.Sweep.TrialsPerSec(), "trials/s")
-	b.ReportMetric(float64(last.Sweep.Workers), "workers")
 }
-
-// BenchmarkSweepSerial is the single-worker baseline for the sweep engine.
-func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
-
-// BenchmarkSweepParallel fans the same sweep over all CPUs.
-func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
 
 // BenchmarkFig7 reproduces Figure 7: notification packets per flow.
 func BenchmarkFig7(b *testing.B) {

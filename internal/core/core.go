@@ -14,7 +14,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/energy"
 	"repro/internal/geom"
@@ -139,16 +139,32 @@ func (t *Table) Len() int { return len(t.flows) }
 
 // Entries returns the table rows in ascending flow-ID order.
 func (t *Table) Entries() []*FlowEntry {
-	ids := make([]FlowID, 0, len(t.flows))
-	for id := range t.flows {
-		ids = append(ids, id)
+	return t.AppendEntries(nil)
+}
+
+// AppendEntries appends the table rows in ascending flow-ID order to dst
+// and returns the extended slice. Passing a reused dst[:0] lets hot
+// per-packet callers (movement targeting, link checks) enumerate the
+// table without allocating.
+func (t *Table) AppendEntries(dst []*FlowEntry) []*FlowEntry {
+	start := len(dst)
+	for _, e := range t.flows {
+		dst = append(dst, e)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	out := make([]*FlowEntry, len(ids))
-	for i, id := range ids {
-		out[i] = t.flows[id]
-	}
-	return out
+	added := dst[start:]
+	// slices.SortFunc with a capture-free comparator keeps this
+	// allocation-free, unlike sort.Slice's interface boxing.
+	slices.SortFunc(added, func(a, b *FlowEntry) int {
+		switch {
+		case a.Flow < b.Flow:
+			return -1
+		case a.Flow > b.Flow:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return dst
 }
 
 // RelayDecision is the outcome of processing a data packet at a relay:

@@ -122,6 +122,15 @@ type Beaconer struct {
 	handle   sim.Handle
 }
 
+// tickFn is the shared re-arm callback: every Beaconer schedules this one
+// long-lived function with itself as the argument, so the per-interval
+// tick allocates nothing (see sim.AfterArg).
+func tickFn(arg any) {
+	// Errors inside scheduled ticks stop the beaconer silently; the
+	// node-level death handling owns the failure.
+	_ = arg.(*Beaconer).tick()
+}
+
 // NewBeaconer creates a beaconer firing every interval seconds.
 func NewBeaconer(sched *sim.Scheduler, interval sim.Time, send SendFunc) (*Beaconer, error) {
 	if sched == nil {
@@ -163,11 +172,7 @@ func (b *Beaconer) tick() error {
 		b.running = false
 		return fmt.Errorf("hello: beacon send: %w", err)
 	}
-	h, err := b.sched.After(b.interval, func() {
-		// Errors inside scheduled ticks stop the beaconer silently; the
-		// node-level death handling owns the failure.
-		_ = b.tick()
-	})
+	h, err := b.sched.AfterArg(b.interval, tickFn, b)
 	if err != nil {
 		b.running = false
 		return fmt.Errorf("hello: scheduling beacon: %w", err)

@@ -48,13 +48,24 @@ type pendingKey struct {
 }
 
 // pendingTx is one unacked data transmission: the header to retransmit,
-// the retry budget spent so far, and the armed timeout.
+// the retry budget spent so far, and the armed timeout. It carries its
+// owner and key so the shared retryFn callback can be scheduled with the
+// entry itself as argument — no per-timer closure.
 type pendingTx struct {
 	hdr      core.Header
 	fr       *flowRuntime
+	owner    *node
+	key      pendingKey
 	attempts int
 	timer    sim.Handle
 	armed    bool
+}
+
+// retryFn is the shared retry-timeout callback (see sim.AfterArg): every
+// armed timer schedules this one function with its pendingTx as argument.
+func retryFn(arg any) {
+	pt := arg.(*pendingTx)
+	pt.owner.onRetryTimeout(pt.key)
 }
 
 var _ radio.Endpoint = (*node)(nil)
@@ -73,7 +84,13 @@ func (n *node) beacon() hello.Beacon {
 // drifted past the triggered-update thresholds.
 func (n *node) maybeBeacon() {
 	w := n.world
-	moved := n.pos.Dist(n.lastAdvert.Position)
+	// Most nodes are stationary between HELLO rounds (only on-path relays
+	// move), so skip the hypot for an unmoved position — Dist(p, p) is
+	// exactly 0, making this fast path bit-identical.
+	var moved float64
+	if n.pos != n.lastAdvert.Position {
+		moved = n.pos.Dist(n.lastAdvert.Position)
+	}
 	drift := math.Abs(n.battery.Residual() - n.lastAdvert.Residual)
 	ref := n.lastAdvert.Residual
 	if ref < 1 {
@@ -82,12 +99,15 @@ func (n *node) maybeBeacon() {
 	if moved < w.cfg.BeaconMoveEps && drift < w.cfg.BeaconEnergyFrac*ref {
 		return
 	}
-	b := n.beacon()
-	if _, err := w.medium.Broadcast(n.id, w.cfg.HelloBits, energy.CatControl, b); err != nil {
+	b := w.getBeacon()
+	*b = n.beacon()
+	_, err := w.medium.Broadcast(n.id, w.cfg.HelloBits, energy.CatControl, b)
+	w.putBeacon(b)
+	if err != nil {
 		w.noteDepletion(n, err)
 		return
 	}
-	n.lastAdvert = b
+	n.lastAdvert = *b
 }
 
 // Receive implements radio.Endpoint: dispatch on message type.
@@ -98,7 +118,7 @@ func (n *node) Receive(from NodeID, msg any) {
 		// with it, the sender's retry timer owns the packet's fate (it will
 		// retransmit, then exhaust into a drop or a route repair), so
 		// accounting the loss here would double-count it.
-		if pkt, ok := msg.(dataPacket); ok && !n.world.retryEnabled() {
+		if pkt, ok := msg.(*dataPacket); ok && !n.world.retryEnabled() {
 			if fr := n.world.flow(pkt.hdr.Flow); fr != nil {
 				n.world.drop(fr)
 			}
@@ -106,9 +126,9 @@ func (n *node) Receive(from NodeID, msg any) {
 		return
 	}
 	switch m := msg.(type) {
-	case hello.Beacon:
-		n.neighbors.Update(m, n.world.sched.Now())
-	case dataPacket:
+	case *hello.Beacon:
+		n.neighbors.Update(*m, n.world.sched.Now())
+	case *dataPacket:
 		n.onData(from, m)
 	case ackPacket:
 		n.onAck(m)
@@ -127,7 +147,7 @@ func (n *node) sendReliable(fr *flowRuntime, hdr core.Header) {
 		n.pending = make(map[pendingKey]*pendingTx)
 	}
 	key := pendingKey{flow: hdr.Flow, seq: hdr.Seq}
-	pt := &pendingTx{hdr: hdr, fr: fr}
+	pt := &pendingTx{hdr: hdr, fr: fr, owner: n, key: key}
 	n.pending[key] = pt
 	n.transmitPending(key, pt)
 }
@@ -143,7 +163,11 @@ func (n *node) transmitPending(key pendingKey, pt *pendingTx) {
 		w.drop(pt.fr)
 		return
 	}
-	if err := w.medium.Unicast(n.id, entry.Next, pt.hdr.PayloadBits, energy.CatTx, dataPacket{hdr: pt.hdr}); err != nil {
+	pkt := w.getPacket()
+	pkt.hdr = pt.hdr
+	err = w.medium.Unicast(n.id, entry.Next, pt.hdr.PayloadBits, energy.CatTx, pkt)
+	w.putPacket(pkt)
+	if err != nil {
 		delete(n.pending, key)
 		w.drop(pt.fr)
 		w.noteDepletion(n, err)
@@ -152,7 +176,7 @@ func (n *node) transmitPending(key pendingKey, pt *pendingTx) {
 	if _, still := n.pending[key]; !still {
 		return // acked synchronously during the Unicast
 	}
-	h, err := w.sched.After(sim.Time(w.cfg.Faults.RetryTimeout), func() { n.onRetryTimeout(key) })
+	h, err := w.sched.AfterArg(sim.Time(w.cfg.Faults.RetryTimeout), retryFn, pt)
 	if err != nil {
 		return
 	}
@@ -212,9 +236,13 @@ func (n *node) onAck(ack ackPacket) {
 }
 
 // onData executes the Figure 1 FlowOperations for a received data packet.
-func (n *node) onData(from NodeID, pkt dataPacket) {
+func (n *node) onData(from NodeID, pkt *dataPacket) {
 	w := n.world
-	hdr := pkt.hdr
+	// Operate on the packet's header in place rather than copying it: the
+	// sender keeps the box alive until its Unicast returns, and relay
+	// processing (ProcessRelay's aggregate updates) owns the header for
+	// the remainder of the hop.
+	hdr := &pkt.hdr
 	fr := w.flow(hdr.Flow)
 	if fr == nil {
 		return
@@ -250,33 +278,39 @@ func (n *node) onData(from NodeID, pkt dataPacket) {
 		Flow: uint64(hdr.Flow), Seq: hdr.Seq})
 
 	if hdr.Dst == n.id {
-		n.deliver(fr, entry, &hdr)
+		n.deliver(fr, entry, hdr)
 		return
 	}
 
-	view, ok := n.flowView(entry, &hdr)
+	view, ok := n.flowView(entry, hdr)
 	if !ok {
 		// A flow neighbor is gone from the HELLO table (died or expired):
 		// the packet cannot be processed or forwarded.
 		w.drop(fr)
 		return
 	}
-	decision, err := core.ProcessRelay(entry, &hdr, w.cfg.Strategy, w.cfg.Radio.Tx, w.cfg.Mobility, view)
+	decision, err := core.ProcessRelay(entry, hdr, w.cfg.Strategy, w.cfg.Radio.Tx, w.cfg.Mobility, view)
 	if err != nil {
 		w.drop(fr)
 		return
 	}
 	// Forward first (from the current position), then move.
 	if w.retryEnabled() {
-		n.sendReliable(fr, hdr)
+		n.sendReliable(fr, *hdr)
 		if n.dead {
 			return
 		}
-	} else if err := w.medium.Unicast(n.id, entry.Next, hdr.PayloadBits, energy.CatTx, dataPacket{hdr: hdr}); err != nil {
-		w.drop(fr)
-		w.noteDepletion(n, err)
-		if n.dead {
-			return
+	} else {
+		fwd := w.getPacket()
+		fwd.hdr = *hdr
+		err := w.medium.Unicast(n.id, entry.Next, hdr.PayloadBits, energy.CatTx, fwd)
+		w.putPacket(fwd)
+		if err != nil {
+			w.drop(fr)
+			w.noteDepletion(n, err)
+			if n.dead {
+				return
+			}
 		}
 	}
 	if decision.Move && w.cfg.Mode != ModeNoMobility {
@@ -422,8 +456,9 @@ func (n *node) linksSurvive(candidate geom.Point) bool {
 	now := w.sched.Now()
 	const margin = 0.98
 	limit := w.cfg.Radio.Range * margin
-	for _, e := range n.flows.Entries() {
-		for _, peer := range []NodeID{e.Prev, e.Next} {
+	w.entryScratch = n.flows.AppendEntries(w.entryScratch[:0])
+	for _, e := range w.entryScratch {
+		for _, peer := range [2]NodeID{e.Prev, e.Next} {
 			if peer < 0 {
 				continue
 			}
@@ -450,15 +485,18 @@ func (n *node) linksSurvive(candidate geom.Point) bool {
 // node relays several enabled flows (the technical-report multi-flow
 // extension).
 func (n *node) combinedTarget() (geom.Point, bool) {
-	var targets []geom.Point
-	var weights []float64
-	for _, e := range n.flows.Entries() {
+	w := n.world
+	w.entryScratch = n.flows.AppendEntries(w.entryScratch[:0])
+	targets := w.targetScratch[:0]
+	weights := w.weightScratch[:0]
+	for _, e := range w.entryScratch {
 		if !e.Enabled || !e.HasTarget || e.Dst == n.id || e.Src == n.id {
 			continue
 		}
 		targets = append(targets, e.Target)
 		weights = append(weights, e.ResidualBits)
 	}
+	w.targetScratch, w.weightScratch = targets, weights
 	if len(targets) == 0 {
 		return geom.Point{}, false
 	}

@@ -20,6 +20,9 @@ import (
 	"repro/internal/trace"
 )
 
+// dataPacket is one in-flight data packet. Packets travel by pointer and
+// are recycled through the world's pool on the synchronous radio, so the
+// steady-state hop path allocates nothing (see World.getPacket).
 type dataPacket struct {
 	hdr core.Header
 }
@@ -90,6 +93,65 @@ type World struct {
 	// receiver dying mid-reception under the rx-cost model).
 	lastActivity sim.Time
 	started      bool
+
+	// emitFn, markDeadFn, and markAliveFn are the world's long-lived
+	// scheduler callbacks (sim.Func): recurring events schedule them with
+	// a per-event argument instead of allocating a closure per event.
+	emitFn      sim.Func
+	markDeadFn  sim.Func
+	markAliveFn sim.Func
+	// syncRadio records that the radio delivers synchronously (zero
+	// bandwidth): messages are fully consumed before a send returns, so
+	// packet and beacon boxes can be pooled instead of allocated per hop.
+	syncRadio  bool
+	pktPool    []*dataPacket
+	beaconPool []*hello.Beacon
+	// Scratch buffers reused across hot-path calls (the world is
+	// single-threaded): flow-table rows for movement decisions, per-flow
+	// targets/weights for multi-flow relays, and the live-node compaction
+	// of route repair.
+	entryScratch  []*core.FlowEntry
+	targetScratch []geom.Point
+	weightScratch []float64
+	livePos       []geom.Point
+	liveToOld     []NodeID
+	liveToNew     []int
+}
+
+// getPacket returns a packet box to send through the medium; putPacket
+// recycles it once the send returned. On a positive-bandwidth radio the
+// message outlives the send (it sits in the scheduler until delivered), so
+// putPacket only pools on the synchronous radio and boxes are otherwise
+// garbage-collected.
+func (w *World) getPacket() *dataPacket {
+	if n := len(w.pktPool); n > 0 {
+		p := w.pktPool[n-1]
+		w.pktPool = w.pktPool[:n-1]
+		return p
+	}
+	return new(dataPacket)
+}
+
+func (w *World) putPacket(p *dataPacket) {
+	if w.syncRadio {
+		w.pktPool = append(w.pktPool, p)
+	}
+}
+
+// getBeacon and putBeacon are the HELLO counterpart of the packet pool.
+func (w *World) getBeacon() *hello.Beacon {
+	if n := len(w.beaconPool); n > 0 {
+		b := w.beaconPool[n-1]
+		w.beaconPool = w.beaconPool[:n-1]
+		return b
+	}
+	return new(hello.Beacon)
+}
+
+func (w *World) putBeacon(b *hello.Beacon) {
+	if w.syncRadio {
+		w.beaconPool = append(w.beaconPool, b)
+	}
 }
 
 // failure is a scheduled node crash (failure injection).
@@ -159,7 +221,11 @@ func NewWorld(cfg Config, positions []geom.Point, energies []float64) (*World, e
 		return nil, err
 	}
 	w := &World{cfg: cfg, sched: sched, medium: medium, index: index, firstDeath: -1, injector: injector,
-		observing: cfg.Tracer != nil || cfg.Sink != nil}
+		observing: cfg.Tracer != nil || cfg.Sink != nil,
+		syncRadio: cfg.Radio.Bandwidth <= 0}
+	w.emitFn = func(arg any) { w.emit(arg.(*flowRuntime)) }
+	w.markDeadFn = func(arg any) { w.markDead(arg.(*node)) }
+	w.markAliveFn = func(arg any) { w.markAlive(arg.(*node)) }
 	for i, pos := range positions {
 		if energies[i] < 0 {
 			return nil, fmt.Errorf("netsim: negative energy %v for node %d", energies[i], i)
@@ -254,6 +320,10 @@ func (w *World) AddFlow(spec FlowSpec) (core.FlowID, error) {
 		if err != nil {
 			return 0, fmt.Errorf("netsim: planning flow path: %w", err)
 		}
+	} else {
+		// Own the path: route repair splices fr.path in place, which must
+		// never mutate a caller-held slice.
+		path = append([]NodeID(nil), path...)
 	}
 	if err := routing.ValidateRoute(g, path, spec.Src, spec.Dst); err != nil {
 		return 0, err
@@ -426,22 +496,19 @@ func (w *World) RunContext(ctx context.Context) (Result, error) {
 
 	// Arm scheduled failures and recoveries.
 	for _, f := range w.failures {
-		node := w.nodes[f.node]
-		if _, err := w.sched.At(f.at, func() { w.markDead(node) }); err != nil {
+		if _, err := w.sched.AtArg(f.at, w.markDeadFn, w.nodes[f.node]); err != nil {
 			return Result{}, err
 		}
 	}
 	for _, f := range w.recoveries {
-		node := w.nodes[f.node]
-		if _, err := w.sched.At(f.at, func() { w.markAlive(node) }); err != nil {
+		if _, err := w.sched.AtArg(f.at, w.markAliveFn, w.nodes[f.node]); err != nil {
 			return Result{}, err
 		}
 	}
 
 	// Start flow emission.
 	for _, fr := range w.flows {
-		fr := fr
-		if _, err := w.sched.At(0, func() { w.emit(fr) }); err != nil {
+		if _, err := w.sched.AtArg(0, w.emitFn, fr); err != nil {
 			return Result{}, err
 		}
 	}
@@ -589,14 +656,20 @@ func (w *World) emit(fr *flowRuntime) {
 		Flow: uint64(hdr.Flow), Seq: hdr.Seq})
 	if w.retryEnabled() {
 		srcNode.sendReliable(fr, hdr)
-	} else if err := w.medium.Unicast(srcNode.id, next, hdr.PayloadBits, energy.CatTx, dataPacket{hdr: hdr}); err != nil {
-		w.drop(fr)
-		w.noteDepletion(srcNode, err)
+	} else {
+		pkt := w.getPacket()
+		pkt.hdr = hdr
+		err := w.medium.Unicast(srcNode.id, next, hdr.PayloadBits, energy.CatTx, pkt)
+		w.putPacket(pkt)
+		if err != nil {
+			w.drop(fr)
+			w.noteDepletion(srcNode, err)
+		}
 	}
 	// Pace the next packet regardless of this one's fate.
 	interval := sim.Time(w.cfg.PacketBits / w.cfg.FlowRateBps)
 	if !fr.source.Done() {
-		if _, err := w.sched.After(interval, func() { w.emit(fr) }); err != nil {
+		if _, err := w.sched.AfterArg(interval, w.emitFn, fr); err != nil {
 			return
 		}
 	} else {
@@ -670,12 +743,15 @@ func (w *World) markAlive(n *node) {
 	}
 	n.dead = false
 	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindNodeRecovered, Node: n.id, Pos: n.pos})
-	b := n.beacon()
-	if _, err := w.medium.Broadcast(n.id, w.cfg.HelloBits, energy.CatControl, b); err != nil {
+	b := w.getBeacon()
+	*b = n.beacon()
+	_, err := w.medium.Broadcast(n.id, w.cfg.HelloBits, energy.CatControl, b)
+	w.putBeacon(b)
+	if err != nil {
 		w.noteDepletion(n, err)
 		return
 	}
-	n.lastAdvert = b
+	n.lastAdvert = *b
 }
 
 // repairAroundDead re-plans every unfinished flow whose pinned path uses
@@ -727,7 +803,10 @@ func (w *World) repairFlow(fr *flowRuntime, at NodeID) bool {
 			_, _ = inst.LinkBreak(broken[0])
 		}
 	}
-	newPath := append(append([]NodeID(nil), fr.path[:idx]...), seg...)
+	// Splice in place: seg never aliases fr.path, and AddFlow gave the
+	// runtime sole ownership of the backing array, so the repaired path
+	// reuses fr.path's capacity instead of allocating per repair.
+	newPath := append(fr.path[:idx], seg...)
 	fr.path = newPath
 	seed := core.Header{
 		Flow: fr.id, Src: fr.spec.Src, Dst: fr.spec.Dst,
@@ -759,9 +838,16 @@ func (w *World) planLive(src, dst NodeID) ([]NodeID, error) {
 	if w.nodes[src].dead || w.nodes[dst].dead {
 		return nil, errors.New("netsim: live planning from or to a dead node")
 	}
-	live := make([]geom.Point, 0, len(w.nodes))
-	toOld := make([]NodeID, 0, len(w.nodes))
-	toNew := make([]int, len(w.nodes))
+	// Compact into World-owned scratch: the graph built below does not
+	// outlive this call, so the buffers are safe to reuse across repairs.
+	live := w.livePos[:0]
+	toOld := w.liveToOld[:0]
+	toNew := w.liveToNew
+	if cap(toNew) < len(w.nodes) {
+		toNew = make([]int, len(w.nodes))
+	} else {
+		toNew = toNew[:len(w.nodes)]
+	}
 	for _, n := range w.nodes {
 		if n.dead {
 			toNew[n.id] = -1
@@ -771,6 +857,7 @@ func (w *World) planLive(src, dst NodeID) ([]NodeID, error) {
 		live = append(live, n.pos)
 		toOld = append(toOld, n.id)
 	}
+	w.livePos, w.liveToOld, w.liveToNew = live, toOld, toNew
 	g, err := topo.NewGraphIndexed(live, w.cfg.Radio.Range, w.cfg.NeighborIndex)
 	if err != nil {
 		return nil, err

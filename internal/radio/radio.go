@@ -119,19 +119,28 @@ type Locator interface {
 // Medium is the shared wireless channel. It is single-threaded, driven by
 // the simulation scheduler.
 type Medium struct {
-	cfg       Config
-	sched     *sim.Scheduler
-	endpoints map[NodeID]Endpoint
-	// sorted caches ascending endpoint IDs for deterministic broadcast
-	// order without per-broadcast sorting.
-	sorted []NodeID
+	cfg   Config
+	sched *sim.Scheduler
+	// endpoints is indexed directly by NodeID (nil = unregistered): node
+	// IDs are small and dense in every caller (netsim numbers nodes
+	// 0..n-1), and slice indexing keeps the two per-unicast lookups off
+	// the map hash path. Iterating it ascending is the deterministic
+	// broadcast order.
+	endpoints []Endpoint
 	// locator, when installed, serves broadcast receiver lookups; nil
-	// falls back to the linear scan over sorted.
+	// falls back to the linear scan over endpoints.
 	locator Locator
-	// scratch is the reusable receiver-ID buffer for locator broadcasts.
+	// scratch is the reusable receiver-ID buffer for locator broadcasts;
+	// pool recycles the deferred-delivery slots of the positive-bandwidth
+	// path so in-flight messages do not allocate per hop.
 	scratch []NodeID
+	pool    []*delivery
 	stats   Stats
 }
+
+// maxNodeID bounds endpoint IDs so a mistyped huge ID cannot allocate an
+// absurd endpoint table (the slice grows to the largest registered ID).
+const maxNodeID = 1 << 24
 
 // NewMedium creates a medium on the given scheduler.
 func NewMedium(sched *sim.Scheduler, cfg Config) (*Medium, error) {
@@ -142,9 +151,8 @@ func NewMedium(sched *sim.Scheduler, cfg Config) (*Medium, error) {
 		return nil, errors.New("radio: nil scheduler")
 	}
 	return &Medium{
-		cfg:       cfg,
-		sched:     sched,
-		endpoints: make(map[NodeID]Endpoint),
+		cfg:   cfg,
+		sched: sched,
 	}, nil
 }
 
@@ -154,21 +162,22 @@ func (m *Medium) Register(id NodeID, ep Endpoint) error {
 	if ep == nil {
 		return errors.New("radio: nil endpoint")
 	}
-	if _, exists := m.endpoints[id]; !exists {
-		// Insert keeping m.sorted ascending.
-		pos := len(m.sorted)
-		for i, v := range m.sorted {
-			if v > id {
-				pos = i
-				break
-			}
-		}
-		m.sorted = append(m.sorted, 0)
-		copy(m.sorted[pos+1:], m.sorted[pos:])
-		m.sorted[pos] = id
+	if id < 0 || id >= maxNodeID {
+		return fmt.Errorf("radio: endpoint id %d out of range [0, %d)", id, maxNodeID)
+	}
+	for len(m.endpoints) <= id {
+		m.endpoints = append(m.endpoints, nil)
 	}
 	m.endpoints[id] = ep
 	return nil
+}
+
+// endpoint returns the registered endpoint for id, nil if absent.
+func (m *Medium) endpoint(id NodeID) Endpoint {
+	if id < 0 || id >= len(m.endpoints) {
+		return nil
+	}
+	return m.endpoints[id]
 }
 
 // UseLocator installs loc as the broadcast receiver source. The caller
@@ -190,12 +199,8 @@ func (m *Medium) TxModel() energy.TxModel { return m.cfg.Tx }
 // InRange reports whether two registered nodes are currently within
 // communication range of each other.
 func (m *Medium) InRange(a, b NodeID) bool {
-	ea, ok := m.endpoints[a]
-	if !ok {
-		return false
-	}
-	eb, ok := m.endpoints[b]
-	if !ok {
+	ea, eb := m.endpoint(a), m.endpoint(b)
+	if ea == nil || eb == nil {
 		return false
 	}
 	return ea.Position().Dist(eb.Position()) <= m.cfg.Range
@@ -207,12 +212,12 @@ func (m *Medium) InRange(a, b NodeID) bool {
 // delay. Errors: ErrUnknownNode, ErrOutOfRange, energy.ErrDepleted (the
 // sender died mid-transmission; nothing is delivered).
 func (m *Medium) Unicast(from, to NodeID, bits float64, cat energy.Category, msg any) error {
-	sender, ok := m.endpoints[from]
-	if !ok {
+	sender := m.endpoint(from)
+	if sender == nil {
 		return fmt.Errorf("%w: sender %d", ErrUnknownNode, from)
 	}
-	receiver, ok := m.endpoints[to]
-	if !ok {
+	receiver := m.endpoint(to)
+	if receiver == nil {
 		return fmt.Errorf("%w: receiver %d", ErrUnknownNode, to)
 	}
 	d := sender.Position().Dist(receiver.Position())
@@ -241,8 +246,8 @@ func (m *Medium) Unicast(from, to NodeID, bits float64, cat energy.Category, msg
 // number of receivers, or an error if the sender is unknown or died
 // mid-transmission.
 func (m *Medium) Broadcast(from NodeID, bits float64, cat energy.Category, msg any) (int, error) {
-	sender, ok := m.endpoints[from]
-	if !ok {
+	sender := m.endpoint(from)
+	if sender == nil {
 		return 0, fmt.Errorf("%w: sender %d", ErrUnknownNode, from)
 	}
 	m.stats.Broadcasts++
@@ -263,7 +268,7 @@ func (m *Medium) Broadcast(from NodeID, bits float64, cat energy.Category, msg a
 			if id == from {
 				continue
 			}
-			if ep, ok := m.endpoints[id]; ok {
+			if ep := m.endpoint(id); ep != nil {
 				if m.cfg.Faults != nil && m.cfg.Faults.Drop(from, id, origin.Dist(ep.Position()), m.cfg.Range) {
 					m.stats.FaultDrops++
 					continue
@@ -276,11 +281,10 @@ func (m *Medium) Broadcast(from NodeID, bits float64, cat energy.Category, msg a
 		return n, nil
 	}
 	// Reference path: deterministic receiver order, ascending ID.
-	for _, id := range m.sorted {
-		if id == from {
+	for id, ep := range m.endpoints {
+		if id == from || ep == nil {
 			continue
 		}
-		ep := m.endpoints[id]
 		if origin.Dist2(ep.Position()) <= m.cfg.Range*m.cfg.Range {
 			if m.cfg.Faults != nil && m.cfg.Faults.Drop(from, id, origin.Dist(ep.Position()), m.cfg.Range) {
 				m.stats.FaultDrops++
@@ -303,27 +307,58 @@ func (m *Medium) charge(sender Endpoint, joules float64, cat energy.Category) er
 	return nil
 }
 
+// delivery is one in-flight message of the positive-bandwidth path,
+// recycled through the medium's pool so serialization delay costs no
+// allocation per hop.
+type delivery struct {
+	m    *Medium
+	from NodeID
+	to   Endpoint
+	bits float64
+	cat  energy.Category
+	msg  any
+}
+
+// deliverFn is the shared scheduler callback for deferred deliveries.
+var deliverFn sim.Func = func(arg any) {
+	d := arg.(*delivery)
+	m, from, to, bits, cat, msg := d.m, d.from, d.to, d.bits, d.cat, d.msg
+	*d = delivery{}
+	m.pool = append(m.pool, d)
+	m.handoff(from, to, bits, cat, msg)
+}
+
 func (m *Medium) deliver(from NodeID, to Endpoint, bits float64, cat energy.Category, msg any) {
-	handoff := func() {
-		if !m.chargeRx(to, bits, cat) {
-			m.stats.DeadDrops++
-			return
-		}
-		m.stats.Delivered++
-		to.Receive(from, msg)
-	}
 	if m.cfg.Bandwidth <= 0 {
 		// Zero serialization delay: deliver synchronously. This keeps
 		// dense control traffic (HELLO floods) off the event queue.
-		handoff()
+		m.handoff(from, to, bits, cat, msg)
 		return
 	}
+	var d *delivery
+	if n := len(m.pool); n > 0 {
+		d = m.pool[n-1]
+		m.pool = m.pool[:n-1]
+	} else {
+		d = new(delivery)
+	}
+	*d = delivery{m: m, from: from, to: to, bits: bits, cat: cat, msg: msg}
 	delay := sim.Time(bits / m.cfg.Bandwidth)
 	// Scheduling only fails for invalid times, which cannot arise from a
 	// validated bandwidth; treat failure as a programming error.
-	if _, err := m.sched.After(delay, handoff); err != nil {
+	if _, err := m.sched.AfterArg(delay, deliverFn, d); err != nil {
 		panic(fmt.Sprintf("radio: scheduling delivery: %v", err))
 	}
+}
+
+// handoff completes one delivery at the receiver.
+func (m *Medium) handoff(from NodeID, to Endpoint, bits float64, cat energy.Category, msg any) {
+	if !m.chargeRx(to, bits, cat) {
+		m.stats.DeadDrops++
+		return
+	}
+	m.stats.Delivered++
+	to.Receive(from, msg)
 }
 
 // chargeRx draws receiver electronics energy; it reports whether the

@@ -108,11 +108,20 @@ func FromPoints(kind Kind, cellSize float64, pts []geom.Point) (Index, error) {
 // cellKey addresses one grid cell by its integer cell coordinates.
 type cellKey struct{ cx, cy int }
 
-// gridSlot records where an ID currently lives: its exact position and
-// its cell.
-type gridSlot struct {
+// gridEntry is one bucketed point: the ID and its exact position. The
+// position lives in the bucket (not only in the where map) so range
+// queries filter candidates with a cache-friendly slice scan instead of
+// one map lookup per candidate.
+type gridEntry struct {
+	id  int
 	pos geom.Point
+}
+
+// gridSlot records where an ID currently lives: its cell and its index
+// within that cell's bucket (maintained across swap-deletes).
+type gridSlot struct {
 	key cellKey
+	idx int
 }
 
 // Grid is a uniform-grid Index: the plane is cut into cellSize×cellSize
@@ -127,7 +136,7 @@ type gridSlot struct {
 // its own world and therefore its own index).
 type Grid struct {
 	cell  float64
-	cells map[cellKey][]int
+	cells map[cellKey][]gridEntry
 	where map[int]gridSlot
 	// bounds clamp query scans to cells that have ever been occupied, so
 	// a huge query radius degrades to the brute-force cost instead of
@@ -147,7 +156,7 @@ func NewGrid(cellSize float64) (*Grid, error) {
 	}
 	return &Grid{
 		cell:  cellSize,
-		cells: make(map[cellKey][]int),
+		cells: make(map[cellKey][]gridEntry),
 		where: make(map[int]gridSlot),
 	}, nil
 }
@@ -168,13 +177,15 @@ func (g *Grid) Insert(id int, p geom.Point) {
 	k := g.keyOf(p)
 	if slot, ok := g.where[id]; ok {
 		if slot.key == k {
-			g.where[id] = gridSlot{pos: p, key: k}
+			// Same cell: update the bucketed position in place.
+			g.cells[k][slot.idx].pos = p
 			return
 		}
-		g.unbucket(id, slot.key)
+		g.unbucket(slot)
 	}
-	g.cells[k] = append(g.cells[k], id)
-	g.where[id] = gridSlot{pos: p, key: k}
+	bucket := g.cells[k]
+	g.cells[k] = append(bucket, gridEntry{id: id, pos: p})
+	g.where[id] = gridSlot{key: k, idx: len(bucket)}
 	g.grow(k)
 }
 
@@ -187,25 +198,26 @@ func (g *Grid) Remove(id int) {
 	if !ok {
 		return
 	}
-	g.unbucket(id, slot.key)
+	g.unbucket(slot)
 	delete(g.where, id)
 }
 
-// unbucket removes id from the cell bucket at k (swap-delete; bucket
-// order is irrelevant because queries sort their results).
-func (g *Grid) unbucket(id int, k cellKey) {
-	bucket := g.cells[k]
-	for i, v := range bucket {
-		if v == id {
-			bucket[i] = bucket[len(bucket)-1]
-			bucket = bucket[:len(bucket)-1]
-			break
-		}
+// unbucket removes the entry at slot from its cell bucket (swap-delete;
+// bucket order is irrelevant because queries sort their results). The
+// swapped-in entry's slot index is patched so where stays consistent.
+func (g *Grid) unbucket(slot gridSlot) {
+	bucket := g.cells[slot.key]
+	last := len(bucket) - 1
+	if slot.idx != last {
+		moved := bucket[last]
+		bucket[slot.idx] = moved
+		g.where[moved.id] = gridSlot{key: slot.key, idx: slot.idx}
 	}
+	bucket = bucket[:last]
 	if len(bucket) == 0 {
-		delete(g.cells, k)
+		delete(g.cells, slot.key)
 	} else {
-		g.cells[k] = bucket
+		g.cells[slot.key] = bucket
 	}
 }
 
@@ -261,9 +273,9 @@ func (g *Grid) AppendInRange(dst []int, p geom.Point, r float64) []int {
 	start := len(dst)
 	for cx := lo.cx; cx <= hi.cx; cx++ {
 		for cy := lo.cy; cy <= hi.cy; cy++ {
-			for _, id := range g.cells[cellKey{cx: cx, cy: cy}] {
-				if g.where[id].pos.Dist2(p) <= r2 {
-					dst = append(dst, id)
+			for _, e := range g.cells[cellKey{cx: cx, cy: cy}] {
+				if e.pos.Dist2(p) <= r2 {
+					dst = append(dst, e.id)
 				}
 			}
 		}
