@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench smoke vet doclint observability \
+.PHONY: build test race fuzz bench smoke serve vet doclint observability \
 	benchgate benchgate-quick bench-baseline ci
 
 build:
@@ -19,14 +19,18 @@ doclint:
 
 # race runs the concurrency-sensitive suites (parallel sweeps, shared
 # world state, golden serial-vs-parallel determinism, per-trial observers
-# under concurrent sweeps, mid-run cancellation) under the race detector.
+# under concurrent sweeps, mid-run cancellation) under the race detector,
+# plus the full service suite — the daemon's queue/pool/cache interlock
+# is the most concurrent code in the repo.
 race:
 	$(GO) test -race . ./internal/... -run 'Race|Determinism'
+	$(GO) test -race ./internal/serve/...
 
 # fuzz gives each fuzzer a short budget; go test accepts one -fuzz
 # target per invocation, hence one run per target.
 fuzz:
 	$(GO) test -fuzz=FuzzScenarioJSON -fuzztime=5s ./internal/scenario/
+	$(GO) test -fuzz=FuzzScenarioFingerprint -fuzztime=5s ./internal/scenario/
 	$(GO) test -fuzz=FuzzSeedDerive -fuzztime=5s ./internal/sweep/
 	$(GO) test -fuzz=FuzzSchedulerOps -fuzztime=5s ./internal/sim/
 
@@ -35,7 +39,7 @@ bench:
 
 # The benchmarks gated against bench_baseline.txt. Three samples absorb
 # scheduler jitter; benchgate compares best-vs-best per metric.
-GATED_BENCH = BenchmarkSimulationRun$$|BenchmarkSchedulerSteadyState$$|BenchmarkSweep/
+GATED_BENCH = BenchmarkSimulationRun$$|BenchmarkSchedulerSteadyState$$|BenchmarkSweep/|BenchmarkServeSubmit$$
 GATE_FLAGS  = -run '^$$' -benchmem -count=3
 
 # benchgate is the performance ratchet: rerun the gated benchmarks and
@@ -43,7 +47,7 @@ GATE_FLAGS  = -run '^$$' -benchmem -count=3
 # enough for shared-runner noise, far tighter than the 2x+ wins the
 # baseline records).
 benchgate:
-	$(GO) test $(GATE_FLAGS) -bench '$(GATED_BENCH)' -benchtime 10x . ./internal/sim/ \
+	$(GO) test $(GATE_FLAGS) -bench '$(GATED_BENCH)' -benchtime 10x . ./internal/sim/ ./internal/serve/ \
 		| $(GO) run ./cmd/benchgate -baseline bench_baseline.txt -threshold 0.25
 
 # benchgate-quick is the short-iteration gate wired into ci: same
@@ -51,13 +55,13 @@ benchgate:
 # threshold that still catches order-of-magnitude regressions (a lost
 # zero-alloc property or an accidental O(n^2)).
 benchgate-quick:
-	$(GO) test $(GATE_FLAGS) -bench '$(GATED_BENCH)' -benchtime 3x . ./internal/sim/ \
+	$(GO) test $(GATE_FLAGS) -bench '$(GATED_BENCH)' -benchtime 3x . ./internal/sim/ ./internal/serve/ \
 		| $(GO) run ./cmd/benchgate -baseline bench_baseline.txt -threshold 0.6
 
 # bench-baseline refreshes the committed baseline after an intentional
 # performance change. Review the diff before committing.
 bench-baseline:
-	$(GO) test $(GATE_FLAGS) -bench '$(GATED_BENCH)' -benchtime 10x . ./internal/sim/ \
+	$(GO) test $(GATE_FLAGS) -bench '$(GATED_BENCH)' -benchtime 10x . ./internal/sim/ ./internal/serve/ \
 		| tee bench_baseline.txt
 
 # observability pins the observability layer's two contracts: the JSONL
@@ -78,4 +82,10 @@ smoke:
 	$(GO) run -race ./cmd/imobif-sim -nodes 40 -field 800 -flow-kb 512 \
 		-crash 2 -retry 3 -retry-timeout 0.25 -repair -fault-seed 11 -seed 1
 
-ci: vet doclint build test race fuzz smoke observability benchgate-quick
+# serve is the daemon's end-to-end smoke: start imobif-served on a
+# loopback port, submit a scenario through the real HTTP stack, poll to
+# completion, and assert every flow delivered.
+serve:
+	$(GO) run ./cmd/imobif-served -smoke examples/scenarios/chain.json
+
+ci: vet doclint build test race fuzz smoke serve observability benchgate-quick

@@ -1,0 +1,46 @@
+package scenario
+
+// Canonicalization and fingerprinting: the identity of a scenario on the
+// service API. The daemon coalesces identical in-flight submissions and
+// keys its result cache by Fingerprint, so two documents that mean the
+// same simulation must hash identically regardless of spelling — key
+// order, whitespace, or defaults written out explicitly versus omitted.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// CanonicalJSON returns the scenario's canonical wire form: the scenario
+// with defaults applied, marshaled with fields in struct declaration
+// order and no insignificant whitespace. Two scenarios that differ only
+// in spelling share one canonical form; scenarios that differ in any
+// field that could change the run (including Seed, Trials, and Output)
+// do not.
+func (s *Scenario) CanonicalJSON() ([]byte, error) {
+	// applyDefaults only writes scalar fields, so a shallow copy keeps
+	// the receiver untouched while pinning the defaults into the hash.
+	c := *s
+	c.applyDefaults()
+	b, err := json.Marshal(&c)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: canonicalizing: %w", err)
+	}
+	return b, nil
+}
+
+// Fingerprint returns the hex SHA-256 of CanonicalJSON: the scenario's
+// identity for service-side request coalescing and result caching. Equal
+// scenarios (same canonical form) always produce equal fingerprints, and
+// a cached result keyed by Fingerprint is byte-identical to re-running
+// the submission cold (the simulator is deterministic in the scenario).
+func (s *Scenario) Fingerprint() (string, error) {
+	b, err := s.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

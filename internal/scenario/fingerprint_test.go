@@ -1,0 +1,130 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// load is a test helper that parses a document or fails the test.
+func load(t *testing.T, doc string) *Scenario {
+	t.Helper()
+	s, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Load(%s): %v", doc, err)
+	}
+	return s
+}
+
+const fpBase = `{"name":"fp","nodes":[{"x":0,"y":0,"joules":10},{"x":100,"y":0,"joules":10}],` +
+	`"flows":[{"src":0,"dst":1,"length_kb":4}]}`
+
+// TestFingerprintSpellingInvariant pins canonicalization: key order,
+// whitespace, and defaults written out explicitly all hash identically.
+func TestFingerprintSpellingInvariant(t *testing.T) {
+	base := load(t, fpBase)
+	fp, err := base.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := map[string]string{
+		"whitespace": `{ "name": "fp",
+			"nodes": [ {"x":0,"y":0,"joules":10}, {"x":100,"y":0,"joules":10} ],
+			"flows": [ {"src":0,"dst":1,"length_kb":4} ] }`,
+		"key order": `{"flows":[{"dst":1,"src":0,"length_kb":4}],` +
+			`"nodes":[{"x":0,"y":0,"joules":10},{"x":100,"y":0,"joules":10}],"name":"fp"}`,
+		"explicit defaults": `{"name":"fp","range_meters":200,"strategy":"min-energy","mode":"informed",` +
+			`"max_step_meters":1,"estimate_scale":1,` +
+			`"nodes":[{"x":0,"y":0,"joules":10},{"x":100,"y":0,"joules":10}],` +
+			`"flows":[{"src":0,"dst":1,"length_kb":4}]}`,
+	}
+	for name, doc := range variants {
+		got, err := load(t, doc).Fingerprint()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != fp {
+			t.Errorf("%s variant fingerprints differently: %s vs %s", name, got, fp)
+		}
+	}
+}
+
+// TestFingerprintDistinguishes pins sensitivity: any field that could
+// change the run — seed, trials, output options, flow length, strategy —
+// changes the hash.
+func TestFingerprintDistinguishes(t *testing.T) {
+	fp, err := load(t, fpBase).Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]string{
+		"seed":     strings.Replace(fpBase, `"name":"fp"`, `"name":"fp","seed":7`, 1),
+		"trials":   strings.Replace(fpBase, `"name":"fp"`, `"name":"fp","trials":3`, 1),
+		"output":   strings.Replace(fpBase, `"name":"fp"`, `"name":"fp","output":{"trace":true}`, 1),
+		"length":   strings.Replace(fpBase, `"length_kb":4`, `"length_kb":8`, 1),
+		"strategy": strings.Replace(fpBase, `"name":"fp"`, `"name":"fp","strategy":"max-lifetime"`, 1),
+	}
+	seen := map[string]string{fp: "base"}
+	for name, doc := range mutations {
+		got, err := load(t, doc).Fingerprint()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("%s collides with %s: %s", name, prev, got)
+		}
+		seen[got] = name
+	}
+}
+
+// TestCanonicalJSONRoundTrip pins the canonical form as a fixed point:
+// loading a scenario's CanonicalJSON yields the same canonical bytes
+// and the same fingerprint.
+func TestCanonicalJSONRoundTrip(t *testing.T) {
+	s := load(t, fpBase)
+	canon, err := s.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Load(strings.NewReader(string(canon)))
+	if err != nil {
+		t.Fatalf("canonical form does not re-Load: %v\n%s", err, canon)
+	}
+	canon2, err := s2.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(canon) != string(canon2) {
+		t.Errorf("canonical form is not a fixed point:\n1: %s\n2: %s", canon, canon2)
+	}
+}
+
+// TestJobSpecValidation covers the service job-spec fields riding on the
+// scenario document: trials bounds and output-option consistency.
+func TestJobSpecValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		doc     string
+		wantErr string
+	}{
+		{"trials ok", strings.Replace(fpBase, `"name":"fp"`, `"name":"fp","trials":10`, 1), ""},
+		{"output ok", strings.Replace(fpBase, `"name":"fp"`, `"name":"fp","output":{"trace":true,"sample_interval_s":2}`, 1), ""},
+		{"negative trials", strings.Replace(fpBase, `"name":"fp"`, `"name":"fp","trials":-1`, 1), "negative trials"},
+		{"huge trials", strings.Replace(fpBase, `"name":"fp"`, `"name":"fp","trials":1000001`, 1), "exceeds limit"},
+		{"negative interval", strings.Replace(fpBase, `"name":"fp"`, `"name":"fp","output":{"sample_interval_s":-1}`, 1), "negative sample interval"},
+		{"trace multi-trial", strings.Replace(fpBase, `"name":"fp"`, `"name":"fp","trials":2,"output":{"trace":true}`, 1), "single trial"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load(strings.NewReader(tc.doc))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -29,6 +29,9 @@ func FuzzScenarioJSON(f *testing.F) {
 	f.Add(`{"faults":{"loss_p":1.5}}`)
 	f.Add(`{"faults":{"loss_p":0.1,"retry_limit":3}}`)
 	f.Add(`{"faults":{"crashes":[{"node":-1,"at_s":-2,"recover_at_s":1}]}}`)
+	for _, seed := range jobSpecSeeds {
+		f.Add(seed)
+	}
 	f.Fuzz(func(t *testing.T, data string) {
 		s, err := Load(strings.NewReader(data))
 		if err != nil {
@@ -40,6 +43,63 @@ func FuzzScenarioJSON(f *testing.F) {
 		// A scenario Load accepted must be internally consistent.
 		if err := s.Validate(); err != nil {
 			t.Fatalf("Load accepted a scenario that fails Validate: %v\ninput: %s", err, data)
+		}
+	})
+}
+
+// jobSpecSeeds exercises the service job-spec fields (seed, trials,
+// output options) that ride on the scenario document, both the valid
+// shapes the daemon accepts and the invalid ones Validate must refuse.
+var jobSpecSeeds = []string{
+	`{"seed":42,"trials":3,"random_nodes":{"count":8,"field_w":300,"field_h":300,"energy_lo":100,"energy_hi":200},` +
+		`"flows":[{"src":0,"dst":7,"length_kb":4}]}`,
+	`{"trials":1,"output":{"trace":true,"sample_interval_s":5},` +
+		`"nodes":[{"x":0,"y":0,"joules":10},{"x":50,"y":0,"joules":10}],"flows":[{"src":0,"dst":1,"length_kb":1}]}`,
+	`{"trials":-4,"flows":[{"src":0,"dst":1,"length_kb":1}]}`,
+	`{"trials":1000001,"flows":[{"src":0,"dst":1,"length_kb":1}]}`,
+	`{"trials":2,"output":{"trace":true},"nodes":[{"x":0,"y":0,"joules":1},{"x":1,"y":0,"joules":1}],` +
+		`"flows":[{"src":0,"dst":1,"length_kb":1}]}`,
+	`{"output":{"sample_interval_s":-0.5}}`,
+	`{"output":{}}`,
+}
+
+// FuzzScenarioFingerprint fuzzes the canonical fingerprint: any input
+// Load accepts must fingerprint without panicking, equal scenarios must
+// hash equally (the canonical form re-Loads to the same fingerprint —
+// the service cache-key contract), and the canonical form must be a
+// fixed point of canonicalization.
+func FuzzScenarioFingerprint(f *testing.F) {
+	f.Add(`{"name":"x","flows":[{"src":0,"dst":1,"length_kb":1}],"nodes":[{"x":0,"y":0,"joules":1},{"x":1,"y":1,"joules":1}]}`)
+	f.Add(`{"seed":7,"random_nodes":{"count":5,"field_w":100,"field_h":100,"energy_lo":1,"energy_hi":2},"flows":[{"src":0,"dst":4,"length_kb":8}]}`)
+	for _, seed := range jobSpecSeeds {
+		f.Add(seed)
+	}
+	f.Add(`not json`)
+	f.Add("{\"name\":\"\\u0000\\ufffd\"}")
+	f.Fuzz(func(t *testing.T, data string) {
+		s, err := Load(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		fp, err := s.Fingerprint()
+		if err != nil {
+			// Load accepted it, so canonicalization must too.
+			t.Fatalf("accepted scenario does not fingerprint: %v\ninput: %s", err, data)
+		}
+		canon, err := s.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("accepted scenario does not canonicalize: %v", err)
+		}
+		s2, err := Load(strings.NewReader(string(canon)))
+		if err != nil {
+			t.Fatalf("canonical form does not re-Load: %v\ncanonical: %s", err, canon)
+		}
+		fp2, err := s2.Fingerprint()
+		if err != nil {
+			t.Fatalf("canonical form does not fingerprint: %v", err)
+		}
+		if fp2 != fp {
+			t.Fatalf("equal scenarios hash differently: %s vs %s\ninput: %s\ncanonical: %s", fp, fp2, data, canon)
 		}
 	})
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // Scenario is the JSON document root.
@@ -59,6 +60,29 @@ type Scenario struct {
 	// Faults optionally enables the fault-injection layer (lossy channel,
 	// crash/recovery schedule, retry/ack transport, route repair).
 	Faults *FaultsSpec `json:"faults,omitempty"`
+
+	// Trials asks service runs (imobif-served) to execute the scenario
+	// this many times, trial i under a seed derived from Seed via
+	// SplitMix64 (internal/sweep). 0 and 1 both mean a single run under
+	// Seed itself. Build ignores it: it materializes one world.
+	Trials int `json:"trials,omitempty"`
+	// Output selects optional service-run outputs (JSONL event trace,
+	// time-resolved metrics samples). Nil means result metrics only.
+	Output *OutputSpec `json:"output,omitempty"`
+}
+
+// MaxTrials bounds Scenario.Trials, so a single service job cannot queue
+// an unbounded amount of work.
+const MaxTrials = 100000
+
+// OutputSpec selects optional run outputs for service jobs.
+type OutputSpec struct {
+	// Trace captures the run's event trace as JSONL (the pinned schema of
+	// internal/trace). Only valid for single-trial jobs.
+	Trace bool `json:"trace,omitempty"`
+	// SampleIntervalS samples time-resolved metrics every this many
+	// simulated seconds (plus once at t=0 and once at run end).
+	SampleIntervalS float64 `json:"sample_interval_s,omitempty"`
 }
 
 // NodeSpec is one explicit node.
@@ -239,6 +263,20 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("scenario: %w", err)
 		}
 	}
+	if s.Trials < 0 {
+		return fmt.Errorf("scenario: negative trials %d", s.Trials)
+	}
+	if s.Trials > MaxTrials {
+		return fmt.Errorf("scenario: trials %d exceeds limit %d", s.Trials, MaxTrials)
+	}
+	if s.Output != nil {
+		if s.Output.SampleIntervalS < 0 {
+			return fmt.Errorf("scenario: negative sample interval %v", s.Output.SampleIntervalS)
+		}
+		if s.Output.Trace && s.Trials > 1 {
+			return errors.New("scenario: trace capture requires a single trial")
+		}
+	}
 	return nil
 }
 
@@ -280,8 +318,27 @@ func (s *Scenario) mode() (netsim.Mode, error) {
 	}
 }
 
+// BuildOption adjusts the netsim configuration a scenario materializes
+// into, beyond what the JSON document itself expresses — observability
+// attachments for the service layer. Options run after the scenario's
+// own fields are applied.
+type BuildOption func(cfg *netsim.Config)
+
+// WithSink attaches a trace sink to the built world: every simulation
+// event is delivered to it as the run produces it (the hook behind the
+// service API's JSONL trace streaming).
+func WithSink(sink trace.Sink) BuildOption {
+	return func(cfg *netsim.Config) { cfg.Sink = sink }
+}
+
+// WithSampleInterval enables time-resolved metrics sampling every
+// seconds of simulated time (netsim Config.SampleInterval).
+func WithSampleInterval(seconds float64) BuildOption {
+	return func(cfg *netsim.Config) { cfg.SampleInterval = sim.Time(seconds) }
+}
+
 // Build materializes the scenario into a ready-to-run world.
-func (s *Scenario) Build() (*netsim.World, []netsim.NodeID, error) {
+func (s *Scenario) Build(opts ...BuildOption) (*netsim.World, []netsim.NodeID, error) {
 	tx := energy.TxModel{A: s.TxA, B: s.TxB, Alpha: s.PathLossExp}
 	table, err := energy.NewPowerTable(tx, s.RangeMeters, 256)
 	if err != nil {
@@ -306,6 +363,9 @@ func (s *Scenario) Build() (*netsim.World, []netsim.NodeID, error) {
 	cfg.EstimateScale = s.EstimateScale
 	cfg.StopOnFirstDeath = s.StopOnFirstDeath
 	cfg.Faults = s.Faults.config()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 
 	var positions []geom.Point
 	var energies []float64

@@ -1,0 +1,51 @@
+package serve
+
+import "container/list"
+
+// resultCache is a bounded LRU of completed jobs keyed by scenario
+// fingerprint. It is not self-synchronizing: the server accesses it only
+// under its own mutex, which is what makes submit-time lookups atomic
+// with worker-side inserts (the exactly-once execution guarantee).
+type resultCache struct {
+	cap     int
+	order   *list.List               // front = most recently used
+	entries map[string]*list.Element // fingerprint → element holding *job
+}
+
+// newResultCache returns an empty cache bounded to cap entries (cap >= 1).
+func newResultCache(cap int) *resultCache {
+	return &resultCache{cap: cap, order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// get returns the cached job for a fingerprint, refreshing its recency.
+func (c *resultCache) get(fp string) (*job, bool) {
+	el, ok := c.entries[fp]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*job), true
+}
+
+// add inserts a completed job under its fingerprint and returns the job
+// evicted to make room, if any (the server drops it from its job table).
+// Re-adding an existing fingerprint refreshes recency and evicts nothing.
+func (c *resultCache) add(j *job) (evicted *job) {
+	if el, ok := c.entries[j.fingerprint]; ok {
+		c.order.MoveToFront(el)
+		el.Value = j
+		return nil
+	}
+	c.entries[j.fingerprint] = c.order.PushFront(j)
+	if c.order.Len() <= c.cap {
+		return nil
+	}
+	back := c.order.Back()
+	c.order.Remove(back)
+	old := back.Value.(*job)
+	delete(c.entries, old.fingerprint)
+	return old
+}
+
+// len returns the number of cached jobs.
+func (c *resultCache) len() int { return c.order.Len() }

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/scenario"
+)
+
+// maxBodyBytes bounds a submission body; scenario documents are small,
+// so anything bigger is a client error, not a memory commitment.
+const maxBodyBytes = 8 << 20
+
+// submitHeader is the response header classifying a submission: "queued",
+// "coalesced", or "cached". The body is the job envelope either way, so
+// clients that do not care never need to look.
+const submitHeader = "Imobif-Submission"
+
+// Handler returns the daemon's HTTP API. The handler is safe for
+// concurrent use and remains valid during Shutdown (it answers 503 for
+// new submissions while draining).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// writeJSON writes v as the JSON response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+// writeError writes a JSON error body.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// envelopeOf snapshots a job's envelope under the server lock.
+func (s *Server) envelopeOf(j *job) Envelope {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.envelope()
+}
+
+// handleSubmit implements POST /v1/jobs: parse, validate, fingerprint,
+// and resolve against cache/in-flight/queue. 200 with the finished job
+// on a cache hit, 202 for queued or coalesced submissions, 400 on a bad
+// scenario, 429 (with Retry-After) on queue overflow, 503 while
+// draining.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := scenario.Load(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, outcome, err := s.submit(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	switch outcome {
+	case outcomeDraining:
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+	case outcomeQueueFull:
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
+		writeError(w, http.StatusTooManyRequests, "job queue is full")
+	case outcomeCached:
+		w.Header().Set(submitHeader, "cached")
+		writeJSON(w, http.StatusOK, s.envelopeOf(j))
+	case outcomeCoalesced:
+		w.Header().Set(submitHeader, "coalesced")
+		writeJSON(w, http.StatusAccepted, s.envelopeOf(j))
+	default:
+		w.Header().Set(submitHeader, "queued")
+		writeJSON(w, http.StatusAccepted, s.envelopeOf(j))
+	}
+}
+
+// handleGet implements GET /v1/jobs/{id}: the job envelope, with the
+// result attached once the job is terminal.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.envelopeOf(j))
+}
+
+// handleCancel implements DELETE /v1/jobs/{id}: cancel a queued or
+// running job. Canceling a terminal job is a no-op that reports the
+// final state, so DELETE is idempotent.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok, _ := s.cancelJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	env := s.envelopeOf(j)
+	status := http.StatusOK
+	if !env.Status.Terminal() {
+		// A running job terminalizes when the simulator observes the
+		// canceled context between events; poll for the final state.
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, env)
+}
+
+// handleTrace implements GET /v1/jobs/{id}/trace: the run's captured
+// JSONL event trace. 404 if the job is unknown or did not request a
+// trace (output.trace), 409 while the job is still queued or running.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	status := j.status
+	traceBytes := j.trace
+	requested := j.spec.Output != nil && j.spec.Output.Trace
+	s.mu.Unlock()
+	if !requested {
+		writeError(w, http.StatusNotFound, "job %s did not request a trace (set output.trace)", j.id)
+		return
+	}
+	if !status.Terminal() {
+		writeError(w, http.StatusConflict, "job %s is %s; trace is available once it finishes", j.id, status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	w.Write(traceBytes)
+}
+
+// handleHealth implements GET /healthz: 200 with the server gauges, or
+// 503 once draining (so load balancers stop routing new work here).
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.Snapshot()
+	code := http.StatusOK
+	if st.Draining {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, st)
+}

@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+
+	"repro/internal/scenario"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// The job lifecycle: queued → running → one of the three terminal
+// states. Cancellation can short-circuit a queued job straight to
+// canceled without it ever running.
+const (
+	// StatusQueued means the job is accepted and waiting for a worker.
+	StatusQueued Status = "queued"
+	// StatusRunning means a worker is executing the job.
+	StatusRunning Status = "running"
+	// StatusDone means the job finished and its result is available.
+	StatusDone Status = "done"
+	// StatusFailed means the job's world could not be built or run; the
+	// envelope's error field says why.
+	StatusFailed Status = "failed"
+	// StatusCanceled means the job was canceled (DELETE or forced
+	// shutdown); single-trial jobs still carry the deterministic partial
+	// result as of the cancellation point.
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// job is one submitted simulation job. The id, fingerprint, spec, and
+// context plumbing are immutable after creation; the mutable state
+// (status, result, trace, error) is guarded by the server mutex.
+type job struct {
+	id          string
+	fingerprint string
+	spec        *scenario.Scenario
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	status Status
+	errMsg string
+	// result holds the job's result JSON, marshaled exactly once when
+	// the job finishes; every response carries these bytes verbatim (the
+	// byte-identical cached-result contract).
+	result json.RawMessage
+	// trace holds the captured JSONL event trace when the scenario asked
+	// for one (output.trace).
+	trace []byte
+}
+
+// Envelope is the wire form of a job on the HTTP API: the response body
+// of POST /v1/jobs, GET /v1/jobs/{id}, and DELETE /v1/jobs/{id}.
+type Envelope struct {
+	// ID names the job; coalesced and cached submissions share the id of
+	// the job that actually ran.
+	ID string `json:"id"`
+	// Status is the job's lifecycle state.
+	Status Status `json:"status"`
+	// Fingerprint is the canonical scenario hash the job is keyed by.
+	Fingerprint string `json:"fingerprint"`
+	// Error explains a failed job.
+	Error string `json:"error,omitempty"`
+	// Result is the simulation output, present once the job is terminal
+	// (failed jobs have none; canceled single-trial jobs carry the
+	// deterministic partial result).
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// ErrorBody is the wire form of a non-2xx HTTP response.
+type ErrorBody struct {
+	// Error is the human-readable reason.
+	Error string `json:"error"`
+}
+
+// envelope builds the wire form of the job's current state. Callers must
+// hold the server mutex.
+func (j *job) envelope() Envelope {
+	return Envelope{
+		ID:          j.id,
+		Status:      j.status,
+		Fingerprint: j.fingerprint,
+		Error:       j.errMsg,
+		Result:      j.result,
+	}
+}
+
+// Result is the wire form of a completed job's simulation output.
+type Result struct {
+	// Scenario echoes the scenario name; Trials the effective trial
+	// count (1 when the document omitted it).
+	Scenario string `json:"scenario"`
+	Trials   int    `json:"trials"`
+	// Runs holds per-trial outcomes in trial order. A canceled job
+	// reports the trials that finished plus the interrupted trial's
+	// partial state.
+	Runs []RunResult `json:"runs"`
+	// Completed counts runs whose every flow completed;
+	// MeanTotalJoules averages total energy over the finished runs.
+	Completed       int     `json:"completed"`
+	MeanTotalJoules float64 `json:"mean_total_joules"`
+	// Canceled reports that the job was canceled before all trials ran.
+	Canceled bool `json:"canceled,omitempty"`
+}
+
+// RunResult is one trial's outcome, mirroring the public imobif.Result
+// surface field-for-field so service results are bit-comparable to
+// direct library runs.
+type RunResult struct {
+	// Seed is the scenario seed this trial ran under (the document's
+	// seed for single runs, the SplitMix64-derived one for trial i of a
+	// multi-trial job).
+	Seed int64 `json:"seed"`
+	// Flows holds per-flow outcomes in scenario order.
+	Flows []FlowResult `json:"flows"`
+	// TxJoules, MoveJoules, ControlJoules decompose network-wide energy;
+	// TotalJoules is their sum.
+	TxJoules      float64 `json:"tx_joules"`
+	MoveJoules    float64 `json:"move_joules"`
+	ControlJoules float64 `json:"control_joules"`
+	TotalJoules   float64 `json:"total_joules"`
+	// FirstDeathSeconds is the virtual time of the first node death
+	// (negative if none); DurationSeconds the virtual time the run ended.
+	FirstDeathSeconds float64 `json:"first_death_s"`
+	DurationSeconds   float64 `json:"duration_s"`
+	// Channel and Transport report medium and retry/ack counters;
+	// ChannelLossRate the fault injector's observed loss fraction.
+	Channel         ChannelStats   `json:"channel"`
+	Transport       TransportStats `json:"transport"`
+	ChannelLossRate float64        `json:"channel_loss_rate"`
+	// Samples holds time-resolved metrics when the scenario asked for
+	// them (output.sample_interval_s).
+	Samples []MetricsSample `json:"samples,omitempty"`
+	// Canceled marks the interrupted trial of a canceled job; its other
+	// fields are the deterministic partial state at the stop point.
+	Canceled bool `json:"canceled,omitempty"`
+}
+
+// FlowResult is one flow's outcome on the wire.
+type FlowResult struct {
+	// Completed reports whether every flow byte reached the destination;
+	// DeliveredBytes counts payload delivered end-to-end.
+	Completed      bool    `json:"completed"`
+	DeliveredBytes float64 `json:"delivered_bytes"`
+	// Notifications counts destination→source status packets;
+	// StatusFlips the changes the source applied.
+	Notifications int `json:"notifications"`
+	StatusFlips   int `json:"status_flips"`
+	// DurationSeconds is the flow's active virtual time;
+	// LifetimeSeconds the system lifetime its run observed.
+	DurationSeconds float64 `json:"duration_s"`
+	LifetimeSeconds float64 `json:"lifetime_s"`
+	// PathNodes counts nodes on the flow path.
+	PathNodes int `json:"path_nodes"`
+	// PacketsEmitted/PacketsDropped count data packets on the air and
+	// lost; DeliveryRatio is the delivered fraction.
+	PacketsEmitted int     `json:"packets_emitted"`
+	PacketsDropped int     `json:"packets_dropped"`
+	DeliveryRatio  float64 `json:"delivery_ratio"`
+}
+
+// ChannelStats reports the radio medium's counters on the wire.
+type ChannelStats struct {
+	// Unicasts and Broadcasts count transmissions; Delivered per-receiver
+	// handoffs.
+	Unicasts   uint64 `json:"unicasts"`
+	Broadcasts uint64 `json:"broadcasts"`
+	Delivered  uint64 `json:"delivered"`
+	// RangeDrops, DeadDrops, FaultDrops classify lost transmissions.
+	RangeDrops uint64 `json:"range_drops"`
+	DeadDrops  uint64 `json:"dead_drops"`
+	FaultDrops uint64 `json:"fault_drops"`
+}
+
+// TransportStats reports the retry/ack transport's counters on the wire
+// (all zero on the ideal channel).
+type TransportStats struct {
+	// Retransmits, Acks, DupAcks, DupData count hop-level transport
+	// activity.
+	Retransmits uint64 `json:"retransmits"`
+	Acks        uint64 `json:"acks"`
+	DupAcks     uint64 `json:"dup_acks"`
+	DupData     uint64 `json:"dup_data"`
+	// LinkBreaks counts retry exhaustions; RouteRepairs successful
+	// re-plans.
+	LinkBreaks   uint64 `json:"link_breaks"`
+	RouteRepairs uint64 `json:"route_repairs"`
+}
+
+// MetricsSample is one time-series point on the wire (cumulative
+// counters as of AtSeconds of simulated time).
+type MetricsSample struct {
+	// AtSeconds is the simulated sample time.
+	AtSeconds float64 `json:"t"`
+	// TxJoules, MoveJoules, ControlJoules, RxJoules decompose cumulative
+	// energy by category.
+	TxJoules      float64 `json:"tx_j"`
+	MoveJoules    float64 `json:"move_j"`
+	ControlJoules float64 `json:"control_j"`
+	RxJoules      float64 `json:"rx_j"`
+	// ResidualMinJoules and ResidualMeanJoules summarize the residual
+	// battery distribution; AliveNodes counts live nodes.
+	ResidualMinJoules  float64 `json:"residual_min_j"`
+	ResidualMeanJoules float64 `json:"residual_mean_j"`
+	AliveNodes         int     `json:"alive"`
+	// DeliveredPackets, DroppedPackets, Retransmits count cumulative
+	// packet outcomes.
+	DeliveredPackets uint64 `json:"delivered_pkts"`
+	DroppedPackets   uint64 `json:"dropped_pkts"`
+	Retransmits      uint64 `json:"retransmits"`
+}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRaceCoalescedSubmissions is the exactly-once execution contract
+// under contention: 64 goroutines submit the identical scenario
+// concurrently, the underlying simulation executes exactly once
+// (counted via the JobStarted hook), every submission resolves to the
+// same job id, and every final body is byte-identical.
+func TestRaceCoalescedSubmissions(t *testing.T) {
+	var executed atomic.Int64
+	_, ts := newTestServer(t, Config{
+		Workers: 4, QueueDepth: 64,
+		Hooks: Hooks{JobStarted: func(string, string) { executed.Add(1) }},
+	})
+
+	const n = 64
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(e2eScenario))
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+				t.Errorf("submit %d: HTTP %d: %s", i, resp.StatusCode, body)
+				return
+			}
+			var env Envelope
+			if err := json.Unmarshal(body, &env); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			ids[i] = env.ID
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < n; i++ {
+		if ids[i] != ids[0] {
+			t.Fatalf("submission %d got job %q, submission 0 got %q", i, ids[i], ids[0])
+		}
+	}
+	env, refBody := pollTerminal(t, ts.URL, ids[0])
+	if env.Status != StatusDone {
+		t.Fatalf("job ended %s: %s", env.Status, env.Error)
+	}
+	if got := executed.Load(); got != 1 {
+		t.Fatalf("simulation executed %d times, want exactly 1", got)
+	}
+
+	// Every caller — late poller or fresh cache-hit submitter — reads
+	// the same bytes.
+	var wg2 sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg2.Add(1)
+		go func(i int) {
+			defer wg2.Done()
+			var body []byte
+			if i%2 == 0 {
+				resp, err := http.Get(ts.URL + "/v1/jobs/" + ids[0])
+				if err != nil {
+					t.Errorf("get %d: %v", i, err)
+					return
+				}
+				defer resp.Body.Close()
+				body, _ = io.ReadAll(resp.Body)
+			} else {
+				resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(e2eScenario))
+				if err != nil {
+					t.Errorf("resubmit %d: %v", i, err)
+					return
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("resubmit %d: HTTP %d, want 200 cache hit", i, resp.StatusCode)
+				}
+				body, _ = io.ReadAll(resp.Body)
+			}
+			if !bytes.Equal(body, refBody) {
+				t.Errorf("reader %d saw different bytes", i)
+			}
+		}(i)
+	}
+	wg2.Wait()
+	if got := executed.Load(); got != 1 {
+		t.Fatalf("cache hits re-executed the simulation: %d executions", got)
+	}
+}
+
+// TestRaceMixedWorkload hammers the server with distinct scenarios,
+// duplicate submissions, polls, cancels, and healthz probes at once —
+// the data-race net for the queue/pool/cache interlock.
+func TestRaceMixedWorkload(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 128})
+	const n = 24
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			doc := strings.Replace(e2eScenario, `"e2e-chain"`, fmt.Sprintf("%q", fmt.Sprintf("mix%d", i%6)), 1)
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(doc))
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			var env Envelope
+			if err := json.Unmarshal(body, &env); err != nil || env.ID == "" {
+				t.Errorf("submit %d: bad envelope %s", i, body)
+				return
+			}
+			switch i % 3 {
+			case 0:
+				env, _ := pollTerminal(t, ts.URL, env.ID)
+				if env.Status != StatusDone && env.Status != StatusCanceled {
+					t.Errorf("job %s ended %s: %s", env.ID, env.Status, env.Error)
+				}
+			case 1:
+				req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+env.ID, nil)
+				dresp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Errorf("cancel %d: %v", i, err)
+					return
+				}
+				dresp.Body.Close()
+			default:
+				resp, err := http.Get(ts.URL + "/healthz")
+				if err != nil {
+					t.Errorf("healthz %d: %v", i, err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+}

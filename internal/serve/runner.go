@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+)
+
+// runJob executes a job's scenario under ctx and returns the wire result
+// plus the captured trace bytes (nil unless the scenario set
+// output.trace). Trials run sequentially on the calling worker — the
+// pool is the source of parallelism — so a canceled job's partial
+// result is the deterministic prefix of the full one. Errors mean the
+// job failed (bad build, trace write failure); cancellation is not an
+// error.
+func runJob(ctx context.Context, spec *scenario.Scenario) (*Result, []byte, error) {
+	trials := spec.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	out := &Result{Scenario: spec.Name, Trials: trials, Runs: []RunResult{}}
+	var traceBytes []byte
+	for i := 0; i < trials; i++ {
+		// Trial 0 runs even when ctx is already canceled: RunContext's
+		// precanceled path yields the deterministic initial-state partial
+		// result, which is more useful than an empty run list.
+		if i > 0 && ctx.Err() != nil {
+			out.Canceled = true
+			break
+		}
+		tspec := trialSpec(spec, i, trials)
+		var opts []scenario.BuildOption
+		var jw *trace.JSONLWriter
+		var traceBuf bytes.Buffer
+		if spec.Output != nil && spec.Output.Trace {
+			jw = trace.NewJSONLWriter(&traceBuf)
+			opts = append(opts, scenario.WithSink(jw))
+		}
+		if spec.Output != nil && spec.Output.SampleIntervalS > 0 {
+			opts = append(opts, scenario.WithSampleInterval(spec.Output.SampleIntervalS))
+		}
+		world, _, err := tspec.Build(opts...)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trial %d: %w", i, err)
+		}
+		res, err := world.RunContext(ctx)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trial %d: %w", i, err)
+		}
+		if jw != nil {
+			if werr := jw.Err(); werr != nil {
+				return nil, nil, fmt.Errorf("trial %d: trace export: %w", i, werr)
+			}
+			traceBytes = traceBuf.Bytes()
+		}
+		out.Runs = append(out.Runs, runResultFrom(tspec.Seed, res))
+		if res.Canceled {
+			out.Canceled = true
+			break
+		}
+	}
+	var total float64
+	for _, r := range out.Runs {
+		total += r.TotalJoules
+		completed := len(r.Flows) > 0
+		for _, f := range r.Flows {
+			completed = completed && f.Completed
+		}
+		if completed {
+			out.Completed++
+		}
+	}
+	if len(out.Runs) > 0 {
+		out.MeanTotalJoules = total / float64(len(out.Runs))
+	}
+	return out, traceBytes, nil
+}
+
+// trialSpec returns the scenario trial i runs: the document itself for
+// single-trial jobs, a copy with SplitMix64-derived placement and fault
+// seeds for trial i of a multi-trial job (so trials are independent yet
+// fully determined by the document).
+func trialSpec(s *scenario.Scenario, i, trials int) *scenario.Scenario {
+	if trials <= 1 {
+		return s
+	}
+	c := *s
+	c.Seed = int64(sweep.DeriveSeed(s.Seed, uint64(i)))
+	if s.Faults != nil {
+		f := *s.Faults
+		f.Seed = int64(sweep.DeriveSeed(s.Faults.Seed, uint64(i)))
+		c.Faults = &f
+	}
+	return &c
+}
+
+// runResultFrom maps one netsim run onto the wire form, mirroring the
+// public imobif.Result conversion field-for-field.
+func runResultFrom(seed int64, res netsim.Result) RunResult {
+	rr := RunResult{
+		Seed:          seed,
+		Flows:         []FlowResult{},
+		TxJoules:      res.Energy.Tx,
+		MoveJoules:    res.Energy.Move,
+		ControlJoules: res.Energy.Control,
+		TotalJoules:   res.Energy.Tx + res.Energy.Move + res.Energy.Control,
+
+		FirstDeathSeconds: float64(res.FirstDeath),
+		DurationSeconds:   float64(res.Duration),
+		Channel: ChannelStats{
+			Unicasts:   res.Medium.Unicasts,
+			Broadcasts: res.Medium.Broadcasts,
+			Delivered:  res.Medium.Delivered,
+			RangeDrops: res.Medium.RangeDrops,
+			DeadDrops:  res.Medium.DeadDrops,
+			FaultDrops: res.Medium.FaultDrops,
+		},
+		Transport: TransportStats{
+			Retransmits:  res.Transport.Retransmits,
+			Acks:         res.Transport.Acks,
+			DupAcks:      res.Transport.DupAcks,
+			DupData:      res.Transport.DupData,
+			LinkBreaks:   res.Transport.LinkBreaks,
+			RouteRepairs: res.Transport.RouteRepairs,
+		},
+		ChannelLossRate: res.Faults.LossRate(),
+		Canceled:        res.Canceled,
+	}
+	for _, f := range res.Flows {
+		rr.Flows = append(rr.Flows, FlowResult{
+			Completed:       f.Completed,
+			DeliveredBytes:  f.DeliveredBits / 8,
+			Notifications:   f.Notifications,
+			StatusFlips:     f.StatusFlips,
+			DurationSeconds: float64(f.Duration),
+			LifetimeSeconds: float64(f.Lifetime()),
+			PathNodes:       f.PathLen,
+			PacketsEmitted:  f.PacketsEmitted,
+			PacketsDropped:  f.PacketsDropped,
+			DeliveryRatio:   f.DeliveryRatio(),
+		})
+	}
+	if res.Series != nil {
+		for _, s := range res.Series.Samples {
+			rr.Samples = append(rr.Samples, sampleFrom(s))
+		}
+	}
+	return rr
+}
+
+// sampleFrom maps one internal metrics sample onto the wire form.
+func sampleFrom(s metrics.Sample) MetricsSample {
+	return MetricsSample{
+		AtSeconds:     float64(s.At),
+		TxJoules:      s.Energy.Tx,
+		MoveJoules:    s.Energy.Move,
+		ControlJoules: s.Energy.Control,
+		RxJoules:      s.Energy.Rx,
+
+		ResidualMinJoules:  s.ResidualMin,
+		ResidualMeanJoules: s.ResidualMean,
+		AliveNodes:         s.AliveNodes,
+		DeliveredPackets:   s.DeliveredPackets,
+		DroppedPackets:     s.DroppedPackets,
+		Retransmits:        s.Retransmits,
+	}
+}

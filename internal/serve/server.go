@@ -1,0 +1,338 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/scenario"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field
+// has a sensible default.
+type Config struct {
+	// Workers bounds concurrently running simulations; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet claimed by a worker;
+	// <= 0 means 64. A full queue refuses submissions with 429.
+	QueueDepth int
+	// CacheEntries bounds the completed-job LRU; <= 0 means 128. Failed
+	// and canceled jobs are retained in a separate ring of the same size
+	// (they are poll-able but never served as cache hits).
+	CacheEntries int
+	// RetryAfterSeconds is the Retry-After header value on 429 responses;
+	// <= 0 means 1.
+	RetryAfterSeconds int
+	// Hooks receives job lifecycle callbacks; nil fields are skipped.
+	Hooks Hooks
+}
+
+// Hooks are optional job lifecycle callbacks — the daemon's log lines
+// and the test suite's execution counters. Callbacks run on server
+// goroutines outside the server lock; they must be safe for concurrent
+// use and must not call back into the Server.
+type Hooks struct {
+	// JobQueued fires when a submission creates a new job (coalesced and
+	// cached submissions do not).
+	JobQueued func(id, fingerprint string)
+	// JobStarted fires when a worker begins executing a job — exactly
+	// once per simulation actually executed.
+	JobStarted func(id, fingerprint string)
+	// JobFinished fires when a job reaches a terminal status.
+	JobFinished func(id string, status Status)
+}
+
+// Server is the simulation-as-a-service engine: a FIFO job queue, a
+// bounded worker pool, an in-flight coalescing table, and a completed-job
+// LRU, all keyed by canonical scenario fingerprints. Create one with
+// New, expose it with Handler, stop it with Shutdown.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	jobs     map[string]*job // every poll-able job by id
+	active   map[string]*job // fingerprint → queued/running job
+	cache    *resultCache    // fingerprint → done job
+	uncached []*job          // terminal failed/canceled jobs, FIFO-bounded
+	queue    chan *job
+	draining bool
+	seq      int
+
+	queued  int
+	running int
+	wg      sync.WaitGroup
+}
+
+// New returns a Server with its worker pool started.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 128
+	}
+	if cfg.RetryAfterSeconds <= 0 {
+		cfg.RetryAfterSeconds = 1
+	}
+	s := &Server{
+		cfg:    cfg,
+		jobs:   make(map[string]*job),
+		active: make(map[string]*job),
+		cache:  newResultCache(cfg.CacheEntries),
+		queue:  make(chan *job, cfg.QueueDepth),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// submitOutcome classifies what happened to a submission.
+type submitOutcome int
+
+// Submission outcomes: a new job was queued, the submission coalesced
+// onto an in-flight identical job, the result cache already had the
+// answer, the queue was full, or the server is draining.
+const (
+	outcomeQueued submitOutcome = iota
+	outcomeCoalesced
+	outcomeCached
+	outcomeQueueFull
+	outcomeDraining
+)
+
+// submit resolves a validated scenario against the cache, the in-flight
+// table, and the queue — atomically, so identical concurrent submissions
+// execute exactly once. On outcomeQueued/Coalesced/Cached the returned
+// job is the one the caller should report.
+func (s *Server) submit(spec *scenario.Scenario) (*job, submitOutcome, error) {
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		return nil, 0, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, outcomeDraining, nil
+	}
+	if j, ok := s.cache.get(fp); ok {
+		s.mu.Unlock()
+		return j, outcomeCached, nil
+	}
+	if j, ok := s.active[fp]; ok {
+		s.mu.Unlock()
+		return j, outcomeCoalesced, nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.seq++
+	j := &job{
+		id:          fmt.Sprintf("job-%d", s.seq),
+		fingerprint: fp,
+		spec:        spec,
+		ctx:         ctx,
+		cancel:      cancel,
+		status:      StatusQueued,
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.seq-- // the id was never exposed; reuse it
+		s.mu.Unlock()
+		cancel()
+		return nil, outcomeQueueFull, nil
+	}
+	s.jobs[j.id] = j
+	s.active[fp] = j
+	s.queued++
+	s.mu.Unlock()
+	if h := s.cfg.Hooks.JobQueued; h != nil {
+		h(j.id, fp)
+	}
+	return j, outcomeQueued, nil
+}
+
+// worker claims queued jobs until the queue is closed by Shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runOne(j)
+	}
+}
+
+// runOne executes one claimed job through to a terminal state.
+func (s *Server) runOne(j *job) {
+	s.mu.Lock()
+	if j.status != StatusQueued {
+		// Canceled while queued: cancelLocked already finalized it.
+		s.mu.Unlock()
+		return
+	}
+	j.status = StatusRunning
+	s.queued--
+	s.running++
+	s.mu.Unlock()
+	if h := s.cfg.Hooks.JobStarted; h != nil {
+		h(j.id, j.fingerprint)
+	}
+
+	res, traceBytes, err := runJob(j.ctx, j.spec)
+	status := StatusDone
+	var raw json.RawMessage
+	var errMsg string
+	switch {
+	case err != nil:
+		status = StatusFailed
+		errMsg = err.Error()
+	default:
+		if res.Canceled {
+			status = StatusCanceled
+		}
+		raw, err = json.Marshal(res)
+		if err != nil {
+			status, errMsg, raw = StatusFailed, err.Error(), nil
+		}
+	}
+
+	s.mu.Lock()
+	j.status = status
+	j.errMsg = errMsg
+	j.result = raw
+	j.trace = traceBytes
+	s.running--
+	if s.active[j.fingerprint] == j {
+		delete(s.active, j.fingerprint)
+	}
+	if status == StatusDone {
+		if evicted := s.cache.add(j); evicted != nil {
+			delete(s.jobs, evicted.id)
+		}
+	} else {
+		s.retireLocked(j)
+	}
+	s.mu.Unlock()
+	j.cancel() // release the context's resources
+	if h := s.cfg.Hooks.JobFinished; h != nil {
+		h(j.id, status)
+	}
+}
+
+// retireLocked parks a terminal-but-uncacheable job (failed or canceled)
+// in the bounded FIFO ring, dropping the oldest beyond the cache size.
+func (s *Server) retireLocked(j *job) {
+	s.uncached = append(s.uncached, j)
+	for len(s.uncached) > s.cfg.CacheEntries {
+		old := s.uncached[0]
+		s.uncached = s.uncached[1:]
+		delete(s.jobs, old.id)
+	}
+}
+
+// get returns a job by id.
+func (s *Server) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// cancelJob cancels a job. Queued jobs terminalize immediately; running
+// jobs flip their context and report canceled once the worker observes
+// it (between simulation events, so partial results stay deterministic).
+// Either way the fingerprint is released, so a later identical
+// submission starts fresh instead of coalescing onto a canceled job.
+// It reports whether the job exists and whether JobFinished should fire.
+func (s *Server) cancelJob(id string) (j *job, ok, finished bool) {
+	s.mu.Lock()
+	j, ok = s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false, false
+	}
+	if s.active[j.fingerprint] == j {
+		delete(s.active, j.fingerprint)
+	}
+	if j.status == StatusQueued {
+		j.status = StatusCanceled
+		s.queued--
+		s.retireLocked(j)
+		finished = true
+	}
+	s.mu.Unlock()
+	j.cancel()
+	if finished {
+		if h := s.cfg.Hooks.JobFinished; h != nil {
+			h(j.id, StatusCanceled)
+		}
+	}
+	return j, true, finished
+}
+
+// Shutdown drains the server: new submissions are refused with 503,
+// queued and running jobs are executed to completion, and the worker
+// pool exits. If ctx expires first, the remaining jobs' contexts are
+// canceled — they terminalize promptly as canceled with deterministic
+// partial results — and ctx's error is returned after the pool exits.
+// Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			if !j.status.Terminal() {
+				j.cancel()
+			}
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Stats is a point-in-time snapshot of the server's gauges (the healthz
+// body).
+type Stats struct {
+	// Workers is the pool size; Queued and Running count jobs in those
+	// states; Jobs counts all poll-able jobs; CacheEntries counts cached
+	// results; Draining reports an in-progress Shutdown.
+	Workers      int  `json:"workers"`
+	Queued       int  `json:"queued"`
+	Running      int  `json:"running"`
+	Jobs         int  `json:"jobs"`
+	CacheEntries int  `json:"cache_entries"`
+	Draining     bool `json:"draining"`
+}
+
+// Snapshot returns the server's current gauges.
+func (s *Server) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Workers:      s.cfg.Workers,
+		Queued:       s.queued,
+		Running:      s.running,
+		Jobs:         len(s.jobs),
+		CacheEntries: s.cache.len(),
+		Draining:     s.draining,
+	}
+}
