@@ -1,7 +1,7 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench smoke serve vet doclint observability \
-	benchgate benchgate-quick bench-baseline ci
+.PHONY: build test race fuzz bench smoke serve motion vet doclint \
+	observability benchgate benchgate-quick bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,7 @@ doclint:
 race:
 	$(GO) test -race . ./internal/... -run 'Race|Determinism'
 	$(GO) test -race ./internal/serve/...
+	$(GO) test -race ./internal/motion/
 
 # fuzz gives each fuzzer a short budget; go test accepts one -fuzz
 # target per invocation, hence one run per target.
@@ -38,8 +39,11 @@ bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
 # The benchmarks gated against bench_baseline.txt. Three samples absorb
-# scheduler jitter; benchgate compares best-vs-best per metric.
-GATED_BENCH = BenchmarkSimulationRun$$|BenchmarkSchedulerSteadyState$$|BenchmarkSweep/|BenchmarkServeSubmit$$
+# scheduler jitter; benchgate compares best-vs-best per metric. Only the
+# disabled MotionOverhead rungs are gated — they pin the
+# zero-cost-when-off contract; the active rungs run to the horizon and
+# are too slow (and too scenario-dependent) for a ratchet.
+GATED_BENCH = BenchmarkSimulationRun$$|BenchmarkSchedulerSteadyState$$|BenchmarkSweep/|BenchmarkServeSubmit$$|BenchmarkMotionOverhead/(off|stationary)$$
 GATE_FLAGS  = -run '^$$' -benchmem -count=3
 
 # benchgate is the performance ratchet: rerun the gated benchmarks and
@@ -88,4 +92,16 @@ smoke:
 serve:
 	$(GO) run ./cmd/imobif-served -smoke examples/scenarios/chain.json
 
-ci: vet doclint build test race fuzz smoke serve observability benchgate-quick
+# motion pins the ambient-mobility layer's contracts: the golden
+# stationary fingerprints (a disabled layer is bit-identical to the
+# pre-motion seed), the grid-vs-brute differential under active motion,
+# and a race-built CLI run with every model knob exercised.
+motion:
+	$(GO) test -run 'TestGoldenStationaryMotion|TestGridBruteEquivalenceUnderMotion' ./internal/netsim/
+	$(GO) run -race ./cmd/imobif-sim -nodes 40 -field 800 -flow-kb 64 \
+		-trials 2 -motion random-waypoint -motion-speed-lo 1 -motion-speed-hi 3 \
+		-motion-pause 10 -motion-seed 5 -seed 1
+	$(GO) run -race ./cmd/imobif-sim -nodes 40 -field 800 -flow-kb 64 \
+		-motion rpgm -motion-groups 4 -motion-radius 60 -motion-seed 5 -seed 1
+
+ci: vet doclint build test race fuzz smoke serve motion observability benchgate-quick

@@ -319,6 +319,64 @@ func BenchmarkFaultOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkMotionOverhead quantifies what the ambient-motion layer costs
+// on an end-to-end run, one sub-benchmark per rung of the ladder:
+//
+//   - off: Config.Motion nil — the pre-motion fast path; the world arms
+//     zero movement events.
+//   - stationary: an explicit stationary model — must cost the same as
+//     off (motion.New returns nil; goldens prove bit-identity).
+//   - rwp: random-waypoint at pedestrian speed — every node pays one
+//     movement event per simulated second plus the grid's
+//     cell-crossing re-bucketing.
+//   - rpgm: group mobility — adds the lazy group-reference advance on
+//     top of per-node stepping.
+func BenchmarkMotionOverhead(b *testing.B) {
+	variants := []struct {
+		name   string
+		motion *MotionConfig
+	}{
+		{"off", nil},
+		{"stationary", &MotionConfig{Model: MotionStationary}},
+		{"rwp", &MotionConfig{Model: MotionRandomWaypoint, Seed: 1}},
+		{"rpgm", &MotionConfig{Model: MotionRPGM, Seed: 1}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Motion = v.motion
+			net, err := NewRandomNetwork(cfg, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src, dst, err := net.PickFlowEndpoints(3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var last *Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim, err := NewSimulation(cfg, net)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.AddFlow(src, dst, 10<<20); err != nil {
+					b.Fatal(err)
+				}
+				if last, err = sim.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Ambient motion legitimately breaks the pinned path, so only
+			// the disabled rungs must complete; all report delivery.
+			if v.motion == nil && !last.Flows[0].Completed {
+				b.Fatal("flow did not complete with motion off")
+			}
+			b.ReportMetric(last.Flows[0].DeliveryRatio, "delivery-ratio")
+		})
+	}
+}
+
 // BenchmarkObserverOverhead quantifies what the observability layer costs
 // along the hot path, one sub-benchmark per rung:
 //

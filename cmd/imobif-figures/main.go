@@ -8,6 +8,12 @@
 //	imobif-figures -fig all -flows 100 -seed 1 [-csv outdir]
 //	imobif-figures -fig 6a
 //	imobif-figures -fig ablations
+//	imobif-figures -fig mobility -flows 40
+//
+// The "mobility" extension sweeps the ambient-mobility model library
+// (internal/motion) against the min-energy and max-lifetime strategies
+// and tabulates delivery ratio, system lifetime, and mean residual
+// energy per model (EXPERIMENTS.md "Mobility models").
 package main
 
 import (
@@ -58,7 +64,7 @@ func (o runOpts) params(p experiments.Params) experiments.Params {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 6a, 6b, 6c, 6d, 6e, 6f, 7, 8, ablations, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 6a, 6b, 6c, 6d, 6e, 6f, 7, 8, mobility, ablations, all")
 	flows := flag.Int("flows", 100, "Monte-Carlo flow instances per figure")
 	seed := flag.Int64("seed", 1, "random seed")
 	concurrency := flag.Int("concurrency", 0, "parallel sweep workers (0 = all CPUs, 1 = serial; results are identical either way)")
@@ -106,12 +112,13 @@ func run(fig string, opts runOpts) error {
 		{"6f", fig6Runner("f")},
 		{"7", runFig7},
 		{"8", runFig8},
+		{"mobility", runMobility},
 		{"ablations", runAblations},
 	}
 	start := time.Now()
 	for _, d := range dispatch {
-		if all && d.name == "ablations" {
-			continue // ablations only on request; they multiply runtime
+		if all && (d.name == "ablations" || d.name == "mobility") {
+			continue // extensions only on request; they multiply runtime
 		}
 		if all || fig == d.name {
 			figStart := time.Now()
@@ -297,6 +304,32 @@ func runFig8(opts runOpts) error {
 	reportSweep(res.Sweep)
 	return writeCSV(csvDir, "fig8.csv",
 		[]string{"cu_ratio", "cu_cdf", "inf_ratio", "inf_cdf"}, rows)
+}
+
+func runMobility(opts runOpts) error {
+	p := opts.params(experiments.ParamsMobility())
+	res, err := experiments.RunMobilityModels(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=== Extension: ambient mobility models × strategies (k=%v, energy U[%v,%v] J, %d flows/cell) ===\n",
+		p.K, p.EnergyLo, p.EnergyHi, p.Flows)
+	fmt.Printf("(speeds U[%v,%v] m/s; ambient motion is free-carrier — see EXPERIMENTS.md)\n",
+		p.Motion.SpeedLo, p.Motion.SpeedHi)
+	fmt.Printf("%-16s %-14s %-10s %-10s %-13s %-13s\n",
+		"model", "strategy", "delivery", "completed", "lifetime(s)", "residual(J)")
+	var rows [][]string
+	for _, c := range res.Cells {
+		fmt.Printf("%-16s %-14s %-10.3f %-10.2f %-13.1f %-13.1f\n",
+			c.Model, c.Strategy, c.DeliveryRatio, c.Completed, c.Lifetime, c.MeanResidual)
+		rows = append(rows, []string{
+			c.Model, c.Strategy, f2s(c.DeliveryRatio), f2s(c.Completed),
+			f2s(c.Lifetime), f2s(c.MeanResidual),
+		})
+	}
+	reportSweep(res.Sweep)
+	return writeCSV(opts.csvDir, "mobility.csv",
+		[]string{"model", "strategy", "delivery_ratio", "completed", "lifetime_s", "mean_residual_j"}, rows)
 }
 
 func runAblations(opts runOpts) error {

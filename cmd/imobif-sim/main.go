@@ -10,6 +10,8 @@
 //	imobif-sim -trials 200 -concurrency 0 -compare
 //	imobif-sim -loss 0.1 -retry 5 -retry-timeout 0.2
 //	imobif-sim -loss 0.2 -burst 4 -crash 3 -repair -retry 5 -retry-timeout 0.2
+//	imobif-sim -motion random-waypoint -motion-speed-lo 1 -motion-speed-hi 3
+//	imobif-sim -motion rpgm -motion-groups 4 -motion-radius 80 -motion-charge
 //	imobif-sim -scenario examples/scenarios/chain.json
 //	imobif-sim -trace-out run.trace.jsonl -metrics-out run.metrics.jsonl -sample-interval 0.5
 //	imobif-sim -trials 500 -progress -cpuprofile cpu.pprof
@@ -59,6 +61,17 @@ func main() {
 		repair       = flag.Bool("repair", false, "re-plan flow paths around dead or unreachable relays")
 		faultSeed    = flag.Int64("fault-seed", 1, "seed for the fault injector's private stream and crash choice")
 
+		motionModel    = flag.String("motion", "", "ambient mobility model: stationary (default), random-waypoint, gauss-markov, rpgm")
+		motionInterval = flag.Float64("motion-interval", 1, "ambient movement step period, virtual seconds")
+		motionSpeedLo  = flag.Float64("motion-speed-lo", 0.5, "min ambient node speed, m/s")
+		motionSpeedHi  = flag.Float64("motion-speed-hi", 1.5, "max ambient node speed, m/s")
+		motionPause    = flag.Float64("motion-pause", 0, "random-waypoint pause at each waypoint, seconds")
+		motionAlpha    = flag.Float64("motion-alpha", 0.75, "Gauss-Markov memory parameter in [0,1)")
+		motionGroups   = flag.Int("motion-groups", 4, "RPGM group count")
+		motionRadius   = flag.Float64("motion-radius", 50, "RPGM group cohesion radius, meters")
+		motionSeed     = flag.Int64("motion-seed", 1, "seed for the ambient mobility model's private streams")
+		motionCharge   = flag.Bool("motion-charge", false, "charge node batteries for ambient movement (E_M = k·d, like relay movement)")
+
 		traceOut       = flag.String("trace-out", "", "write the single-run event trace to this file as JSONL (single-run mode only)")
 		metricsOut     = flag.String("metrics-out", "", "write time-resolved run metrics to this file as JSONL (single-run mode only)")
 		sampleInterval = flag.Float64("sample-interval", 1, "metrics sampling period for -metrics-out, virtual seconds")
@@ -78,6 +91,13 @@ func main() {
 		loss: *loss, burst: *burst, crash: *crash, retry: *retry,
 		retryTimeout: *retryTimeout, repair: *repair, seed: *faultSeed,
 	}
+	mo := motionOpts{
+		model: *motionModel, interval: *motionInterval,
+		speedLo: *motionSpeedLo, speedHi: *motionSpeedHi,
+		pause: *motionPause, alpha: *motionAlpha,
+		groups: *motionGroups, radius: *motionRadius,
+		seed: *motionSeed, charge: *motionCharge,
+	}
 	side := fieldSide(*field, *nodes)
 	switch {
 	case *scenFile != "":
@@ -89,7 +109,7 @@ func main() {
 				flowKB: *flowKB, strategy: *strategy, mode: *mode, seed: *seed,
 				compare: *compare, deaths: *deaths,
 				energyLo: *energyLo, energyHi: *energyHi,
-				index: *index, faults: fo,
+				index: *index, faults: fo, motion: mo,
 			},
 			trials: *trials, concurrency: *concurrency, progress: *progress,
 		})
@@ -99,7 +119,7 @@ func main() {
 			flowKB: *flowKB, strategy: *strategy, mode: *mode, seed: *seed,
 			compare: *compare, deaths: *deaths,
 			energyLo: *energyLo, energyHi: *energyHi,
-			index: *index, faults: fo,
+			index: *index, faults: fo, motion: mo,
 			traceOut: *traceOut, metricsOut: *metricsOut, sampleInterval: *sampleInterval,
 		})
 	}
@@ -154,6 +174,39 @@ func (f faultOpts) config() *imobif.FaultConfig {
 	}
 }
 
+// motionOpts carries the ambient-mobility flags. An empty model means
+// every node stays parked (the layer is absent).
+type motionOpts struct {
+	model            string
+	interval         float64
+	speedLo, speedHi float64
+	pause, alpha     float64
+	groups           int
+	radius           float64
+	seed             int64
+	charge           bool
+}
+
+// config converts the flags to the public motion configuration, or nil
+// when no model was selected so the stationary fast path stays active.
+func (m motionOpts) config() *imobif.MotionConfig {
+	if m.model == "" {
+		return nil
+	}
+	return &imobif.MotionConfig{
+		Model:        m.model,
+		Seed:         m.seed,
+		IntervalSec:  m.interval,
+		SpeedLo:      m.speedLo,
+		SpeedHi:      m.speedHi,
+		PauseSec:     m.pause,
+		Alpha:        m.alpha,
+		Groups:       m.groups,
+		RadiusMeters: m.radius,
+		ChargeEnergy: m.charge,
+	}
+}
+
 type runOpts struct {
 	nodes              int
 	field, rng, k      float64
@@ -164,6 +217,7 @@ type runOpts struct {
 	compare, deaths    bool
 	energyLo, energyHi float64
 	faults             faultOpts
+	motion             motionOpts
 
 	// Observability outputs (single-run mode): JSONL event trace and
 	// sampled run metrics. Empty paths disable them.
@@ -189,6 +243,7 @@ func (o runOpts) config() (imobif.Config, error) {
 	cfg.NeighborIndex = o.index
 	cfg.StopOnFirstDeath = o.deaths
 	cfg.Faults = o.faults.config()
+	cfg.Motion = o.motion.config()
 	return cfg, cfg.Validate()
 }
 

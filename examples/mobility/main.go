@@ -1,0 +1,70 @@
+// Ambient mobility: what node drift does to a pinned relay path.
+//
+// The paper evaluates iMobif on a static deployment — the only movement
+// is the informed repositioning of relays along the flow path. This
+// example turns on the ambient-mobility layer (Config.Motion) and runs
+// the same flow under each model in the library: every node drifts —
+// carried by a person, vehicle, or group — while relays still reposition
+// within the flow. Delivery degrades as drift breaks the pinned path;
+// group mobility (rpgm) keeps neighbors together and so suffers least.
+//
+// Run with:
+//
+//	go run ./examples/mobility
+package main
+
+import (
+	"fmt"
+	"log"
+
+	imobif "repro"
+)
+
+func main() {
+	models := []string{
+		imobif.MotionStationary,
+		imobif.MotionRandomWaypoint,
+		imobif.MotionGaussMarkov,
+		imobif.MotionRPGM,
+	}
+
+	cfg := imobif.DefaultConfig()
+	cfg.Nodes = 60
+	cfg.FieldWidth, cfg.FieldHeight = 800, 800
+	net, err := imobif.NewRandomNetwork(cfg, 3)
+	if err != nil {
+		log.Fatalf("network: %v", err)
+	}
+	src, dst, err := net.PickFlowEndpoints(3)
+	if err != nil {
+		log.Fatalf("endpoints: %v", err)
+	}
+	const flowBytes = 256 << 10
+
+	fmt.Printf("one %d KB flow, %d nodes, informed mobility, pedestrian drift\n\n", flowBytes>>10, cfg.Nodes)
+	fmt.Printf("%-18s %-10s %-11s %-12s\n", "ambient model", "delivery", "completed", "last rx (s)")
+	for _, model := range models {
+		run := cfg
+		run.Motion = &imobif.MotionConfig{
+			Model:   model,
+			Seed:    7,
+			SpeedLo: 0.5,
+			SpeedHi: 1.5,
+		}
+		sim, err := imobif.NewSimulation(run, net)
+		if err != nil {
+			log.Fatalf("%s: simulation: %v", model, err)
+		}
+		if _, err := sim.AddFlow(src, dst, flowBytes); err != nil {
+			log.Fatalf("%s: flow: %v", model, err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			log.Fatalf("%s: run: %v", model, err)
+		}
+		f := res.Flows[0]
+		fmt.Printf("%-18s %-10.3f %-11v %-12.1f\n", model, f.DeliveryRatio, f.Completed, f.DurationSeconds)
+	}
+	fmt.Println("\nthe stationary row is bit-identical to a run without the motion layer;")
+	fmt.Println("see ARCHITECTURE.md \"Ambient mobility\" for the determinism contract.")
+}

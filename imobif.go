@@ -100,6 +100,13 @@ type Config struct {
 	// transport, and route repair around dead relays. Nil keeps the ideal
 	// channel, bit-identical to a build without the fault layer.
 	Faults *FaultConfig
+	// Motion optionally enables the ambient-mobility layer: every node
+	// drifts under the configured model (random waypoint, Gauss-Markov,
+	// or reference-point group mobility), independent of the iMobif
+	// strategy's informed relay movement. Nil (or a stationary model)
+	// arms no movement events, bit-identical to a build without the
+	// layer.
+	Motion *MotionConfig
 }
 
 // DefaultConfig returns the paper's reconstructed evaluation parameters
@@ -190,6 +197,7 @@ func (c Config) netsim() (netsim.Config, error) {
 	cfg.StopOnFirstDeath = c.StopOnFirstDeath
 	cfg.NeighborIndex = spatial.Kind(c.NeighborIndex)
 	cfg.Faults = c.Faults.fault()
+	cfg.Motion = c.Motion.motion(c.FieldWidth, c.FieldHeight)
 	return cfg, nil
 }
 

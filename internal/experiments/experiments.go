@@ -15,6 +15,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/metrics"
 	"repro/internal/mobility"
+	"repro/internal/motion"
 	"repro/internal/netsim"
 	"repro/internal/radio"
 	"repro/internal/routing"
@@ -63,6 +64,11 @@ type Params struct {
 	// MinPathLen rejects flow instances with fewer nodes on the path
 	// (need at least one relay for mobility to matter).
 	MinPathLen int
+	// Motion attaches an ambient-mobility model (see internal/motion):
+	// every node drifts under it, independent of the iMobif strategy's
+	// informed relay movement. Nil or stationary is the classic static
+	// deployment of the paper's own evaluation.
+	Motion *motion.Config
 	// Concurrency is the number of parallel sweep workers (0 = all
 	// CPUs, 1 = serial). Every trial draws its randomness from an
 	// independent (Seed, trialIndex)-derived stream, so results are
@@ -181,6 +187,7 @@ func (p Params) netsimConfig(strat mobility.Strategy, mode netsim.Mode) netsim.C
 	cfg.MaxStep = p.MaxStep
 	cfg.EstimateScale = p.EstimateScale
 	cfg.StopOnFirstDeath = p.StopOnFirstDeath
+	cfg.Motion = p.Motion
 	if p.Planner != nil {
 		cfg.Planner = p.Planner
 	}

@@ -1,0 +1,302 @@
+package motion
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestConfigEnabled(t *testing.T) {
+	cases := []struct {
+		cfg  *Config
+		want bool
+	}{
+		{nil, false},
+		{&Config{}, false},
+		{&Config{Model: ModelStationary}, false},
+		{&Config{Model: ModelRandomWaypoint}, true},
+		{&Config{Model: ModelGaussMarkov}, true},
+		{&Config{Model: ModelRPGM}, true},
+	}
+	for _, c := range cases {
+		if got := c.cfg.Enabled(); got != c.want {
+			t.Errorf("Enabled(%+v) = %v, want %v", c.cfg, got, c.want)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	valid := []*Config{
+		nil,
+		{},
+		{Model: ModelStationary},
+		{Model: ModelRandomWaypoint, FieldW: 100, FieldH: 100},
+		{Model: ModelGaussMarkov, FieldW: 100, FieldH: 100, Alpha: 0.9},
+		{Model: ModelRPGM, FieldW: 100, FieldH: 100, Groups: 2, Radius: 25},
+	}
+	for _, c := range valid {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", c, err)
+		}
+	}
+	invalid := []*Config{
+		{Model: "brownian"},
+		{Model: ModelRandomWaypoint}, // no field
+		{Model: ModelRandomWaypoint, FieldW: 100, FieldH: 100, SpeedLo: -1}, // bad speed
+		{Model: ModelRandomWaypoint, FieldW: 100, FieldH: 100, SpeedLo: 2, SpeedHi: 1},
+		{Model: ModelRandomWaypoint, FieldW: 100, FieldH: 100, Pause: -1},
+		{Model: ModelGaussMarkov, FieldW: 100, FieldH: 100, Alpha: 1},
+		{Model: ModelRPGM, FieldW: 100, FieldH: 100, Groups: -1},
+		{Model: ModelRPGM, FieldW: 100, FieldH: 100, Radius: -5},
+	}
+	for _, c := range invalid {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+}
+
+func TestNewDisabled(t *testing.T) {
+	for _, c := range []*Config{nil, {}, {Model: ModelStationary}} {
+		if m := New(c); m != nil {
+			t.Errorf("New(%+v) = %T, want nil", c, m)
+		}
+	}
+}
+
+func TestStationaryNoop(t *testing.T) {
+	var s Stationary
+	s.Init([]geom.Point{geom.Pt(1, 2)})
+	if got := s.Step(0, geom.Pt(1, 2), 5); got != geom.Pt(1, 2) {
+		t.Fatalf("Stationary.Step moved the node to %v", got)
+	}
+	if s.Name() != ModelStationary {
+		t.Fatalf("Stationary.Name() = %q", s.Name())
+	}
+}
+
+// uniformPositions places n nodes deterministically spread over the field
+// (the models must not depend on any particular initial layout).
+func uniformPositions(n int, w, h float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	for i := range pts {
+		pts[i] = geom.Pt(
+			(float64(i%side)+0.5)*w/float64(side),
+			(float64(i/side)+0.5)*h/float64(side),
+		)
+	}
+	return pts
+}
+
+// run steps every node of the model through `steps` rounds of dt seconds,
+// starting from pts (mutated in place), invoking visit after each round.
+func run(m Model, pts []geom.Point, steps int, dt float64, visit func(round int, pts []geom.Point)) {
+	for r := 0; r < steps; r++ {
+		for id := range pts {
+			pts[id] = m.Step(id, pts[id], dt)
+		}
+		if visit != nil {
+			visit(r, pts)
+		}
+	}
+}
+
+// TestRandomWaypointCenterBias pins the model's signature stationary
+// artifact: long-run node density concentrates toward the field center,
+// so the mean absolute deviation of node coordinates from the center line
+// falls well below the uniform-distribution value of extent/4.
+func TestRandomWaypointCenterBias(t *testing.T) {
+	const (
+		w, h = 1000.0, 1000.0
+		n    = 100
+		dt   = 1.0
+		warm = 400
+		meas = 2000
+	)
+	cfg := &Config{Model: ModelRandomWaypoint, Seed: 7, FieldW: w, FieldH: h, SpeedLo: 5, SpeedHi: 15}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := New(cfg)
+	pts := uniformPositions(n, w, h)
+	m.Init(pts)
+	run(m, pts, warm, dt, nil)
+
+	var sum float64
+	var count int
+	run(m, pts, meas, dt, func(_ int, pts []geom.Point) {
+		for _, p := range pts {
+			if p.X < 0 || p.X > w || p.Y < 0 || p.Y > h {
+				t.Fatalf("node left the field: %v", p)
+			}
+			sum += math.Abs(p.X-w/2) + math.Abs(p.Y-h/2)
+			count += 2
+		}
+	})
+	mad := sum / float64(count)
+	// Uniform would give w/4 = 250; the RWP stationary distribution is
+	// substantially center-heavy (theory gives ≈ 211 for zero pause).
+	if mad >= 235 {
+		t.Fatalf("mean |coord−center| = %.1f, want < 235 (center bias missing)", mad)
+	}
+	if mad < 150 {
+		t.Fatalf("mean |coord−center| = %.1f, implausibly concentrated", mad)
+	}
+}
+
+// TestGaussMarkovVelocityAutocorrelation pins the AR(1) structure: the
+// lag-1 autocorrelation of a node's velocity components must match the
+// configured memory parameter α.
+func TestGaussMarkovVelocityAutocorrelation(t *testing.T) {
+	const (
+		alpha = 0.8
+		dt    = 1.0
+		steps = 20000
+		// A huge field keeps the test node away from boundary
+		// reflections, which would distort the velocity series.
+		w, h = 1e7, 1e7
+	)
+	cfg := &Config{Model: ModelGaussMarkov, Seed: 3, FieldW: w, FieldH: h, SpeedLo: 1, SpeedHi: 3, Alpha: alpha}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := New(cfg)
+	start := geom.Pt(w/2, h/2)
+	m.Init([]geom.Point{start})
+
+	vx := make([]float64, 0, steps)
+	vy := make([]float64, 0, steps)
+	cur := start
+	for i := 0; i < steps; i++ {
+		next := m.Step(0, cur, dt)
+		vx = append(vx, (next.X-cur.X)/dt)
+		vy = append(vy, (next.Y-cur.Y)/dt)
+		cur = next
+	}
+	for name, v := range map[string][]float64{"vx": vx, "vy": vy} {
+		got := lag1Autocorr(v)
+		if math.Abs(got-alpha) > 0.05 {
+			t.Errorf("%s lag-1 autocorrelation = %.3f, want %.2f ± 0.05", name, got, alpha)
+		}
+	}
+}
+
+func lag1Autocorr(v []float64) float64 {
+	var mean float64
+	for _, x := range v {
+		mean += x
+	}
+	mean /= float64(len(v))
+	var num, den float64
+	for i := range v {
+		d := v[i] - mean
+		den += d * d
+		if i > 0 {
+			num += d * (v[i-1] - mean)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// TestRPGMGroupCohesion pins the hard-cohesion invariant: after every
+// step, every node lies within the cohesion radius of its group's
+// reference point (and on the field).
+func TestRPGMGroupCohesion(t *testing.T) {
+	const (
+		w, h   = 800.0, 800.0
+		n      = 60
+		radius = 60.0
+		dt     = 1.0
+		steps  = 1500
+	)
+	cfg := &Config{Model: ModelRPGM, Seed: 11, FieldW: w, FieldH: h,
+		SpeedLo: 2, SpeedHi: 6, Groups: 4, Radius: radius}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := New(cfg).(*RPGM)
+	pts := uniformPositions(n, w, h)
+	m.Init(pts)
+	// Initial placements are arbitrary; give members time to join their
+	// groups, then assert cohesion holds at every subsequent step.
+	run(m, pts, 200, dt, nil)
+	var worst float64
+	run(m, pts, steps, dt, func(_ int, pts []geom.Point) {
+		for id, p := range pts {
+			ref := m.grp[m.group(id)].ref
+			if d := p.Dist(ref); d > worst {
+				worst = d
+			}
+			if p.X < 0 || p.X > w || p.Y < 0 || p.Y > h {
+				t.Fatalf("node %d left the field: %v", id, p)
+			}
+		}
+	})
+	// Field clamping can only pull a node *toward* its (inset) reference
+	// point, so the radius bound is exact up to float noise.
+	if worst > radius+1e-6 {
+		t.Fatalf("worst member distance to reference point = %.3f, want ≤ %.1f", worst, radius)
+	}
+	// Groups must actually cohere, not just satisfy a vacuous bound.
+	if worst < radius/4 {
+		t.Fatalf("worst member distance %.3f suspiciously small — members may not be moving", worst)
+	}
+}
+
+// TestModelDeterminismAndIndependence checks the two halves of the
+// determinism contract for every non-trivial model: (1) two identically
+// configured instances produce identical trajectories; (2) a node's
+// trajectory is unchanged when other nodes stop stepping (death), because
+// each node draws only from its own stream.
+func TestModelDeterminismAndIndependence(t *testing.T) {
+	const (
+		w, h  = 500.0, 500.0
+		n     = 20
+		dt    = 1.0
+		steps = 300
+		watch = 7 // the node whose trajectory we compare
+	)
+	for _, model := range []string{ModelRandomWaypoint, ModelGaussMarkov, ModelRPGM} {
+		cfg := &Config{Model: model, Seed: 99, FieldW: w, FieldH: h, SpeedLo: 1, SpeedHi: 4}
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		trajectory := func(skip func(id int) bool) []geom.Point {
+			m := New(cfg)
+			pts := uniformPositions(n, w, h)
+			m.Init(pts)
+			var traj []geom.Point
+			for r := 0; r < steps; r++ {
+				for id := range pts {
+					if skip != nil && skip(id) {
+						continue
+					}
+					pts[id] = m.Step(id, pts[id], dt)
+				}
+				traj = append(traj, pts[watch])
+			}
+			return traj
+		}
+		full1 := trajectory(nil)
+		full2 := trajectory(nil)
+		// Half the nodes stop stepping, as if they died at t=0. For RPGM
+		// only same-group members share a stream source, and the group
+		// reference advances by total elapsed time, so the watched node
+		// is unaffected either way.
+		sparse := trajectory(func(id int) bool { return id != watch && id%2 == 0 })
+		for i := range full1 {
+			if full1[i] != full2[i] {
+				t.Fatalf("%s: identical runs diverge at step %d: %v vs %v", model, i, full1[i], full2[i])
+			}
+			if full1[i] != sparse[i] {
+				t.Fatalf("%s: node %d's trajectory perturbed by other nodes' deaths at step %d: %v vs %v",
+					model, watch, i, full1[i], sparse[i])
+			}
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/fault"
 	"repro/internal/mobility"
+	"repro/internal/motion"
 	"repro/internal/radio"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -121,6 +122,16 @@ type Config struct {
 	// (golden tests enforce it). Radio.Faults must be left nil; the world
 	// installs its own injector.
 	Faults *fault.Config
+	// Motion, when non-nil and naming a non-stationary model, enables the
+	// ambient-mobility layer: every node drifts under the configured
+	// motion.Model, stepped by per-node recurring events every
+	// Motion.Interval simulated seconds. Nil (or stationary) arms no
+	// events and is guaranteed bit-identical to the pre-motion simulator
+	// (golden tests enforce it). Ambient movement is distinct from — and
+	// composes with — the iMobif Strategy: the strategy decides where
+	// relays *should* go; ambient motion is where the environment carries
+	// everyone regardless.
+	Motion *motion.Config
 	// StopOnFirstDeath ends the run when any node depletes its battery
 	// (lifetime experiments).
 	StopOnFirstDeath bool
@@ -206,6 +217,9 @@ func (c Config) Validate() error {
 		return err
 	}
 	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if err := c.Motion.Validate(); err != nil {
 		return err
 	}
 	if c.Radio.Faults != nil {

@@ -16,13 +16,18 @@ import (
 // event counts — into one FNV-1a fingerprint. The golden constants below
 // were captured before the fault-injection layer existed; the tests assert
 // that a world with Config.Faults == nil still produces bit-identical runs,
-// so the fault hooks provably cost nothing when disabled.
-func goldenWorldFingerprint(t *testing.T, mode Mode) uint64 {
+// so the fault hooks provably cost nothing when disabled. Optional
+// mutators tweak the config before the run (the ambient-motion golden
+// test asserts a disabled motion layer hashes identically).
+func goldenWorldFingerprint(t *testing.T, mode Mode, mutate ...func(*Config)) uint64 {
 	t.Helper()
 	cfg := DefaultConfig()
 	cfg.Mode = mode
 	tracer := trace.New(1 << 20)
 	cfg.Tracer = tracer
+	for _, m := range mutate {
+		m(&cfg)
+	}
 
 	src := stats.NewSource(42)
 	pts := topo.PlaceUniform(src, 60, 800, 800)

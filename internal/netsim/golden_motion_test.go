@@ -1,0 +1,79 @@
+package netsim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/motion"
+	"repro/internal/spatial"
+)
+
+// TestGoldenStationaryMotion asserts the ambient-motion layer's
+// layer-absent-when-disabled contract: a world configured with a nil,
+// empty, or explicitly stationary motion model runs bit-identically to
+// the pre-motion seed — the same golden fingerprints the fault layer is
+// held to. A disabled layer arms zero events, so it provably costs
+// nothing.
+func TestGoldenStationaryMotion(t *testing.T) {
+	configs := map[string]*motion.Config{
+		"nil":        nil,
+		"empty":      {},
+		"stationary": {Model: motion.ModelStationary, Seed: 99, SpeedLo: 1, SpeedHi: 2},
+	}
+	golden := map[Mode]uint64{
+		ModeInformed:    goldenInformedFingerprint,
+		ModeCostUnaware: goldenCostUnawareFingerprint,
+	}
+	for name, mc := range configs {
+		for mode, want := range golden {
+			got := goldenWorldFingerprint(t, mode, func(cfg *Config) { cfg.Motion = mc })
+			if got != want {
+				t.Errorf("motion=%s mode=%v: fingerprint %#x, want %#x (disabled motion layer perturbed the run)",
+					name, mode, got, want)
+			}
+		}
+	}
+}
+
+// TestGridBruteEquivalenceUnderMotion extends the spatial differential
+// test to worlds with an active ambient-motion model: every node drifts
+// each second, exercising the grid's incremental re-bucketing on cell
+// crossings. Full runs must stay bit-for-bit identical between the grid
+// and the brute-force reference scan.
+func TestGridBruteEquivalenceUnderMotion(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xA0B1))
+	models := []string{motion.ModelRandomWaypoint, motion.ModelGaussMarkov, motion.ModelRPGM}
+	for _, model := range models {
+		for trial := 0; trial < 3; trial++ {
+			n := 12 + rng.Intn(24)
+			pts := make([]geom.Point, n)
+			for i := range pts {
+				pts[i] = geom.Pt(rng.Float64()*600, rng.Float64()*600)
+			}
+			cfg := DefaultConfig()
+			cfg.Mode = ModeInformed
+			cfg.Motion = &motion.Config{
+				Model:   model,
+				Seed:    int64(trial + 1),
+				FieldW:  600,
+				FieldH:  600,
+				SpeedLo: 2,
+				SpeedHi: 6,
+			}
+			grid, okG := runScenario(t, cfg, spatial.KindGrid, pts, 0, 1, 4e5)
+			brute, okB := runScenario(t, cfg, spatial.KindBrute, pts, 0, 1, 4e5)
+			if okG != okB {
+				t.Fatalf("model=%s trial=%d: grid routable=%v brute routable=%v", model, trial, okG, okB)
+			}
+			if !okG {
+				continue
+			}
+			if !reflect.DeepEqual(grid, brute) {
+				t.Errorf("model=%s trial=%d: grid and brute results diverge under motion\ngrid:  %+v\nbrute: %+v",
+					model, trial, grid, brute)
+			}
+		}
+	}
+}

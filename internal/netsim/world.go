@@ -12,6 +12,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/hello"
 	"repro/internal/metrics"
+	"repro/internal/motion"
 	"repro/internal/radio"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -94,12 +95,20 @@ type World struct {
 	lastActivity sim.Time
 	started      bool
 
-	// emitFn, markDeadFn, and markAliveFn are the world's long-lived
-	// scheduler callbacks (sim.Func): recurring events schedule them with
-	// a per-event argument instead of allocating a closure per event.
+	// motionModel drives ambient (environment) mobility when
+	// Config.Motion enables it; nil means the layer is absent — no
+	// per-node movement events are ever armed, keeping the default run
+	// bit-identical to the pre-motion simulator.
+	motionModel motion.Model
+
+	// emitFn, markDeadFn, markAliveFn, and motionFn are the world's
+	// long-lived scheduler callbacks (sim.Func): recurring events schedule
+	// them with a per-event argument instead of allocating a closure per
+	// event.
 	emitFn      sim.Func
 	markDeadFn  sim.Func
 	markAliveFn sim.Func
+	motionFn    sim.Func
 	// syncRadio records that the radio delivers synchronously (zero
 	// bandwidth): messages are fully consumed before a send returns, so
 	// packet and beacon boxes can be pooled instead of allocated per hop.
@@ -226,6 +235,11 @@ func NewWorld(cfg Config, positions []geom.Point, energies []float64) (*World, e
 	w.emitFn = func(arg any) { w.emit(arg.(*flowRuntime)) }
 	w.markDeadFn = func(arg any) { w.markDead(arg.(*node)) }
 	w.markAliveFn = func(arg any) { w.markAlive(arg.(*node)) }
+	w.motionFn = func(arg any) { w.ambientStep(arg.(*node)) }
+	if m := motion.New(cfg.Motion); m != nil {
+		m.Init(positions)
+		w.motionModel = m
+	}
 	for i, pos := range positions {
 		if energies[i] < 0 {
 			return nil, fmt.Errorf("netsim: negative energy %v for node %d", energies[i], i)
@@ -494,6 +508,18 @@ func (w *World) RunContext(ctx context.Context) (Result, error) {
 		}
 	}
 
+	// Arm ambient mobility: one recurring movement event per node, first
+	// firing one interval in (positions at t=0 are the placement). With
+	// the layer disabled no events exist at all.
+	if w.motionModel != nil {
+		interval := sim.Time(w.cfg.Motion.StepInterval())
+		for _, n := range w.nodes {
+			if _, err := w.sched.AtArg(interval, w.motionFn, n); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+
 	// Arm scheduled failures and recoveries.
 	for _, f := range w.failures {
 		if _, err := w.sched.AtArg(f.at, w.markDeadFn, w.nodes[f.node]); err != nil {
@@ -752,6 +778,46 @@ func (w *World) markAlive(n *node) {
 		return
 	}
 	n.lastAdvert = *b
+}
+
+// ambientStep advances one node under the ambient mobility model and
+// reschedules the node's next movement event. Dead nodes skip the step
+// (their model stream freezes; per-node streams mean nobody else's
+// trajectory shifts) but keep their event armed so a recovered node
+// resumes drifting. Movement charges the battery only when
+// Motion.ChargeBattery is set, using the same locomotion model and energy
+// category as iMobif relay movement.
+func (w *World) ambientStep(n *node) {
+	interval := sim.Time(w.cfg.Motion.StepInterval())
+	_, _ = w.sched.AfterArg(interval, w.motionFn, n)
+	if n.dead {
+		return
+	}
+	next := w.motionModel.Step(n.id, n.pos, float64(interval))
+	d := n.pos.Dist(next)
+	if d < geom.Epsilon {
+		return
+	}
+	if w.cfg.Motion.ChargeBattery {
+		cost := w.cfg.Mobility.MoveEnergy(d)
+		if cost > 0 && !n.battery.CanDraw(cost) {
+			// Drift as far as the battery allows, then die.
+			afford := n.battery.Residual() / w.cfg.Mobility.K
+			next, d = geom.StepToward(n.pos, next, afford)
+			cost = n.battery.Residual()
+		}
+		if cost > 0 {
+			if err := n.battery.Draw(cost, energy.CatMove); err != nil {
+				w.noteDepletion(n, err)
+			}
+		}
+		if d < geom.Epsilon {
+			return
+		}
+	}
+	n.pos = next
+	w.index.Move(n.id, n.pos)
+	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindNodeMoved, Node: n.id, Pos: n.pos})
 }
 
 // repairAroundDead re-plans every unfinished flow whose pinned path uses

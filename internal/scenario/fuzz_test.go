@@ -12,7 +12,7 @@ import (
 // (Load validates before returning) or yields an error. The example
 // scenarios shipped in the repo seed the corpus.
 func FuzzScenarioJSON(f *testing.F) {
-	for _, name := range []string{"chain.json", "lifetime.json"} {
+	for _, name := range []string{"chain.json", "lifetime.json", "mobility.json"} {
 		if data, err := os.ReadFile(filepath.Join("..", "..", "examples", "scenarios", name)); err == nil {
 			f.Add(string(data))
 		}
@@ -30,6 +30,9 @@ func FuzzScenarioJSON(f *testing.F) {
 	f.Add(`{"faults":{"loss_p":0.1,"retry_limit":3}}`)
 	f.Add(`{"faults":{"crashes":[{"node":-1,"at_s":-2,"recover_at_s":1}]}}`)
 	for _, seed := range jobSpecSeeds {
+		f.Add(seed)
+	}
+	for _, seed := range motionSpecSeeds {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, data string) {
@@ -63,6 +66,32 @@ var jobSpecSeeds = []string{
 	`{"output":{}}`,
 }
 
+// motionSpecSeeds exercises the ambient-mobility "motion" spec: the
+// three non-trivial models with their knobs, field defaulting from
+// random_nodes, and the invalid shapes Validate must refuse.
+var motionSpecSeeds = []string{
+	`{"random_nodes":{"count":10,"field_w":500,"field_h":500,"energy_lo":100,"energy_hi":200},` +
+		`"flows":[{"src":0,"dst":9,"length_kb":4}],` +
+		`"motion":{"model":"random-waypoint","seed":3,"interval_s":2,"speed_lo":1,"speed_hi":4,"pause_s":5}}`,
+	`{"random_nodes":{"count":10,"field_w":500,"field_h":500,"energy_lo":100,"energy_hi":200},` +
+		`"flows":[{"src":0,"dst":9,"length_kb":4}],` +
+		`"motion":{"model":"gauss-markov","alpha":0.9,"charge_energy":true}}`,
+	`{"random_nodes":{"count":12,"field_w":600,"field_h":400,"energy_lo":100,"energy_hi":200},` +
+		`"flows":[{"src":0,"dst":11,"length_kb":4}],` +
+		`"motion":{"model":"rpgm","groups":3,"radius_m":80}}`,
+	`{"nodes":[{"x":0,"y":0,"joules":10},{"x":50,"y":0,"joules":10}],"flows":[{"src":0,"dst":1,"length_kb":1}],` +
+		`"motion":{"model":"random-waypoint","field_w":200,"field_h":200}}`,
+	`{"nodes":[{"x":0,"y":0,"joules":10},{"x":50,"y":0,"joules":10}],"flows":[{"src":0,"dst":1,"length_kb":1}],` +
+		`"motion":{"model":"stationary"}}`,
+	// Invalid: non-stationary model with no field to default from.
+	`{"nodes":[{"x":0,"y":0,"joules":10},{"x":50,"y":0,"joules":10}],"flows":[{"src":0,"dst":1,"length_kb":1}],` +
+		`"motion":{"model":"random-waypoint"}}`,
+	`{"motion":{"model":"teleport"}}`,
+	`{"motion":{"model":"gauss-markov","alpha":1.5,"field_w":100,"field_h":100}}`,
+	`{"motion":{"model":"rpgm","groups":-2}}`,
+	`{"motion":{"model":"random-waypoint","speed_lo":5,"speed_hi":1,"field_w":100,"field_h":100}}`,
+}
+
 // FuzzScenarioFingerprint fuzzes the canonical fingerprint: any input
 // Load accepts must fingerprint without panicking, equal scenarios must
 // hash equally (the canonical form re-Loads to the same fingerprint —
@@ -72,6 +101,9 @@ func FuzzScenarioFingerprint(f *testing.F) {
 	f.Add(`{"name":"x","flows":[{"src":0,"dst":1,"length_kb":1}],"nodes":[{"x":0,"y":0,"joules":1},{"x":1,"y":1,"joules":1}]}`)
 	f.Add(`{"seed":7,"random_nodes":{"count":5,"field_w":100,"field_h":100,"energy_lo":1,"energy_hi":2},"flows":[{"src":0,"dst":4,"length_kb":8}]}`)
 	for _, seed := range jobSpecSeeds {
+		f.Add(seed)
+	}
+	for _, seed := range motionSpecSeeds {
 		f.Add(seed)
 	}
 	f.Add(`not json`)

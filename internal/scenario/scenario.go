@@ -16,6 +16,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/mobility"
+	"repro/internal/motion"
 	"repro/internal/netsim"
 	"repro/internal/radio"
 	"repro/internal/sim"
@@ -60,6 +61,10 @@ type Scenario struct {
 	// Faults optionally enables the fault-injection layer (lossy channel,
 	// crash/recovery schedule, retry/ack transport, route repair).
 	Faults *FaultsSpec `json:"faults,omitempty"`
+	// Motion optionally enables the ambient-mobility layer (every node
+	// drifts under a random-waypoint / Gauss-Markov / RPGM model,
+	// independent of the iMobif strategy's informed relay movement).
+	Motion *MotionSpec `json:"motion,omitempty"`
 
 	// Trials asks service runs (imobif-served) to execute the scenario
 	// this many times, trial i under a seed derived from Seed via
@@ -139,6 +144,40 @@ type FaultsSpec struct {
 	RouteRepair bool `json:"route_repair,omitempty"`
 	// Crashes schedules node outages with optional recovery.
 	Crashes []CrashSpec `json:"crashes,omitempty"`
+}
+
+// MotionSpec configures the ambient-mobility layer (internal/motion).
+type MotionSpec struct {
+	// Model is "stationary" (default), "random-waypoint", "gauss-markov",
+	// or "rpgm".
+	Model string `json:"model"`
+	// Seed seeds the model's private random streams (the scenario's
+	// top-level seed is for placement, not motion).
+	Seed int64 `json:"seed,omitempty"`
+	// IntervalS is the movement-step period in simulated seconds
+	// (default 1).
+	IntervalS float64 `json:"interval_s,omitempty"`
+	// SpeedLo and SpeedHi bound node speed draws in m/s (default
+	// [0.5, 1.5]).
+	SpeedLo float64 `json:"speed_lo,omitempty"`
+	SpeedHi float64 `json:"speed_hi,omitempty"`
+	// PauseS is the random-waypoint pause at each waypoint, seconds.
+	PauseS float64 `json:"pause_s,omitempty"`
+	// Alpha is the Gauss-Markov memory parameter in [0, 1) (default 0.75).
+	Alpha float64 `json:"alpha,omitempty"`
+	// Groups is the RPGM group count (default 4).
+	Groups int `json:"groups,omitempty"`
+	// RadiusM is the RPGM cohesion radius in meters (default 50).
+	RadiusM float64 `json:"radius_m,omitempty"`
+	// FieldW and FieldH bound the motion field in meters. They default to
+	// the random_nodes field; explicit-node scenarios must set them for
+	// any non-stationary model.
+	FieldW float64 `json:"field_w,omitempty"`
+	FieldH float64 `json:"field_h,omitempty"`
+	// ChargeEnergy charges batteries for ambient movement with the
+	// locomotion model E_M(d) = k·d (same accounting as iMobif relay
+	// movement). Default off: ambient motion models a free carrier.
+	ChargeEnergy bool `json:"charge_energy,omitempty"`
 }
 
 // CrashSpec is one scheduled node outage.
@@ -263,6 +302,11 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("scenario: %w", err)
 		}
 	}
+	if s.Motion != nil {
+		if err := s.motionConfig().Validate(); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
 	if s.Trials < 0 {
 		return fmt.Errorf("scenario: negative trials %d", s.Trials)
 	}
@@ -278,6 +322,46 @@ func (s *Scenario) Validate() error {
 		}
 	}
 	return nil
+}
+
+// config converts the JSON spec to the motion layer's configuration,
+// defaulting the field to (defaultW, defaultH) — the random_nodes field
+// when present. A nil spec maps to a nil config (ambient motion off).
+func (m *MotionSpec) config(defaultW, defaultH float64) *motion.Config {
+	if m == nil {
+		return nil
+	}
+	cfg := &motion.Config{
+		Model:         m.Model,
+		Seed:          m.Seed,
+		Interval:      m.IntervalS,
+		FieldW:        m.FieldW,
+		FieldH:        m.FieldH,
+		SpeedLo:       m.SpeedLo,
+		SpeedHi:       m.SpeedHi,
+		Pause:         m.PauseS,
+		Alpha:         m.Alpha,
+		Groups:        m.Groups,
+		Radius:        m.RadiusM,
+		ChargeBattery: m.ChargeEnergy,
+	}
+	if cfg.FieldW == 0 {
+		cfg.FieldW = defaultW
+	}
+	if cfg.FieldH == 0 {
+		cfg.FieldH = defaultH
+	}
+	return cfg
+}
+
+// motionConfig resolves the scenario's motion spec against its deployment
+// field.
+func (s *Scenario) motionConfig() *motion.Config {
+	var w, h float64
+	if s.RandomNodes != nil {
+		w, h = s.RandomNodes.FieldW, s.RandomNodes.FieldH
+	}
+	return s.Motion.config(w, h)
 }
 
 // config converts the JSON spec to the fault layer's configuration. A nil
@@ -363,6 +447,7 @@ func (s *Scenario) Build(opts ...BuildOption) (*netsim.World, []netsim.NodeID, e
 	cfg.EstimateScale = s.EstimateScale
 	cfg.StopOnFirstDeath = s.StopOnFirstDeath
 	cfg.Faults = s.Faults.config()
+	cfg.Motion = s.motionConfig()
 	for _, opt := range opts {
 		opt(&cfg)
 	}

@@ -143,6 +143,12 @@ type Grid struct {
 	// iterating empty space. They only grow; stale slack is harmless.
 	minC, maxC cellKey
 	hasBounds  bool
+	// rebuckets counts relocations across cell boundaries. Moves within a
+	// cell update the bucketed position in place and do not count — the
+	// invariant that keeps high-frequency small-step mobility (ambient
+	// motion at ~1 m/s against radio-range-sized cells) O(1) map-free on
+	// the common path.
+	rebuckets uint64
 }
 
 var _ Index = (*Grid)(nil)
@@ -164,6 +170,13 @@ func NewGrid(cellSize float64) (*Grid, error) {
 // CellSize returns the grid's cell side length.
 func (g *Grid) CellSize() float64 { return g.cell }
 
+// Rebuckets returns how many Insert/Move calls relocated an existing id
+// across a cell boundary. Within-cell moves are updated in place and do
+// not count; the ambient-mobility layer relies on this (a node stepping
+// ~1 m against 200 m cells re-buckets roughly once per 200 steps), and
+// the 100k-node scaling work will budget against this counter.
+func (g *Grid) Rebuckets() uint64 { return g.rebuckets }
+
 // keyOf returns the cell containing p.
 func (g *Grid) keyOf(p geom.Point) cellKey {
 	return cellKey{
@@ -181,6 +194,7 @@ func (g *Grid) Insert(id int, p geom.Point) {
 			g.cells[k][slot.idx].pos = p
 			return
 		}
+		g.rebuckets++
 		g.unbucket(slot)
 	}
 	bucket := g.cells[k]

@@ -197,6 +197,45 @@ func TestMoveAcrossCellBoundary(t *testing.T) {
 	}
 }
 
+// TestRebucketOnlyOnCellCrossing pins the incremental-maintenance
+// invariant the ambient-mobility layer relies on: moves within a cell
+// update the bucketed position in place, and only a cell-boundary
+// crossing pays the unbucket/rebucket map work.
+func TestRebucketOnlyOnCellCrossing(t *testing.T) {
+	const cell = 200.0
+	g, err := NewGrid(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Insert(0, geom.Pt(50, 50))
+	if got := g.Rebuckets(); got != 0 {
+		t.Fatalf("fresh insert counted as rebucket: %d", got)
+	}
+	// 100 small steps inside cell (0,0): no rebucketing.
+	for i := 0; i < 100; i++ {
+		g.Move(0, geom.Pt(50+float64(i), 50))
+	}
+	if got := g.Rebuckets(); got != 0 {
+		t.Fatalf("within-cell moves rebucketed %d times, want 0", got)
+	}
+	// Cross into cell (1,0): exactly one rebucket.
+	g.Move(0, geom.Pt(250, 50))
+	if got := g.Rebuckets(); got != 1 {
+		t.Fatalf("cell crossing rebucketed %d times, want 1", got)
+	}
+	// Move back within the new cell: still one.
+	g.Move(0, geom.Pt(399, 50))
+	if got := g.Rebuckets(); got != 1 {
+		t.Fatalf("within-cell move after crossing rebucketed: %d", got)
+	}
+	// Removal and re-insert are not rebuckets either.
+	g.Remove(0)
+	g.Insert(0, geom.Pt(50, 50))
+	if got := g.Rebuckets(); got != 1 {
+		t.Fatalf("remove+insert counted as rebucket: %d", got)
+	}
+}
+
 func TestRemoveAbsentAndEmptyQueries(t *testing.T) {
 	g, b := newPair(t, 50)
 	g.Remove(9)

@@ -57,6 +57,9 @@ func (s *Source) Exp(mean float64) float64 {
 	return s.rng.ExpFloat64() * mean
 }
 
+// Norm returns a standard normal variate (mean 0, standard deviation 1).
+func (s *Source) Norm() float64 { return s.rng.NormFloat64() }
+
 // Perm returns a random permutation of [0, n).
 func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
 

@@ -1,0 +1,80 @@
+package imobif
+
+// The public ambient-mobility surface: MotionConfig selects and
+// parameterizes a motion model from internal/motion. Ambient motion is
+// the environment's movement — every node drifts under the model,
+// independent of (and composing with) the iMobif strategy's informed
+// relay movement. Attach one via Config.Motion; nil (or
+// MotionStationary) keeps every node parked, bit-identical to a build
+// without the layer.
+
+import "repro/internal/motion"
+
+// Motion model names for MotionConfig.Model.
+const (
+	// MotionStationary parks every node (the default).
+	MotionStationary = motion.ModelStationary
+	// MotionRandomWaypoint is the classic random-waypoint model: walk to
+	// a uniform waypoint, pause, repeat.
+	MotionRandomWaypoint = motion.ModelRandomWaypoint
+	// MotionGaussMarkov is the Gauss-Markov model: velocity follows a
+	// first-order autoregressive process with memory Alpha.
+	MotionGaussMarkov = motion.ModelGaussMarkov
+	// MotionRPGM is reference-point group mobility: groups patrol the
+	// field; members orbit their group's reference point within a
+	// cohesion radius.
+	MotionRPGM = motion.ModelRPGM
+)
+
+// MotionConfig parameterizes the ambient-mobility layer (see
+// internal/motion for the underlying models). Zero-valued knobs take the
+// model defaults; the field defaults to Config.FieldWidth/FieldHeight.
+type MotionConfig struct {
+	// Model is one of the Motion* constants. Empty means stationary.
+	Model string
+	// Seed seeds the layer's private deterministic streams (one per node,
+	// plus one per group for MotionRPGM).
+	Seed int64
+	// IntervalSec is the movement-step period in simulated seconds
+	// (default 1).
+	IntervalSec float64
+	// SpeedLo and SpeedHi bound node speed draws in m/s (default
+	// [0.5, 1.5], a pedestrian range).
+	SpeedLo, SpeedHi float64
+	// PauseSec is the random-waypoint pause at each waypoint.
+	PauseSec float64
+	// Alpha is the Gauss-Markov memory parameter in [0, 1) (default
+	// 0.75).
+	Alpha float64
+	// Groups is the RPGM group count (default 4).
+	Groups int
+	// RadiusMeters is the RPGM cohesion radius (default 50).
+	RadiusMeters float64
+	// ChargeEnergy charges node batteries for ambient movement with the
+	// locomotion model E_M(d) = MobilityCost·d — the same accounting as
+	// iMobif relay movement. Default off: ambient motion models a free
+	// carrier (a person or vehicle moving the node).
+	ChargeEnergy bool
+}
+
+// motion converts the public motion configuration to the internal one,
+// defaulting the field to the deployment area.
+func (m *MotionConfig) motion(fieldW, fieldH float64) *motion.Config {
+	if m == nil {
+		return nil
+	}
+	return &motion.Config{
+		Model:         m.Model,
+		Seed:          m.Seed,
+		Interval:      m.IntervalSec,
+		FieldW:        fieldW,
+		FieldH:        fieldH,
+		SpeedLo:       m.SpeedLo,
+		SpeedHi:       m.SpeedHi,
+		Pause:         m.PauseSec,
+		Alpha:         m.Alpha,
+		Groups:        m.Groups,
+		Radius:        m.RadiusMeters,
+		ChargeBattery: m.ChargeEnergy,
+	}
+}
