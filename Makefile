@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench smoke serve motion vet doclint \
+.PHONY: build test race fuzz cover bench smoke serve sweep motion vet doclint \
 	observability benchgate benchgate-quick bench-baseline ci
 
 build:
@@ -25,6 +25,7 @@ doclint:
 race:
 	$(GO) test -race . ./internal/... -run 'Race|Determinism'
 	$(GO) test -race ./internal/serve/...
+	$(GO) test -race ./internal/dsweep/
 	$(GO) test -race ./internal/motion/
 
 # fuzz gives each fuzzer a short budget; go test accepts one -fuzz
@@ -34,6 +35,24 @@ fuzz:
 	$(GO) test -fuzz=FuzzScenarioFingerprint -fuzztime=5s ./internal/scenario/
 	$(GO) test -fuzz=FuzzSeedDerive -fuzztime=5s ./internal/sweep/
 	$(GO) test -fuzz=FuzzSchedulerOps -fuzztime=5s ./internal/sim/
+	$(GO) test -fuzz=FuzzCheckpointManifest -fuzztime=5s ./internal/dsweep/
+
+# cover enforces per-package coverage floors on the packages whose
+# correctness burden is a test suite rather than a golden run: the seed
+# derivation, the service HTTP surface, and the distributed sweep
+# fabric. Floors sit just below current coverage so any substantial
+# untested addition fails here.
+COVER_FLOORS = repro/internal/sweep:88 repro/internal/serve:83 repro/internal/dsweep:80
+
+cover:
+	@for spec in $(COVER_FLOORS); do \
+		pkg=$${spec%:*}; floor=$${spec#*:}; \
+		pct=$$($(GO) test -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage output for $$pkg"; exit 1; fi; \
+		if [ "$$(echo "$$pct $$floor" | awk '{print ($$1 >= $$2)}')" != 1 ]; then \
+			echo "cover: $$pkg coverage $$pct% below floor $$floor%"; exit 1; fi; \
+		echo "cover: $$pkg $$pct% (floor $$floor%)"; \
+	done
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
@@ -92,6 +111,20 @@ smoke:
 serve:
 	$(GO) run ./cmd/imobif-served -smoke examples/scenarios/chain.json
 
+# sweep drives the distributed sweep fabric end-to-end: checkpoint a
+# multi-trial document on a local pool with -verify asserting
+# byte-identity against the serial reference, then resume the completed
+# checkpoint (zero trials re-run) and verify again.
+SWEEP_CKPT = /tmp/imobif-sweep-ci.ckpt
+
+sweep:
+	rm -f $(SWEEP_CKPT)
+	$(GO) run -race ./cmd/imobif-sweep -scenario examples/scenarios/sweep.json \
+		-workers local:2 -checkpoint $(SWEEP_CKPT) -verify
+	$(GO) run ./cmd/imobif-sweep -scenario examples/scenarios/sweep.json \
+		-workers local:2 -checkpoint $(SWEEP_CKPT) -resume -verify
+	rm -f $(SWEEP_CKPT)
+
 # motion pins the ambient-mobility layer's contracts: the golden
 # stationary fingerprints (a disabled layer is bit-identical to the
 # pre-motion seed), the grid-vs-brute differential under active motion,
@@ -104,4 +137,4 @@ motion:
 	$(GO) run -race ./cmd/imobif-sim -nodes 40 -field 800 -flow-kb 64 \
 		-motion rpgm -motion-groups 4 -motion-radius 60 -motion-seed 5 -seed 1
 
-ci: vet doclint build test race fuzz smoke serve motion observability benchgate-quick
+ci: vet doclint build test race fuzz cover smoke serve sweep motion observability benchgate-quick

@@ -43,6 +43,11 @@ type runOpts struct {
 	// paper's density (100 nodes/km²).
 	nodes int
 	field float64
+	// checkpoint journals each figure sweep through the distributed
+	// sweep fabric (one JSONL file per driver in this directory); resume
+	// loads existing checkpoints and re-runs only missing trials.
+	checkpoint string
+	resume     bool
 }
 
 // params applies the sweep-level settings to a figure configuration.
@@ -50,6 +55,8 @@ func (o runOpts) params(p experiments.Params) experiments.Params {
 	p.Flows = o.flows
 	p.Seed = o.seed
 	p.Concurrency = o.concurrency
+	p.Checkpoint = o.checkpoint
+	p.Resume = o.resume
 	if o.nodes > 0 {
 		p.Nodes = o.nodes
 		side := o.field
@@ -71,6 +78,8 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write CSV series into (optional)")
 	nodes := flag.Int("nodes", 0, "override network size (0 = paper's value; pairs with -field)")
 	field := flag.Float64("field", 0, "override square field side in meters (0 with -nodes = auto-scale to the paper's 100 nodes/km²)")
+	checkpoint := flag.String("checkpoint", "", "directory for per-figure sweep checkpoints (crash recovery; figures 6-8)")
+	resume := flag.Bool("resume", false, "resume from existing checkpoints, re-running only missing trials")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -80,7 +89,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "imobif-figures: %v\n", err)
 		os.Exit(1)
 	}
-	opts := runOpts{flows: *flows, seed: *seed, concurrency: *concurrency, csvDir: *csvDir, nodes: *nodes, field: *field}
+	opts := runOpts{
+		flows: *flows, seed: *seed, concurrency: *concurrency, csvDir: *csvDir,
+		nodes: *nodes, field: *field, checkpoint: *checkpoint, resume: *resume,
+	}
 	err = run(*fig, opts)
 	if perr := stopProf(); err == nil {
 		err = perr
@@ -94,6 +106,11 @@ func main() {
 func run(fig string, opts runOpts) error {
 	if opts.csvDir != "" {
 		if err := os.MkdirAll(opts.csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	if opts.checkpoint != "" {
+		if err := os.MkdirAll(opts.checkpoint, 0o755); err != nil {
 			return err
 		}
 	}

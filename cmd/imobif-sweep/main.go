@@ -1,0 +1,173 @@
+// Command imobif-sweep runs a multi-trial scenario document on the
+// distributed sweep fabric (internal/dsweep): a coordinator stripes
+// trials over workers — in-process pool slots and/or remote
+// imobif-served instances — checkpoints every completed trial to an
+// append-only fsync'd JSONL file, and merges per-trial results into
+// aggregates that are byte-identical to a serial run of the same
+// document. A killed or crashed sweep resumes with -resume, re-running
+// only the trials missing from the checkpoint.
+//
+// Usage:
+//
+//	imobif-sweep -scenario doc.json [-trials N] \
+//	    [-workers local:4 | -workers http://host:8080,http://host2:8080,local:2] \
+//	    [-checkpoint sweep.ckpt] [-resume] [-out result.json] [-progress] [-verify]
+//
+// -verify reruns the document serially after the fabric run and asserts
+// the two merged results marshal to identical bytes — the fabric's core
+// contract, checkable on demand.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/dsweep"
+	"repro/internal/scenario"
+)
+
+func main() {
+	var o sweepOpts
+	flag.StringVar(&o.scenario, "scenario", "", "scenario JSON document to sweep (required)")
+	flag.IntVar(&o.trials, "trials", 0, "override the document's trial count (0 = use the document's)")
+	flag.StringVar(&o.workers, "workers", "", "comma-separated workers: local:N and/or imobif-served base URLs (default local:<cpus>)")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "append-only JSONL checkpoint file (enables crash recovery)")
+	flag.BoolVar(&o.resume, "resume", false, "resume from an existing checkpoint, re-running only missing trials")
+	flag.StringVar(&o.out, "out", "", "write the merged result JSON to this file")
+	flag.BoolVar(&o.progress, "progress", false, "print a progress line per completed trial")
+	flag.BoolVar(&o.verify, "verify", false, "re-run serially and assert the merged bytes are identical")
+	flag.Parse()
+	if err := run(os.Stdout, o); err != nil {
+		fmt.Fprintf(os.Stderr, "imobif-sweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// sweepOpts carries the CLI flags into run.
+type sweepOpts struct {
+	scenario   string
+	trials     int
+	workers    string
+	checkpoint string
+	resume     bool
+	out        string
+	progress   bool
+	verify     bool
+}
+
+// run executes the sweep and reports in the CLI's pinned line format
+// (see main_test.go — scripts parse these lines, so the shape is
+// load-bearing).
+func run(w io.Writer, o sweepOpts) error {
+	if o.scenario == "" {
+		return errors.New("missing -scenario (a JSON document; see examples/scenarios/)")
+	}
+	spec, err := scenario.LoadFile(o.scenario)
+	if err != nil {
+		return err
+	}
+	if o.trials > 0 {
+		spec.Trials = o.trials
+		if err := spec.Validate(); err != nil {
+			return err
+		}
+	}
+	trials := spec.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "sweep: scenario %q fingerprint %.12s trials %d\n", spec.Name, fp, trials)
+
+	workerSpec := o.workers
+	if workerSpec == "" {
+		workerSpec = fmt.Sprintf("local:%d", runtime.GOMAXPROCS(0))
+	}
+	workers, err := dsweep.ParseWorkers(workerSpec)
+	if err != nil {
+		return err
+	}
+	names := make([]string, len(workers))
+	for i, wk := range workers {
+		names[i] = wk.Name()
+	}
+	fmt.Fprintf(w, "workers: %d slot(s): %s\n", len(workers), strings.Join(names, ", "))
+
+	if o.resume && o.checkpoint != "" {
+		if done, terr := countCheckpointed(o.checkpoint); terr == nil {
+			fmt.Fprintf(w, "resume: %d trial(s) from checkpoint, %d to run\n", done, trials-done)
+		}
+	}
+
+	coord := &dsweep.Coordinator{
+		Workers:    workers,
+		Checkpoint: o.checkpoint,
+		Resume:     o.resume,
+	}
+	if o.progress {
+		coord.OnProgress = func(done, total int) {
+			fmt.Fprintf(w, "progress: %d/%d\n", done, total)
+		}
+	}
+	res, stats, err := coord.Run(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "done: %s\n", stats)
+	fmt.Fprintf(w, "completed: %d/%d run(s), mean energy %.2f J\n", res.Completed, len(res.Runs), res.MeanTotalJoules)
+	if o.checkpoint != "" {
+		fmt.Fprintf(w, "checkpoint: %s (%d record(s))\n", o.checkpoint, trials)
+	}
+	body, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	if o.out != "" {
+		if err := os.WriteFile(o.out, append(body, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "result: wrote %s (%d bytes)\n", o.out, len(body)+1)
+	}
+	if o.verify {
+		serial, err := dsweep.Serial(context.Background(), spec)
+		if err != nil {
+			return fmt.Errorf("verify: serial reference: %w", err)
+		}
+		sbody, err := json.Marshal(serial)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(body, sbody) {
+			return fmt.Errorf("verify: merged result differs from the serial reference (%d vs %d bytes)", len(body), len(sbody))
+		}
+		fmt.Fprintf(w, "verify: merged result is byte-identical to the serial reference\n")
+	}
+	return nil
+}
+
+// countCheckpointed returns the number of complete trial records in the
+// checkpoint at path (for the resume banner; the coordinator re-parses
+// authoritatively).
+func countCheckpointed(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	_, records, _, err := dsweep.ParseCheckpoint(f)
+	if err != nil {
+		return 0, err
+	}
+	return len(records), nil
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// fmtPinDoc is a small fast sweep document for the format pins.
+const fmtPinDoc = `{
+  "name": "fmt-pin",
+  "seed": 11,
+  "packet_bytes": 1024,
+  "rate_bytes_per_sec": 2048,
+  "nodes": [
+    {"x": 0, "y": 0, "joules": 5000},
+    {"x": 150, "y": 0, "joules": 5000},
+    {"x": 300, "y": 0, "joules": 5000}
+  ],
+  "flows": [{"src": 0, "dst": 2, "length_kb": 16, "path": [0, 1, 2]}],
+  "faults": {"loss_p": 0.08, "seed": 3, "retry_limit": 4, "retry_timeout_s": 0.5}
+}`
+
+// writeDoc drops fmtPinDoc into a temp dir and returns its path.
+func writeDoc(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "doc.json")
+	if err := os.WriteFile(path, []byte(fmtPinDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// mustMatch asserts out contains a line matching each pattern.
+func mustMatch(t *testing.T, out string, patterns ...string) {
+	t.Helper()
+	for _, re := range patterns {
+		if !regexp.MustCompile(re).MatchString(out) {
+			t.Errorf("output missing line matching %s\noutput:\n%s", re, out)
+		}
+	}
+}
+
+// TestRunSummaryFormat pins the CLI's line format end to end: banner,
+// worker list, per-trial progress, done/completed summary, checkpoint
+// and result echoes, and the -verify verdict. Scripts parse these lines,
+// so the shape is load-bearing.
+func TestRunSummaryFormat(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	o := sweepOpts{
+		scenario:   writeDoc(t),
+		trials:     4,
+		workers:    "local:2",
+		checkpoint: filepath.Join(dir, "ckpt.jsonl"),
+		out:        filepath.Join(dir, "out.json"),
+		progress:   true,
+		verify:     true,
+	}
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	mustMatch(t, out,
+		`(?m)^sweep: scenario "fmt-pin" fingerprint [0-9a-f]{12} trials 4$`,
+		`(?m)^workers: 2 slot\(s\): local:0, local:1$`,
+		`(?m)^progress: 1/4$`,
+		`(?m)^progress: 4/4$`,
+		`(?m)^done: 4 trial\(s\) \(0 resumed, 4 run\) on 2 worker\(s\) in [0-9a-zµ.]+ \([0-9.]+ trials/s\)$`,
+		`(?m)^completed: [0-4]/4 run\(s\), mean energy [0-9]+\.[0-9]{2} J$`,
+		`(?m)^checkpoint: \S+ckpt\.jsonl \(4 record\(s\)\)$`,
+		`(?m)^result: wrote \S+out\.json \([0-9]+ bytes\)$`,
+		`(?m)^verify: merged result is byte-identical to the serial reference$`,
+	)
+	if raw, err := os.ReadFile(o.out); err != nil || len(raw) == 0 {
+		t.Fatalf("result file: %v (%d bytes)", err, len(raw))
+	}
+}
+
+// TestRunResumeFormat pins the resume banner and the resumed accounting
+// in the done line: a completed checkpoint resumes with nothing to run
+// and identical output bytes.
+func TestRunResumeFormat(t *testing.T) {
+	dir := t.TempDir()
+	o := sweepOpts{
+		scenario:   writeDoc(t),
+		trials:     4,
+		workers:    "local:2",
+		checkpoint: filepath.Join(dir, "ckpt.jsonl"),
+		out:        filepath.Join(dir, "first.json"),
+	}
+	if err := run(io.Discard, o); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	o.resume = true
+	o.out = filepath.Join(dir, "second.json")
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	mustMatch(t, buf.String(),
+		`(?m)^resume: 4 trial\(s\) from checkpoint, 0 to run$`,
+		`(?m)^done: 4 trial\(s\) \(4 resumed, 0 run\) on 2 worker\(s\) in [0-9a-zµ.]+ \(0\.0 trials/s\)$`,
+	)
+	first, err := os.ReadFile(filepath.Join(dir, "first.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(o.out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("resumed result differs from the original:\n%s\n%s", first, second)
+	}
+}
+
+func TestRunRejectsMissingScenario(t *testing.T) {
+	if err := run(io.Discard, sweepOpts{}); err == nil {
+		t.Error("missing -scenario should error")
+	}
+}
+
+func TestRunRejectsBadWorkers(t *testing.T) {
+	o := sweepOpts{scenario: writeDoc(t), workers: "carrier-pigeon"}
+	if err := run(io.Discard, o); err == nil {
+		t.Error("bad -workers should error")
+	}
+}
+
+func TestRunRejectsBadTrialsOverride(t *testing.T) {
+	o := sweepOpts{scenario: writeDoc(t), trials: 1 << 30, workers: "local:1"}
+	if err := run(io.Discard, o); err == nil {
+		t.Error("out-of-range -trials should error")
+	}
+}
+
+func TestRunRefusesStaleCheckpointWithoutResume(t *testing.T) {
+	dir := t.TempDir()
+	o := sweepOpts{
+		scenario:   writeDoc(t),
+		trials:     2,
+		workers:    "local:1",
+		checkpoint: filepath.Join(dir, "ckpt.jsonl"),
+	}
+	if err := run(io.Discard, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(io.Discard, o); err == nil {
+		t.Error("rerun without -resume should refuse to clobber the checkpoint")
+	}
+}

@@ -1,0 +1,269 @@
+package dsweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// The checkpoint file is append-only JSONL. The first line is the
+// manifest — the sweep's identity (scenario fingerprint + trial count) —
+// and every later line records one completed trial. Each record is
+// written and fsync'd as a single line, so after a crash the file is a
+// valid prefix of the sweep plus at most one torn final line, which the
+// parser discards. Trial records repeat the fingerprint so a record can
+// never be mistaken for one of a different sweep even if files are
+// concatenated or copied around.
+
+// Record kinds on the checkpoint wire.
+const (
+	kindManifest = "manifest"
+	kindTrial    = "trial"
+)
+
+// checkpointVersion is the format version stamped into the manifest;
+// parsers reject versions they do not understand.
+const checkpointVersion = 1
+
+// Manifest identifies the sweep a checkpoint file belongs to. Resuming
+// validates the manifest on disk against the sweep being resumed, so a
+// checkpoint can never silently feed trials from one parameterization
+// into the aggregates of another.
+type Manifest struct {
+	// Fingerprint is the canonical scenario fingerprint (or, for the
+	// journal form, any caller-chosen sweep identity string).
+	Fingerprint string `json:"fingerprint"`
+	// Trials is the sweep's total trial count.
+	Trials int `json:"trials"`
+	// Name labels the sweep for humans; it carries no identity (the
+	// fingerprint does).
+	Name string `json:"name,omitempty"`
+}
+
+// line is the wire form of one checkpoint line.
+type line struct {
+	Kind        string          `json:"kind"`
+	V           int             `json:"v,omitempty"`
+	Fingerprint string          `json:"fingerprint"`
+	Trials      int             `json:"trials,omitempty"`
+	Name        string          `json:"name,omitempty"`
+	Trial       *int            `json:"trial,omitempty"`
+	Data        json.RawMessage `json:"data,omitempty"`
+}
+
+// ErrNoManifest reports a checkpoint file whose manifest line never made
+// it to disk (a crash during creation): the checkpoint holds nothing and
+// the sweep starts fresh.
+var ErrNoManifest = errors.New("dsweep: checkpoint has no complete manifest line")
+
+// ParseCheckpoint reads a checkpoint stream and returns its manifest,
+// the completed trials keyed by trial index, and the byte length of the
+// valid prefix. A torn final line (the tail a kill -9 leaves behind) is
+// ignored; the returned length excludes it, so a resuming writer can
+// truncate the file back to a clean record boundary. Complete lines that
+// violate the format — a non-manifest first line, an unknown version, a
+// trial record with the wrong fingerprint or an out-of-range index —
+// are corruption and fail the parse. Duplicate trial records keep the
+// first occurrence (trials are deterministic, so duplicates are benign
+// re-runs, and first-wins keeps accounting exactly-once).
+func ParseCheckpoint(r io.Reader) (Manifest, map[int]json.RawMessage, int64, error) {
+	br := bufio.NewReader(r)
+	var (
+		m        Manifest
+		records  = map[int]json.RawMessage{}
+		validLen int64
+		sawMan   bool
+	)
+	for {
+		raw, err := br.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return Manifest{}, nil, 0, fmt.Errorf("dsweep: reading checkpoint: %w", err)
+		}
+		// A final line without its newline is a torn write: Append fsyncs
+		// the whole line (newline included) before reporting success, so a
+		// newline-less tail was never accounted for and is safe — and
+		// necessary, to keep later appends on a record boundary — to drop.
+		if len(raw) == 0 || raw[len(raw)-1] != '\n' {
+			break
+		}
+		var l line
+		if err := json.Unmarshal(raw, &l); err != nil {
+			// A complete line that is not JSON cannot be a torn write —
+			// records go to disk newline-terminated in one write — so this
+			// is a foreign or corrupt file, never a crash artifact.
+			return Manifest{}, nil, 0, fmt.Errorf("dsweep: corrupt checkpoint record after %d byte(s): %w", validLen, err)
+		}
+		switch {
+		case !sawMan:
+			if l.Kind != kindManifest {
+				return Manifest{}, nil, 0, fmt.Errorf("dsweep: first checkpoint record is %q, want manifest", l.Kind)
+			}
+			if l.V != checkpointVersion {
+				return Manifest{}, nil, 0, fmt.Errorf("dsweep: checkpoint version %d, want %d", l.V, checkpointVersion)
+			}
+			if l.Trials < 1 {
+				return Manifest{}, nil, 0, fmt.Errorf("dsweep: manifest trial count %d", l.Trials)
+			}
+			m = Manifest{Fingerprint: l.Fingerprint, Trials: l.Trials, Name: l.Name}
+			sawMan = true
+		case l.Kind == kindTrial:
+			if l.Fingerprint != m.Fingerprint {
+				return Manifest{}, nil, 0, fmt.Errorf("dsweep: trial record fingerprint %.12q does not match manifest %.12q", l.Fingerprint, m.Fingerprint)
+			}
+			if l.Trial == nil || *l.Trial < 0 || *l.Trial >= m.Trials {
+				return Manifest{}, nil, 0, fmt.Errorf("dsweep: trial record index out of range [0,%d)", m.Trials)
+			}
+			if _, dup := records[*l.Trial]; !dup {
+				records[*l.Trial] = append(json.RawMessage(nil), l.Data...)
+			}
+		default:
+			return Manifest{}, nil, 0, fmt.Errorf("dsweep: unknown checkpoint record kind %q", l.Kind)
+		}
+		validLen += int64(len(raw))
+		if err == io.EOF {
+			break
+		}
+	}
+	if !sawMan {
+		return Manifest{}, nil, 0, ErrNoManifest
+	}
+	return m, records, validLen, nil
+}
+
+// Checkpoint is an open append handle on a checkpoint file. Append is
+// safe for concurrent use; every record is flushed and fsync'd before
+// Append returns, so a record the caller has seen accepted survives any
+// later crash.
+type Checkpoint struct {
+	mu       sync.Mutex
+	f        *os.File
+	manifest Manifest
+	records  int
+}
+
+// CreateCheckpoint starts a fresh checkpoint file for the sweep m
+// describes, writing and fsyncing the manifest line. It refuses to
+// clobber an existing non-empty file: starting over on top of previous
+// progress is exactly the accident resume exists to prevent.
+func CreateCheckpoint(path string, m Manifest) (*Checkpoint, error) {
+	if m.Trials < 1 {
+		return nil, fmt.Errorf("dsweep: manifest trial count %d", m.Trials)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dsweep: creating checkpoint: %w", err)
+	}
+	c := &Checkpoint{f: f, manifest: m}
+	if err := c.writeLine(line{
+		Kind: kindManifest, V: checkpointVersion,
+		Fingerprint: m.Fingerprint, Trials: m.Trials, Name: m.Name,
+	}); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return c, nil
+}
+
+// OpenCheckpoint resumes the checkpoint at path for the sweep m
+// describes: it parses the file, validates the stored manifest against
+// m, truncates any torn final line, and reopens for appending. The
+// returned map holds the trials already accounted for. A missing file —
+// or one whose manifest line never completed — starts fresh via
+// CreateCheckpoint.
+func OpenCheckpoint(path string, m Manifest) (*Checkpoint, map[int]json.RawMessage, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		c, cerr := CreateCheckpoint(path, m)
+		return c, map[int]json.RawMessage{}, cerr
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("dsweep: opening checkpoint: %w", err)
+	}
+	disk, records, validLen, perr := ParseCheckpoint(f)
+	f.Close()
+	if errors.Is(perr, ErrNoManifest) {
+		// A crash during creation left a torn (or empty) manifest; the
+		// checkpoint recorded nothing, so rewrite it from scratch.
+		if err := os.Remove(path); err != nil {
+			return nil, nil, fmt.Errorf("dsweep: resetting torn checkpoint: %w", err)
+		}
+		c, cerr := CreateCheckpoint(path, m)
+		return c, map[int]json.RawMessage{}, cerr
+	}
+	if perr != nil {
+		return nil, nil, perr
+	}
+	if disk.Fingerprint != m.Fingerprint {
+		return nil, nil, fmt.Errorf("dsweep: checkpoint is for fingerprint %.12s…, sweep is %.12s…", disk.Fingerprint, m.Fingerprint)
+	}
+	if disk.Trials != m.Trials {
+		return nil, nil, fmt.Errorf("dsweep: checkpoint is for %d trial(s), sweep wants %d", disk.Trials, m.Trials)
+	}
+	// Drop the torn tail (if any) so appends restart on a record boundary.
+	if err := os.Truncate(path, validLen); err != nil {
+		return nil, nil, fmt.Errorf("dsweep: truncating torn checkpoint tail: %w", err)
+	}
+	af, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dsweep: reopening checkpoint: %w", err)
+	}
+	return &Checkpoint{f: af, manifest: disk, records: len(records)}, records, nil
+}
+
+// Append records one completed trial: data is marshaled, written as one
+// line, and fsync'd before Append returns.
+func (c *Checkpoint) Append(trial int, data any) error {
+	if trial < 0 || trial >= c.manifest.Trials {
+		return fmt.Errorf("dsweep: trial %d out of range [0,%d)", trial, c.manifest.Trials)
+	}
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return fmt.Errorf("dsweep: marshaling trial %d: %w", trial, err)
+	}
+	t := trial
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.writeLine(line{Kind: kindTrial, Fingerprint: c.manifest.Fingerprint, Trial: &t, Data: raw}); err != nil {
+		return err
+	}
+	c.records++
+	return nil
+}
+
+// Records returns the number of trial records this handle has written or
+// resumed over.
+func (c *Checkpoint) Records() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.records
+}
+
+// Close releases the file handle. Records already appended are durable
+// regardless (Append fsyncs), so Close exists for hygiene, not safety.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.f.Close()
+}
+
+// writeLine marshals l, appends it with its newline in a single write,
+// and fsyncs. Callers serialize via c.mu (CreateCheckpoint calls it
+// before the handle is shared).
+func (c *Checkpoint) writeLine(l line) error {
+	b, err := json.Marshal(l)
+	if err != nil {
+		return fmt.Errorf("dsweep: marshaling checkpoint record: %w", err)
+	}
+	if _, err := c.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("dsweep: appending checkpoint record: %w", err)
+	}
+	if err := c.f.Sync(); err != nil {
+		return fmt.Errorf("dsweep: fsyncing checkpoint: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,291 @@
+package dsweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testManifest is the manifest used by the checkpoint unit tests.
+var testManifest = Manifest{Fingerprint: "feedfacefeedfacefeedface", Trials: 5, Name: "ckpt-test"}
+
+// payload is a tiny JSON-serializable trial result for checkpoint tests.
+type payload struct {
+	Trial int     `json:"trial"`
+	Value float64 `json:"value"`
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	c, err := CreateCheckpoint(path, testManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]payload{}
+	for _, trial := range []int{3, 0, 4} {
+		p := payload{Trial: trial, Value: float64(trial) / 3}
+		if err := c.Append(trial, p); err != nil {
+			t.Fatal(err)
+		}
+		want[trial] = p
+	}
+	if got := c.Records(); got != 3 {
+		t.Fatalf("Records() = %d, want 3", got)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, records, validLen, err := ParseCheckpoint(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != testManifest {
+		t.Errorf("manifest = %+v, want %+v", m, testManifest)
+	}
+	if validLen != int64(len(raw)) {
+		t.Errorf("validLen = %d, want full file %d", validLen, len(raw))
+	}
+	if len(records) != len(want) {
+		t.Fatalf("parsed %d records, want %d", len(records), len(want))
+	}
+	for trial, w := range want {
+		var got payload
+		if err := json.Unmarshal(records[trial], &got); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got != w {
+			t.Errorf("trial %d = %+v, want %+v", trial, got, w)
+		}
+	}
+}
+
+func TestCheckpointAppendRange(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	c, err := CreateCheckpoint(path, testManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, trial := range []int{-1, testManifest.Trials} {
+		if err := c.Append(trial, payload{}); err == nil {
+			t.Errorf("Append(%d) accepted an out-of-range trial", trial)
+		}
+	}
+}
+
+func TestCreateCheckpointRefusesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	c, err := CreateCheckpoint(path, testManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := CreateCheckpoint(path, testManifest); err == nil {
+		t.Fatal("CreateCheckpoint clobbered an existing file")
+	}
+}
+
+// checkpointFile builds a raw checkpoint from lines for parser tests.
+func checkpointFile(lines ...string) *bytes.Reader {
+	return bytes.NewReader([]byte(strings.Join(lines, "\n") + "\n"))
+}
+
+// manifestLine is testManifest's serialized manifest record.
+func manifestLine() string {
+	return fmt.Sprintf(`{"kind":"manifest","v":1,"fingerprint":%q,"trials":%d,"name":%q}`,
+		testManifest.Fingerprint, testManifest.Trials, testManifest.Name)
+}
+
+// trialLine serializes one trial record under testManifest's fingerprint.
+func trialLine(trial int, data string) string {
+	return fmt.Sprintf(`{"kind":"trial","fingerprint":%q,"trial":%d,"data":%s}`,
+		testManifest.Fingerprint, trial, data)
+}
+
+func TestParseCheckpointErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		input   string
+		wantErr string
+	}{
+		{"empty", "", ErrNoManifest.Error()},
+		{"torn manifest only", `{"kind":"manifest","v":1,`, ErrNoManifest.Error()},
+		{"garbage first line", "not json at all\n", "corrupt checkpoint record"},
+		{"non-manifest first", trialLine(0, `{}`) + "\n", `first checkpoint record is "trial"`},
+		{"unknown version", `{"kind":"manifest","v":99,"fingerprint":"x","trials":5}` + "\n", "checkpoint version 99"},
+		{"zero trials", `{"kind":"manifest","v":1,"fingerprint":"x","trials":0}` + "\n", "manifest trial count 0"},
+		{"unknown kind", manifestLine() + "\n" + `{"kind":"mystery","fingerprint":"feedfacefeedfacefeedface"}` + "\n", `unknown checkpoint record kind "mystery"`},
+		{"fingerprint mismatch", manifestLine() + "\n" + `{"kind":"trial","fingerprint":"0000","trial":1,"data":{}}` + "\n", "does not match manifest"},
+		{"trial out of range", manifestLine() + "\n" + trialLine(5, `{}`) + "\n", "out of range"},
+		{"negative trial", manifestLine() + "\n" + trialLine(-1, `{}`) + "\n", "out of range"},
+		{"missing trial index", manifestLine() + "\n" + fmt.Sprintf(`{"kind":"trial","fingerprint":%q,"data":{}}`, testManifest.Fingerprint) + "\n", "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, _, err := ParseCheckpoint(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("ParseCheckpoint accepted %q", tc.input)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseCheckpointDuplicateFirstWins(t *testing.T) {
+	input := checkpointFile(
+		manifestLine(),
+		trialLine(2, `{"value":"first"}`),
+		trialLine(2, `{"value":"second"}`),
+	)
+	_, records, _, err := ParseCheckpoint(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 {
+		t.Fatalf("parsed %d records, want 1 (duplicates collapse)", len(records))
+	}
+	if got := string(records[2]); got != `{"value":"first"}` {
+		t.Fatalf("duplicate resolution kept %s, want the first record", got)
+	}
+}
+
+func TestParseCheckpointDropsTornTail(t *testing.T) {
+	full := manifestLine() + "\n" + trialLine(0, `{"ok":true}`) + "\n"
+	torn := full + trialLine(1, `{"ok":true}`)[:10] // no newline: a torn write
+	m, records, validLen, err := ParseCheckpoint(strings.NewReader(torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != testManifest {
+		t.Errorf("manifest = %+v, want %+v", m, testManifest)
+	}
+	if len(records) != 1 {
+		t.Errorf("parsed %d records, want 1", len(records))
+	}
+	if validLen != int64(len(full)) {
+		t.Errorf("validLen = %d, want %d (torn tail excluded)", validLen, len(full))
+	}
+}
+
+func TestOpenCheckpointResumesAndTruncatesTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	c, err := CreateCheckpoint(path, testManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(1, payload{Trial: 1, Value: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	// Simulate a kill mid-append: a complete record followed by a torn one.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(trialLine(2, `{"trial":2`)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	c2, records, err := OpenCheckpoint(path, testManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 {
+		t.Fatalf("resumed %d records, want 1", len(records))
+	}
+	if _, ok := records[1]; !ok {
+		t.Fatal("resumed records miss trial 1")
+	}
+	// The torn tail must be gone so this append lands on a record boundary.
+	if err := c2.Append(2, payload{Trial: 2, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, records, _, err = ParseCheckpoint(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("reparse after truncate+append: %v", err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("reparse found %d records, want 2", len(records))
+	}
+}
+
+func TestOpenCheckpointMissingFileStartsFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	c, records, err := OpenCheckpoint(path, testManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if len(records) != 0 {
+		t.Fatalf("fresh checkpoint resumed %d records", len(records))
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("fresh checkpoint file not created: %v", err)
+	}
+}
+
+func TestOpenCheckpointResetsTornManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	// A crash during creation leaves a newline-less manifest fragment.
+	if err := os.WriteFile(path, []byte(`{"kind":"manifest","v":1`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, records, err := OpenCheckpoint(path, testManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if len(records) != 0 {
+		t.Fatalf("torn-manifest resume returned %d records", len(records))
+	}
+	if err := c.Append(0, payload{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenCheckpointRejectsMismatchedSweep(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	c, err := CreateCheckpoint(path, testManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	otherFP := testManifest
+	otherFP.Fingerprint = "deadbeefdeadbeefdeadbeef"
+	if _, _, err := OpenCheckpoint(path, otherFP); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("fingerprint mismatch not rejected: %v", err)
+	}
+	otherTrials := testManifest
+	otherTrials.Trials = 99
+	if _, _, err := OpenCheckpoint(path, otherTrials); err == nil || !strings.Contains(err.Error(), "trial") {
+		t.Errorf("trial-count mismatch not rejected: %v", err)
+	}
+	// A foreign (complete garbage) file must be an error, never reset.
+	garbage := filepath.Join(t.TempDir(), "garbage.jsonl")
+	if err := os.WriteFile(garbage, []byte("important unrelated data\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenCheckpoint(garbage, testManifest); err == nil {
+		t.Fatal("OpenCheckpoint accepted a foreign file")
+	}
+	if raw, err := os.ReadFile(garbage); err != nil || string(raw) != "important unrelated data\n" {
+		t.Fatalf("OpenCheckpoint modified a foreign file: %q, %v", raw, err)
+	}
+}

@@ -1,0 +1,65 @@
+package dsweep
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzCheckpointManifest throws arbitrary bytes at the checkpoint parser
+// and holds it to its crash-safety invariants: never panic, never accept
+// a manifest or trial record that violates the format, always report a
+// validLen that is a clean, reparseable prefix yielding the same state
+// (the idempotence a resume after truncation depends on).
+func FuzzCheckpointManifest(f *testing.F) {
+	man := manifestLine()
+	f.Add([]byte(man + "\n"))
+	f.Add([]byte(man + "\n" + trialLine(1, `{"total_joules":12.5}`) + "\n"))
+	// Torn lines at both positions a kill -9 can leave them.
+	f.Add([]byte(man[:len(man)/2]))
+	f.Add([]byte(man + "\n" + trialLine(0, `{"x":1}`)))
+	// Duplicate trial records (a benign re-run).
+	f.Add([]byte(man + "\n" + trialLine(2, `{"v":1}`) + "\n" + trialLine(2, `{"v":2}`) + "\n"))
+	// Fingerprint mismatch between manifest and trial record.
+	f.Add([]byte(`{"kind":"manifest","v":1,"fingerprint":"aaaa","trials":3}` + "\n" +
+		`{"kind":"trial","fingerprint":"bbbb","trial":0,"data":{}}` + "\n"))
+	// Wrong version, out-of-range index, foreign line.
+	f.Add([]byte(`{"kind":"manifest","v":7,"fingerprint":"aaaa","trials":3}` + "\n"))
+	f.Add([]byte(man + "\n" + trialLine(99, `{}`) + "\n"))
+	f.Add([]byte("not a checkpoint at all\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, records, validLen, err := ParseCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			if errors.Is(err, ErrNoManifest) && validLen != 0 {
+				t.Fatalf("ErrNoManifest with validLen %d", validLen)
+			}
+			return
+		}
+		if validLen < 0 || validLen > int64(len(data)) {
+			t.Fatalf("validLen %d outside [0, %d]", validLen, len(data))
+		}
+		if m.Trials < 1 {
+			t.Fatalf("accepted manifest with trial count %d", m.Trials)
+		}
+		for trial := range records {
+			if trial < 0 || trial >= m.Trials {
+				t.Fatalf("accepted out-of-range trial %d of %d", trial, m.Trials)
+			}
+		}
+		// The valid prefix must reparse to the identical state — that is
+		// what OpenCheckpoint truncates back to before appending.
+		m2, records2, validLen2, err := ParseCheckpoint(bytes.NewReader(data[:validLen]))
+		if err != nil {
+			t.Fatalf("valid prefix does not reparse: %v", err)
+		}
+		if m2 != m || validLen2 != validLen || len(records2) != len(records) {
+			t.Fatalf("reparse diverged: %+v/%d/%d vs %+v/%d/%d", m2, validLen2, len(records2), m, validLen, len(records))
+		}
+		for trial, data := range records {
+			if !bytes.Equal(records2[trial], data) {
+				t.Fatalf("reparse changed trial %d's record", trial)
+			}
+		}
+	})
+}

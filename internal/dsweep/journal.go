@@ -1,0 +1,82 @@
+package dsweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sweep"
+)
+
+// MapJSON is the fabric's local, generic form: sweep.Map with the same
+// checkpoint/resume guarantees the scenario coordinator gives, for any
+// JSON-serializable per-trial result. The experiment drivers run their
+// figure sweeps through it, so an interrupted imobif-figures run resumes
+// by re-running only the missing trials.
+//
+// m identifies the sweep (the caller fingerprints its parameters into
+// m.Fingerprint; m.Trials must equal trials). path is the checkpoint
+// file; empty path degrades to a plain sweep.Map. With resume set an
+// existing checkpoint is loaded (a missing file starts fresh); without
+// it an existing file is an error. Results recovered from the checkpoint
+// pass through a JSON round-trip, which is exact for Go's float64
+// encoding, so a resumed sweep's results stay bit-identical to an
+// uninterrupted one.
+func MapJSON[T any](ctx context.Context, r sweep.Runner, trials int, m Manifest, path string, resume bool, fn func(ctx context.Context, trial int) (T, error)) ([]T, metrics.SweepStats, error) {
+	if path == "" {
+		return sweep.Map(ctx, r, trials, fn)
+	}
+	if m.Trials != trials {
+		return nil, metrics.SweepStats{}, fmt.Errorf("dsweep: manifest trials %d != sweep trials %d", m.Trials, trials)
+	}
+	results := make([]T, trials)
+	have := make([]bool, trials)
+	var (
+		ckpt    *Checkpoint
+		resumed map[int]json.RawMessage
+		err     error
+	)
+	if resume {
+		ckpt, resumed, err = OpenCheckpoint(path, m)
+	} else {
+		ckpt, err = CreateCheckpoint(path, m)
+	}
+	if err != nil {
+		return nil, metrics.SweepStats{}, err
+	}
+	defer ckpt.Close()
+	for trial, raw := range resumed {
+		if err := json.Unmarshal(raw, &results[trial]); err != nil {
+			return nil, metrics.SweepStats{}, fmt.Errorf("dsweep: checkpointed trial %d does not decode: %w", trial, err)
+		}
+		have[trial] = true
+	}
+	var missing []int
+	for i := range have {
+		if !have[i] {
+			missing = append(missing, i)
+		}
+	}
+	// Run only the missing trials; fn sees real trial indices, so its
+	// derived randomness is position-independent. Each completed trial is
+	// checkpointed before sweep.Map counts it done.
+	fresh, stats, err := sweep.Map(ctx, r, len(missing), func(ctx context.Context, pos int) (T, error) {
+		v, err := fn(ctx, missing[pos])
+		if err != nil {
+			return v, err
+		}
+		if err := ckpt.Append(missing[pos], v); err != nil {
+			return v, err
+		}
+		return v, nil
+	})
+	stats.Trials = trials
+	if err != nil {
+		return nil, stats, err
+	}
+	for pos, trial := range missing {
+		results[trial] = fresh[pos]
+	}
+	return results, stats, nil
+}

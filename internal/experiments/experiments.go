@@ -8,9 +8,14 @@ package experiments
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"path/filepath"
 
+	"repro/internal/dsweep"
 	"repro/internal/energy"
 	"repro/internal/geom"
 	"repro/internal/metrics"
@@ -75,11 +80,54 @@ type Params struct {
 	// bit-identical at any concurrency; like the sweep stats, it is
 	// execution metadata and excluded from marshaled results.
 	Concurrency int `json:"-"`
+	// Checkpoint, when non-empty, is a directory in which each figure
+	// sweep journals completed trials through the distributed-sweep
+	// fabric (internal/dsweep), one JSONL file per driver, so an
+	// interrupted run resumes re-running only the missing trials.
+	// Execution metadata, like Concurrency: checkpointed and plain runs
+	// produce bit-identical results.
+	Checkpoint string `json:"-"`
+	// Resume loads existing checkpoint files under Checkpoint instead of
+	// failing on them.
+	Resume bool `json:"-"`
 }
 
 // runner returns the sweep runner for these parameters.
 func (p Params) runner() sweep.Runner {
 	return sweep.Runner{Concurrency: p.Concurrency}
+}
+
+// sweepManifest derives the checkpoint identity of one driver's sweep:
+// the SHA-256 of the driver name plus the canonical (execution-metadata
+// free) JSON of the parameters, so a checkpoint can never feed trials
+// from one parameterization or driver into another's aggregates.
+func (p Params) sweepManifest(driver string) (dsweep.Manifest, error) {
+	b, err := json.Marshal(p)
+	if err != nil {
+		return dsweep.Manifest{}, fmt.Errorf("experiments: fingerprinting params: %w", err)
+	}
+	sum := sha256.Sum256(append([]byte(driver+"\n"), b...))
+	return dsweep.Manifest{
+		Fingerprint: hex.EncodeToString(sum[:]),
+		Trials:      p.Flows,
+		Name:        driver,
+	}, nil
+}
+
+// runSweep is the figure drivers' sweep entry point: a plain sweep.Map
+// when p.Checkpoint is empty, and a journaled (checkpoint/resume) sweep
+// through dsweep.MapJSON otherwise, one JSONL file per driver under the
+// checkpoint directory.
+func runSweep[T any](ctx context.Context, p Params, driver string, fn func(ctx context.Context, trial int) (T, error)) ([]T, metrics.SweepStats, error) {
+	if p.Checkpoint == "" {
+		return sweep.Map(ctx, p.runner(), p.Flows, fn)
+	}
+	m, err := p.sweepManifest(driver)
+	if err != nil {
+		return nil, metrics.SweepStats{}, err
+	}
+	path := filepath.Join(p.Checkpoint, driver+".jsonl")
+	return dsweep.MapJSON(ctx, p.runner(), p.Flows, m, path, p.Resume, fn)
 }
 
 func baseParams() Params {
@@ -374,7 +422,7 @@ func RunFig6Ctx(ctx context.Context, p Params, variant string) (Fig6Result, erro
 	if err != nil {
 		return Fig6Result{}, err
 	}
-	rows, sw, err := sweep.Map(ctx, p.runner(), p.Flows, func(_ context.Context, trial int) (EnergyRow, error) {
+	rows, sw, err := runSweep(ctx, p, "fig6"+variant, func(_ context.Context, trial int) (EnergyRow, error) {
 		return fig6Trial(p, strat, trial)
 	})
 	if err != nil {
@@ -451,7 +499,7 @@ func RunFig7Ctx(ctx context.Context, p Params) (Fig7Result, error) {
 	if err != nil {
 		return Fig7Result{}, err
 	}
-	counts, sw, err := sweep.Map(ctx, p.runner(), p.Flows, func(_ context.Context, trial int) (int, error) {
+	counts, sw, err := runSweep(ctx, p, "fig7", func(_ context.Context, trial int) (int, error) {
 		inst, err := GenInstance(p, trial)
 		if err != nil {
 			return 0, err
@@ -519,7 +567,7 @@ func RunFig8Ctx(ctx context.Context, p Params) (Fig8Result, error) {
 	if err != nil {
 		return Fig8Result{}, err
 	}
-	rows, sw, err := sweep.Map(ctx, p.runner(), p.Flows, func(_ context.Context, trial int) (LifetimeRow, error) {
+	rows, sw, err := runSweep(ctx, p, "fig8", func(_ context.Context, trial int) (LifetimeRow, error) {
 		inst, err := GenInstance(p, trial)
 		if err != nil {
 			return LifetimeRow{}, err

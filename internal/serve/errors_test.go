@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestHTTPErrorSurface pins the HTTP error surface clients program
+// against and TestFailurePaths does not cover: wrong method per route,
+// malformed and empty job ids, and submissions over the body cap. Codes
+// and bodies are asserted exactly — Go's pattern mux emits the 405/404
+// plumbing, and a stdlib bump that changes these strings should fail
+// loudly here, not in a client.
+func TestHTTPErrorSurface(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	// A syntactically valid document bigger than the 8 MiB body cap; the
+	// decoder must hit the limit before the closing quote.
+	oversized := `{"name":"` + strings.Repeat("a", maxBodyBytes+1024) + `"}`
+
+	cases := []struct {
+		name      string
+		method    string
+		path      string
+		body      string
+		wantCode  int
+		wantBody  string // exact match when set
+		wantSub   string // substring match otherwise
+		wantAllow string // Allow header must contain each comma-separated token
+	}{
+		{name: "list jobs is not a route", method: "GET", path: "/v1/jobs",
+			wantCode: 405, wantBody: "Method Not Allowed\n", wantAllow: "POST"},
+		{name: "put jobs", method: "PUT", path: "/v1/jobs",
+			wantCode: 405, wantBody: "Method Not Allowed\n", wantAllow: "POST"},
+		{name: "post to job id", method: "POST", path: "/v1/jobs/job-1",
+			wantCode: 405, wantBody: "Method Not Allowed\n", wantAllow: "GET, DELETE"},
+		{name: "post to trace", method: "POST", path: "/v1/jobs/job-1/trace",
+			wantCode: 405, wantBody: "Method Not Allowed\n", wantAllow: "GET"},
+		{name: "delete health", method: "DELETE", path: "/healthz",
+			wantCode: 405, wantBody: "Method Not Allowed\n", wantAllow: "GET"},
+		{name: "empty job id", method: "GET", path: "/v1/jobs/",
+			wantCode: 404, wantBody: "404 page not found\n"},
+		{name: "job id with slash", method: "GET", path: "/v1/jobs/a/b",
+			wantCode: 404, wantBody: "404 page not found\n"},
+		{name: "whitespace job id", method: "GET", path: "/v1/jobs/%20",
+			wantCode: 404, wantBody: "{\"error\":\"unknown job \\\" \\\"\"}\n"},
+		{name: "whitespace job id delete", method: "DELETE", path: "/v1/jobs/%20",
+			wantCode: 404, wantBody: "{\"error\":\"unknown job \\\" \\\"\"}\n"},
+		{name: "oversized body", method: "POST", path: "/v1/jobs", body: oversized,
+			wantCode: 400, wantSub: "request body too large"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != tc.wantCode {
+				t.Fatalf("HTTP %d, want %d: %s", resp.StatusCode, tc.wantCode, body)
+			}
+			if tc.wantBody != "" && string(body) != tc.wantBody {
+				t.Errorf("body %q, want exactly %q", body, tc.wantBody)
+			}
+			if tc.wantSub != "" && !strings.Contains(string(body), tc.wantSub) {
+				t.Errorf("body %q does not mention %q", body, tc.wantSub)
+			}
+			if tc.wantAllow != "" {
+				allow := resp.Header.Get("Allow")
+				for _, tok := range strings.Split(tc.wantAllow, ", ") {
+					if !strings.Contains(allow, tok) {
+						t.Errorf("Allow %q missing %q", allow, tok)
+					}
+				}
+			}
+		})
+	}
+}

@@ -34,7 +34,7 @@ func runJob(ctx context.Context, spec *scenario.Scenario) (*Result, []byte, erro
 			out.Canceled = true
 			break
 		}
-		tspec := trialSpec(spec, i, trials)
+		tspec := TrialSpec(spec, i, trials)
 		var opts []scenario.BuildOption
 		var jw *trace.JSONLWriter
 		var traceBuf bytes.Buffer
@@ -59,7 +59,7 @@ func runJob(ctx context.Context, spec *scenario.Scenario) (*Result, []byte, erro
 			}
 			traceBytes = traceBuf.Bytes()
 		}
-		out.Runs = append(out.Runs, runResultFrom(tspec.Seed, res))
+		out.Runs = append(out.Runs, RunResultFrom(tspec.Seed, res))
 		if res.Canceled {
 			out.Canceled = true
 			break
@@ -82,11 +82,15 @@ func runJob(ctx context.Context, spec *scenario.Scenario) (*Result, []byte, erro
 	return out, traceBytes, nil
 }
 
-// trialSpec returns the scenario trial i runs: the document itself for
+// TrialSpec returns the scenario trial i runs: the document itself for
 // single-trial jobs, a copy with SplitMix64-derived placement and fault
 // seeds for trial i of a multi-trial job (so trials are independent yet
-// fully determined by the document).
-func trialSpec(s *scenario.Scenario, i, trials int) *scenario.Scenario {
+// fully determined by the document). It is exported because the
+// distributed sweep fabric (internal/dsweep) must derive exactly the
+// same per-trial documents the service's own multi-trial path runs —
+// that shared derivation is what makes distributed merges byte-identical
+// to a serial run.
+func TrialSpec(s *scenario.Scenario, i, trials int) *scenario.Scenario {
 	if trials <= 1 {
 		return s
 	}
@@ -100,9 +104,12 @@ func trialSpec(s *scenario.Scenario, i, trials int) *scenario.Scenario {
 	return &c
 }
 
-// runResultFrom maps one netsim run onto the wire form, mirroring the
-// public imobif.Result conversion field-for-field.
-func runResultFrom(seed int64, res netsim.Result) RunResult {
+// RunResultFrom maps one netsim run onto the wire form, mirroring the
+// public imobif.Result conversion field-for-field. Exported for
+// internal/dsweep: local fabric workers convert their runs through the
+// same code path as the service, keeping the two execution styles
+// bit-comparable.
+func RunResultFrom(seed int64, res netsim.Result) RunResult {
 	rr := RunResult{
 		Seed:          seed,
 		Flows:         []FlowResult{},
