@@ -1,7 +1,7 @@
 GO ?= go
 
-.PHONY: build test race fuzz cover bench smoke serve sweep motion vet doclint \
-	observability benchgate benchgate-quick bench-baseline ci
+.PHONY: build test race fuzz cover bench smoke serve sweep motion strategies \
+	vet doclint observability benchgate benchgate-quick bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,7 @@ race:
 	$(GO) test -race ./internal/serve/...
 	$(GO) test -race ./internal/dsweep/
 	$(GO) test -race ./internal/motion/
+	$(GO) test -race ./internal/mobility/ ./internal/routing/
 
 # fuzz gives each fuzzer a short budget; go test accepts one -fuzz
 # target per invocation, hence one run per target.
@@ -62,7 +63,7 @@ bench:
 # disabled MotionOverhead rungs are gated — they pin the
 # zero-cost-when-off contract; the active rungs run to the horizon and
 # are too slow (and too scenario-dependent) for a ratchet.
-GATED_BENCH = BenchmarkSimulationRun$$|BenchmarkSchedulerSteadyState$$|BenchmarkSweep/|BenchmarkServeSubmit$$|BenchmarkMotionOverhead/(off|stationary)$$
+GATED_BENCH = BenchmarkSimulationRun$$|BenchmarkSchedulerSteadyState$$|BenchmarkSweep/|BenchmarkServeSubmit$$|BenchmarkMotionOverhead/(off|stationary)$$|BenchmarkStrategyOverhead/
 GATE_FLAGS  = -run '^$$' -benchmem -count=3
 
 # benchgate is the performance ratchet: rerun the gated benchmarks and
@@ -125,6 +126,21 @@ sweep:
 		-workers local:2 -checkpoint $(SWEEP_CKPT) -resume -verify
 	rm -f $(SWEEP_CKPT)
 
+# strategies smokes the plug-in registry end-to-end: list the registered
+# set, reject an unknown name (naming the set in the error), and drive
+# each competitor baseline through a small race-built CLI run — the
+# rolling-horizon mover, the LEACH-style rotation, and the no-movement
+# max-lifetime-routing baseline whose planner must take effect.
+strategies:
+	$(GO) run ./cmd/imobif-sim -strategy list
+	! $(GO) run ./cmd/imobif-sim -nodes 10 -flow-kb 1 -strategy warp-drive 2>/dev/null
+	$(GO) run -race ./cmd/imobif-sim -nodes 30 -field 700 -flow-kb 64 \
+		-strategy rolling-horizon -mode cost-unaware -seed 1
+	$(GO) run -race ./cmd/imobif-sim -nodes 30 -field 700 -flow-kb 64 \
+		-strategy cluster-rotation -mode cost-unaware -seed 1
+	$(GO) run -race ./cmd/imobif-sim -nodes 30 -field 700 -flow-kb 64 \
+		-strategy max-lifetime-routing -mode no-mobility -seed 1
+
 # motion pins the ambient-mobility layer's contracts: the golden
 # stationary fingerprints (a disabled layer is bit-identical to the
 # pre-motion seed), the grid-vs-brute differential under active motion,
@@ -137,4 +153,4 @@ motion:
 	$(GO) run -race ./cmd/imobif-sim -nodes 40 -field 800 -flow-kb 64 \
 		-motion rpgm -motion-groups 4 -motion-radius 60 -motion-seed 5 -seed 1
 
-ci: vet doclint build test race fuzz cover smoke serve sweep motion observability benchgate-quick
+ci: vet doclint build test race fuzz cover smoke serve sweep motion strategies observability benchgate-quick

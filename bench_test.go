@@ -564,6 +564,66 @@ func BenchmarkStrategyMaxLifetimeExact(b *testing.B) {
 	}
 }
 
+// strategySink keeps BenchmarkStrategyOverhead's strategy calls live.
+var strategySink float64
+
+// BenchmarkStrategyOverhead pins the plug-in registry's cost contract:
+// a registry-built strategy dispatches at the same per-packet price as a
+// directly constructed one (construction is the only extra work, and it
+// happens once per run, not per packet). The resolve rung measures that
+// one-time mobility.New lookup.
+func BenchmarkStrategyOverhead(b *testing.B) {
+	v := mobility.View{
+		Prev:         mobility.Peer{Pos: geom.Pt(0, 0), Residual: 100},
+		Self:         mobility.Peer{Pos: geom.Pt(90, 40), Residual: 80},
+		Next:         mobility.Peer{Pos: geom.Pt(200, 0), Residual: 60},
+		ResidualBits: 8e6,
+	}
+	env := mobility.Env{Tx: energy.DefaultTxModel(), Range: 200}
+	// Each op is a 1000-call batch: single calls are ~20 ns, below timer
+	// resolution at the gate's low iteration counts.
+	const batch = 1000
+	// dispatch sinks the target into strategySink so the compiler cannot
+	// eliminate the devirtualized concrete call.
+	dispatch := func(b *testing.B, s mobility.Strategy) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var acc float64
+			for j := 0; j < batch; j++ {
+				p, err := s.NextPosition(v)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc += p.X
+			}
+			strategySink = acc
+		}
+	}
+	b.Run("direct", func(b *testing.B) {
+		// Held as the interface, exactly as netsim.Config stores it.
+		dispatch(b, mobility.MinEnergy{})
+	})
+	b.Run("registry", func(b *testing.B) {
+		s, err := mobility.New("min-energy", env, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dispatch(b, s)
+	})
+	b.Run("resolve", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < batch; j++ {
+				if _, err := mobility.New("min-energy", env, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkPowerTableLookup measures the Assumption-4 table lookup.
 func BenchmarkPowerTableLookup(b *testing.B) {
 	table, err := energy.NewPowerTable(energy.DefaultTxModel(), 200, 256)

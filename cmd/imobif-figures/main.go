@@ -24,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -71,7 +72,7 @@ func (o runOpts) params(p experiments.Params) experiments.Params {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 6a, 6b, 6c, 6d, 6e, 6f, 7, 8, mobility, ablations, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 6a, 6b, 6c, 6d, 6e, 6f, 7, 8, mobility, strategies, ablations, all")
 	flows := flag.Int("flows", 100, "Monte-Carlo flow instances per figure")
 	seed := flag.Int64("seed", 1, "random seed")
 	concurrency := flag.Int("concurrency", 0, "parallel sweep workers (0 = all CPUs, 1 = serial; results are identical either way)")
@@ -130,11 +131,12 @@ func run(fig string, opts runOpts) error {
 		{"7", runFig7},
 		{"8", runFig8},
 		{"mobility", runMobility},
+		{"strategies", runStrategies},
 		{"ablations", runAblations},
 	}
 	start := time.Now()
 	for _, d := range dispatch {
-		if all && (d.name == "ablations" || d.name == "mobility") {
+		if all && (d.name == "ablations" || d.name == "mobility" || d.name == "strategies") {
 			continue // extensions only on request; they multiply runtime
 		}
 		if all || fig == d.name {
@@ -347,6 +349,27 @@ func runMobility(opts runOpts) error {
 	reportSweep(res.Sweep)
 	return writeCSV(opts.csvDir, "mobility.csv",
 		[]string{"model", "strategy", "delivery_ratio", "completed", "lifetime_s", "mean_residual_j"}, rows)
+}
+
+func runStrategies(opts runOpts) error {
+	p := opts.params(experiments.ParamsStrategies())
+	res, err := experiments.RunStrategyComparison(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=== Extension: registered strategies × channel regimes (k=%v, energy U[%v,%v] J in %d tiers, %d flows/cell) ===\n",
+		p.K, p.EnergyLo, p.EnergyHi, p.EnergyTiers, p.Flows)
+	fmt.Printf("(strategies: %s; regimes: %s — see EXPERIMENTS.md)\n",
+		strings.Join(res.Strategies, ", "), strings.Join(res.Regimes, ", "))
+	fmt.Printf("%-22s %-11s %-10s %-9s %-9s %-9s %-10s %-12s %-12s\n",
+		"strategy", "regime", "total(J)", "tx(J)", "move(J)", "delivery", "completed", "lifetime(s)", "residual(J)")
+	for _, c := range res.Cells {
+		fmt.Printf("%-22s %-11s %-10.1f %-9.1f %-9.1f %-9.3f %-10.2f %-12.1f %-12.1f\n",
+			c.Strategy, c.Regime, c.TotalJ, c.TxJ, c.MoveJ, c.DeliveryRatio, c.Completed, c.Lifetime, c.MeanResidual)
+	}
+	reportSweep(res.Sweep)
+	csvRows := res.CSV()
+	return writeCSV(opts.csvDir, "strategies.csv", csvRows[0], csvRows[1:])
 }
 
 func runAblations(opts runOpts) error {

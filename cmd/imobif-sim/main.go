@@ -5,7 +5,9 @@
 //
 // Usage:
 //
+//	imobif-sim -strategy list
 //	imobif-sim -nodes 100 -flow-kb 1024 -strategy min-energy -mode informed
+//	imobif-sim -strategy rolling-horizon -mode cost-unaware
 //	imobif-sim -mode cost-unaware -k 1.0 -alpha 3 -seed 7
 //	imobif-sim -trials 200 -concurrency 0 -compare
 //	imobif-sim -loss 0.1 -retry 5 -retry-timeout 0.2
@@ -26,6 +28,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"strings"
 
 	imobif "repro"
 	"repro/internal/prof"
@@ -42,7 +45,7 @@ func main() {
 		k           = flag.Float64("k", 0.5, "mobility cost, J/m")
 		alpha       = flag.Float64("alpha", 2, "path-loss exponent")
 		flowKB      = flag.Float64("flow-kb", 1024, "flow length, KB")
-		strategy    = flag.String("strategy", "min-energy", "mobility strategy: min-energy, max-lifetime, max-lifetime-exact")
+		strategy    = flag.String("strategy", "min-energy", "mobility strategy, or 'list' to print the registered set: "+strings.Join(imobif.Strategies(), ", "))
 		mode        = flag.String("mode", "informed", "control mode: no-mobility, cost-unaware, informed")
 		seed        = flag.Int64("seed", 1, "random seed")
 		trials      = flag.Int("trials", 1, "Monte-Carlo trials; >1 runs a batch over per-trial derived seeds and prints aggregates")
@@ -80,6 +83,13 @@ func main() {
 		memprofile     = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *strategy == "list" {
+		for _, name := range imobif.Strategies() {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {

@@ -85,7 +85,7 @@ func ExampleSimulation() {
 // misconfigured strategy.
 func ExampleConfig_Validate() {
 	cfg := imobif.DefaultConfig()
-	cfg.Strategy = "antigravity"
+	cfg.Strategy = imobif.Strategy("antigravity")
 	if err := cfg.Validate(); err != nil {
 		fmt.Println("invalid")
 	}

@@ -34,7 +34,7 @@ func main() {
 	}
 	const streamBytes = 200 << 20 // long-running telemetry stream
 
-	run := func(mode imobif.Mode, strategy imobif.Strategy) *imobif.Result {
+	run := func(mode imobif.Mode, strategy imobif.StrategyConfig) *imobif.Result {
 		cfg := imobif.DefaultConfig()
 		cfg.Mode = mode
 		cfg.Strategy = strategy

@@ -19,24 +19,60 @@ import (
 	"repro/internal/trace"
 )
 
-// Strategy selects the mobility strategy a flow runs.
-type Strategy string
+// StrategyConfig selects the mobility strategy a flow runs: a registered
+// strategy name plus optional per-strategy tuning parameters. Strategies
+// are plug-ins — any name published through the mobility registry
+// resolves here, and Strategies lists what is available. Unknown names
+// and unknown or out-of-range parameters are configuration errors that
+// name the accepted set.
+type StrategyConfig struct {
+	// Name is the registered strategy name (see Strategies).
+	Name string
+	// Params are the strategy's tuning knobs; nil or empty means all
+	// defaults. Each strategy documents (and validates) its own names —
+	// e.g. "horizon" for rolling-horizon, "tiers" for cluster-rotation.
+	Params map[string]float64
+}
 
-// The strategies implemented by the paper (§3) plus the exact-solve
-// variant of the lifetime strategy.
-const (
+// Strategy selects a registered strategy by name with default
+// parameters. (In earlier releases Strategy was a string type; this
+// constructor keeps the conversion spelling Strategy("min-energy")
+// working unchanged.)
+func Strategy(name string) StrategyConfig { return StrategyConfig{Name: name} }
+
+// The built-in strategies: the paper's two (§3) plus the exact-solve
+// lifetime variant, the stationary null strategy, and the competitor
+// baselines shipped with the registry. Third-party strategies are
+// selected with Strategy(name) or a StrategyConfig literal.
+var (
 	// StrategyMinEnergy minimizes total transmission energy: relays
 	// converge to evenly spaced positions on the source–destination line
 	// (paper §3.1, after Goldenberg et al.).
-	StrategyMinEnergy Strategy = "min-energy"
+	StrategyMinEnergy = Strategy("min-energy")
 	// StrategyMaxLifetime maximizes system lifetime: relay spacing is
 	// proportional to residual energy via the α′ power-law approximation
 	// (paper §3.2, Theorem 1).
-	StrategyMaxLifetime Strategy = "max-lifetime"
+	StrategyMaxLifetime = Strategy("max-lifetime")
 	// StrategyMaxLifetimeExact solves the Theorem 1 split numerically on
 	// the exact radio model instead of the α′ approximation.
-	StrategyMaxLifetimeExact Strategy = "max-lifetime-exact"
+	StrategyMaxLifetimeExact = Strategy("max-lifetime-exact")
+	// StrategyStationary never moves relays (the null strategy).
+	StrategyStationary = Strategy("stationary")
+	// StrategyMaxLifetimeRouting is the no-movement max-lifetime
+	// flow-routing baseline (after Lipiński): relays stay put and flows
+	// are routed around energy-poor nodes instead. Params: "exponent".
+	StrategyMaxLifetimeRouting = Strategy("max-lifetime-routing")
+	// StrategyRollingHorizon repositions relays by a discounted lookahead
+	// cost-to-go (after Jaleel & Shamma). Params: "horizon", "discount",
+	// "samples".
+	StrategyRollingHorizon = Strategy("rolling-horizon")
+	// StrategyClusterRotation rotates the repositioning role LEACH-style
+	// among energy tiers. Params: "tiers".
+	StrategyClusterRotation = Strategy("cluster-rotation")
 )
+
+// Strategies returns every registered strategy name in sorted order.
+func Strategies() []string { return mobility.Names() }
 
 // Mode selects the mobility control approach (the three compared in the
 // paper's evaluation).
@@ -78,8 +114,9 @@ type Config struct {
 	// FlowRateBytesPerSec paces packet emission.
 	FlowRateBytesPerSec float64
 	// Strategy and Mode select the mobility strategy and control
-	// approach.
-	Strategy Strategy
+	// approach. Strategy names any registered plug-in (see Strategies);
+	// the legacy spelling Strategy("min-energy") still works.
+	Strategy StrategyConfig
 	Mode     Mode
 	// ChargeControl charges HELLO/notification traffic to node
 	// batteries (the paper treats control traffic as free).
@@ -156,7 +193,13 @@ func (c Config) strategy() (mobility.Strategy, error) {
 	if err != nil {
 		return nil, fmt.Errorf("imobif: building power table: %w", err)
 	}
-	s, err := mobility.ByName(string(c.Strategy), c.txModel(), table)
+	env := mobility.Env{
+		Tx:       c.txModel(),
+		Range:    c.Range,
+		Table:    table,
+		Mobility: energy.MobilityModel{K: c.MobilityCost},
+	}
+	s, err := mobility.New(c.Strategy.Name, env, mobility.Params(c.Strategy.Params))
 	if err != nil {
 		return nil, fmt.Errorf("imobif: %w", err)
 	}

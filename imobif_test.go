@@ -16,7 +16,7 @@ func TestConfigValidation(t *testing.T) {
 		name   string
 		mutate func(*Config)
 	}{
-		{"bad strategy", func(c *Config) { c.Strategy = "warp-drive" }},
+		{"bad strategy", func(c *Config) { c.Strategy = Strategy("warp-drive") }},
 		{"bad mode", func(c *Config) { c.Mode = "yolo" }},
 		{"zero range", func(c *Config) { c.Range = 0 }},
 		{"negative k", func(c *Config) { c.MobilityCost = -1 }},

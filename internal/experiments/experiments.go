@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/dsweep"
 	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/metrics"
 	"repro/internal/mobility"
@@ -52,9 +53,23 @@ type Params struct {
 	MaxFlowBits float64
 	// EnergyLo/EnergyHi bound the uniform initial node energy.
 	EnergyLo, EnergyHi float64
-	// StrategyName selects the mobility strategy ("min-energy",
-	// "max-lifetime", "max-lifetime-exact").
+	// StrategyName selects the mobility strategy by registered name
+	// (mobility.Names lists the full set).
 	StrategyName string
+	// StrategyParams tunes the selected strategy's registry parameters;
+	// nil means all defaults. Omitted from the checkpoint manifest when
+	// empty, so pre-existing checkpoints stay valid.
+	StrategyParams mobility.Params `json:",omitempty"`
+	// EnergyTiers, when >= 2, quantizes each node's initial energy down
+	// to the floor of its tier band within [EnergyLo, EnergyHi] — the
+	// heterogeneous initial-energy setup of LEACH-style protocols
+	// (normal/advanced node classes). Applied in GenInstance, so every
+	// compared cell sees identical tiered energies. Zero disables it.
+	EnergyTiers int `json:",omitempty"`
+	// Faults, when non-nil, runs every trial under the fault-injection
+	// layer (per-trial derived injector seeds keep trials independent).
+	// Nil keeps the ideal channel.
+	Faults *fault.Config `json:",omitempty"`
 	// StopOnFirstDeath ends runs at the first depletion (lifetime runs).
 	StopOnFirstDeath bool
 	// EstimateScale models inaccurate flow-length estimates (ablation
@@ -216,14 +231,20 @@ func (p Params) Validate() error {
 	return p.Tx.Validate()
 }
 
-// strategy materializes the configured strategy, fitting α′ from a power
-// table when the max-lifetime strategy asks for it (paper §3.2).
+// strategy materializes the configured strategy through the plug-in
+// registry, with the full environment (radio model, range, power table
+// for α′ fits, locomotion model for lookahead strategies).
 func (p Params) strategy() (mobility.Strategy, error) {
 	table, err := energy.NewPowerTable(p.Tx, p.Range, 256)
 	if err != nil {
 		return nil, err
 	}
-	return mobility.ByName(p.StrategyName, p.Tx, table)
+	return mobility.New(p.StrategyName, mobility.Env{
+		Tx:       p.Tx,
+		Range:    p.Range,
+		Table:    table,
+		Mobility: energy.MobilityModel{K: p.K},
+	}, p.StrategyParams)
 }
 
 func (p Params) netsimConfig(strat mobility.Strategy, mode netsim.Mode) netsim.Config {
@@ -236,6 +257,7 @@ func (p Params) netsimConfig(strat mobility.Strategy, mode netsim.Mode) netsim.C
 	cfg.EstimateScale = p.EstimateScale
 	cfg.StopOnFirstDeath = p.StopOnFirstDeath
 	cfg.Motion = p.Motion
+	cfg.Faults = p.Faults
 	if p.Planner != nil {
 		cfg.Planner = p.Planner
 	}
@@ -298,6 +320,9 @@ func GenInstance(p Params, trial int) (Instance, error) {
 		for i := range energies {
 			energies[i] = src.Uniform(p.EnergyLo, p.EnergyHi)
 		}
+		if p.EnergyTiers >= 2 {
+			quantizeTiers(energies, p.EnergyLo, p.EnergyHi, p.EnergyTiers)
+		}
 		return Instance{
 			Positions: pos,
 			Energies:  energies,
@@ -308,6 +333,23 @@ func GenInstance(p Params, trial int) (Instance, error) {
 		}, nil
 	}
 	return Instance{}, errors.New("experiments: could not generate a routable instance (network too sparse?)")
+}
+
+// quantizeTiers snaps each energy down to the floor of its tier band
+// within [lo, hi]: tiers discrete initial-energy classes, the
+// heterogeneous node population of LEACH-style protocols.
+func quantizeTiers(energies []float64, lo, hi float64, tiers int) {
+	width := (hi - lo) / float64(tiers)
+	if width <= 0 {
+		return
+	}
+	for i, e := range energies {
+		t := int((e - lo) / width)
+		if t >= tiers {
+			t = tiers - 1
+		}
+		energies[i] = lo + float64(t)*width
+	}
 }
 
 // GenInstances draws the p.Flows Monte-Carlo instances on the sweep

@@ -1,0 +1,260 @@
+package mobility
+
+// Competitor baselines beyond the paper's two strategies, shipped
+// through the plug-in registry (ROADMAP "strategy plug-ins and
+// baselines"):
+//
+//   - MaxLifetimeRouting (after Lipiński's maximum-lifetime flow
+//     routing): how far does pure *route selection* get with no movement
+//     at all? Relays never move; the strategy instead provides a
+//     max-lifetime route planner through the PlannerProvider hook.
+//   - RollingHorizon (after Jaleel & Shamma's ADP-style coordinated
+//     mobility): instead of the paper's greedy one-shot target, each
+//     relay minimizes a discounted lookahead cost-to-go over the
+//     trajectory it would glide along while the flow drains.
+//   - ClusterRotation (LEACH-style): relays rotate the energy-hungry
+//     "head" role — only the locally energy-richest node repositions,
+//     with residual energies quantized into tiers so leadership has
+//     hysteresis and heterogeneous initial-energy tiers map directly
+//     onto election rank.
+//
+// All three implement the same Strategy interface the paper's
+// strategies use and register themselves like any third-party plug-in.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/energy"
+	"repro/internal/geom"
+	"repro/internal/routing"
+)
+
+// MaxLifetimeRouting is the no-movement max-lifetime flow-routing
+// baseline: relays stay where they are, and the flow's lifetime is
+// defended purely by which relays are selected (the planner routes
+// around energy-poor nodes, see routing.MaxLifetimePlanner). Its
+// aggregation mirrors MaxLifetime's bottleneck fold, so the destination
+// judges it by the same lifetime objective.
+type MaxLifetimeRouting struct {
+	// Tx parameterizes the route planner's energy weights.
+	Tx energy.TxModel
+	// Exponent is the planner's residual-energy penalty exponent x
+	// (default 1).
+	Exponent float64
+}
+
+var (
+	_ Strategy        = MaxLifetimeRouting{}
+	_ PlannerProvider = MaxLifetimeRouting{}
+)
+
+// Name implements Strategy.
+func (MaxLifetimeRouting) Name() string { return "max-lifetime-routing" }
+
+// NextPosition implements Strategy: the relay never moves.
+func (MaxLifetimeRouting) NextPosition(v View) (geom.Point, error) { return v.Self.Pos, nil }
+
+// InitPerf implements Strategy: identity for (min, min).
+func (MaxLifetimeRouting) InitPerf() Perf { return MaxLifetime{}.InitPerf() }
+
+// Aggregate implements Strategy: the bottleneck fold of the lifetime
+// objective.
+func (MaxLifetimeRouting) Aggregate(agg, node Perf) Perf { return MaxLifetime{}.Aggregate(agg, node) }
+
+// RoutePlanner implements PlannerProvider: flows under this strategy are
+// routed with the max-lifetime planner.
+func (s MaxLifetimeRouting) RoutePlanner() routing.Planner {
+	return routing.MaxLifetimePlanner{Tx: s.Tx, Exponent: s.Exponent}
+}
+
+// RollingHorizon is a rolling-horizon coordinated-mobility strategy
+// (after Jaleel & Shamma's approximate-dynamic-programming treatment of
+// mobile agents): rather than jumping to a single greedy target, the
+// relay evaluates candidate destinations x by the discounted cost-to-go
+// of *getting there while the flow drains* —
+//
+//	J(x) = Σ_{h=0}^{H−1} γʰ · [ E_M(‖x_h − x_{h−1}‖) + E_T(‖x_h − next‖, ℓ/H) ]
+//
+// where x_h glides uniformly from the current position to x over the H
+// lookahead stages and ℓ is the advertised residual flow length. Staying
+// put is always a candidate, so short remaining flows keep the relay
+// parked without any destination feedback — the cost-benefit threshold
+// the paper obtains from notifications emerges here from the lookahead
+// itself.
+type RollingHorizon struct {
+	// Tx and Mob price transmission and locomotion in the cost-to-go.
+	Tx  energy.TxModel
+	Mob energy.MobilityModel
+	// Horizon is the number of lookahead stages H (default 8).
+	Horizon int
+	// Discount is the per-stage discount factor γ in (0, 1] (default
+	// 0.9). Lower values weigh near-term movement cost more heavily.
+	Discount float64
+	// Samples is the number of candidate destinations spread along the
+	// prev→next segment (default 9, minimum 2).
+	Samples int
+}
+
+var _ Strategy = RollingHorizon{}
+
+// Name implements Strategy.
+func (RollingHorizon) Name() string { return "rolling-horizon" }
+
+// NextPosition implements Strategy: argmin of the lookahead cost-to-go
+// over the candidate set. Ties break toward the earlier candidate, and
+// the stay-put candidate is evaluated first, so the choice is
+// deterministic and staying wins exact ties.
+func (s RollingHorizon) NextPosition(v View) (geom.Point, error) {
+	if s.Horizon < 1 {
+		return geom.Point{}, fmt.Errorf("mobility: rolling-horizon horizon %d below 1", s.Horizon)
+	}
+	if s.Discount <= 0 || s.Discount > 1 {
+		return geom.Point{}, fmt.Errorf("mobility: rolling-horizon discount %v outside (0, 1]", s.Discount)
+	}
+	if s.Samples < 2 {
+		return geom.Point{}, fmt.Errorf("mobility: rolling-horizon samples %d below 2", s.Samples)
+	}
+	bits := v.ResidualBits
+	if bits <= 0 {
+		return v.Self.Pos, nil
+	}
+	best := v.Self.Pos
+	bestCost := s.costToGo(v, v.Self.Pos, bits)
+	for i := 0; i < s.Samples; i++ {
+		x := v.Prev.Pos.Lerp(v.Next.Pos, float64(i)/float64(s.Samples-1))
+		if c := s.costToGo(v, x, bits); c < bestCost {
+			best, bestCost = x, c
+		}
+	}
+	return best, nil
+}
+
+// costToGo evaluates J(x): the relay glides from its current position to
+// x in H equal steps, paying locomotion for each step and transmission
+// for the ℓ/H bits forwarded from each intermediate position, all
+// discounted by γ per stage.
+func (s RollingHorizon) costToGo(v View, x geom.Point, bits float64) float64 {
+	h := float64(s.Horizon)
+	perStage := bits / h
+	gamma := 1.0
+	cost := 0.0
+	prev := v.Self.Pos
+	for stage := 1; stage <= s.Horizon; stage++ {
+		pos := v.Self.Pos.Lerp(x, float64(stage)/h)
+		cost += gamma * (s.Mob.MoveEnergy(prev.Dist(pos)) + s.Tx.TxEnergy(pos.Dist(v.Next.Pos), perStage))
+		prev = pos
+		gamma *= s.Discount
+	}
+	return cost
+}
+
+// InitPerf implements Strategy: identity for (min, sum) — the energy
+// objective.
+func (RollingHorizon) InitPerf() Perf { return MinEnergy{}.InitPerf() }
+
+// Aggregate implements Strategy: the min-energy fold (bottleneck bits,
+// total residual energy).
+func (RollingHorizon) Aggregate(agg, node Perf) Perf { return MinEnergy{}.Aggregate(agg, node) }
+
+// ClusterRotation is a LEACH-style head-rotation strategy adapted to the
+// relay-chain setting: residual energies in the local {prev, self, next}
+// window are quantized into Tiers levels, and a relay acts as the
+// cluster head — repositioning to the midpoint like the min-energy
+// strategy — only while its tier is at least both neighbors'. Moving and
+// transmitting drain the head until a peer outranks it and the role
+// rotates, and with heterogeneous initial-energy tiers (LEACH's
+// advanced-node setup) high-tier nodes shoulder the early rounds exactly
+// as in the original protocol. Tiers controls the hysteresis: more tiers
+// rotate leadership faster, a single tier makes everyone a head.
+type ClusterRotation struct {
+	// Tiers is the energy quantization level count (default 4, minimum
+	// 1).
+	Tiers int
+}
+
+var _ Strategy = ClusterRotation{}
+
+// Name implements Strategy.
+func (ClusterRotation) Name() string { return "cluster-rotation" }
+
+// NextPosition implements Strategy: heads take the min-energy midpoint,
+// followers hold position.
+func (s ClusterRotation) NextPosition(v View) (geom.Point, error) {
+	if s.Tiers < 1 {
+		return geom.Point{}, fmt.Errorf("mobility: cluster-rotation tiers %d below 1", s.Tiers)
+	}
+	emax := math.Max(v.Self.Residual, math.Max(v.Prev.Residual, v.Next.Residual))
+	if emax <= 0 {
+		return v.Self.Pos, nil
+	}
+	self := s.tier(v.Self.Residual, emax)
+	if self >= s.tier(v.Prev.Residual, emax) && self >= s.tier(v.Next.Residual, emax) {
+		return v.Prev.Pos.Mid(v.Next.Pos), nil
+	}
+	return v.Self.Pos, nil
+}
+
+// tier quantizes a residual energy into [0, Tiers-1] relative to the
+// local maximum.
+func (s ClusterRotation) tier(e, emax float64) int {
+	if e <= 0 {
+		return 0
+	}
+	t := int(float64(s.Tiers) * e / emax)
+	if t >= s.Tiers {
+		t = s.Tiers - 1
+	}
+	return t
+}
+
+// InitPerf implements Strategy: identity for (min, sum).
+func (ClusterRotation) InitPerf() Perf { return MinEnergy{}.InitPerf() }
+
+// Aggregate implements Strategy: the min-energy fold.
+func (ClusterRotation) Aggregate(agg, node Perf) Perf { return MinEnergy{}.Aggregate(agg, node) }
+
+// Registry entries for the baselines, with their typed parameters.
+func init() {
+	Register("max-lifetime-routing", func(env Env, p Params) (Strategy, error) {
+		if err := p.Check("exponent"); err != nil {
+			return nil, err
+		}
+		x := p.Get("exponent", 1)
+		if x <= 0 {
+			return nil, fmt.Errorf("non-positive exponent %v", x)
+		}
+		return MaxLifetimeRouting{Tx: env.Tx, Exponent: x}, nil
+	})
+	Register("rolling-horizon", func(env Env, p Params) (Strategy, error) {
+		if err := p.Check("horizon", "discount", "samples"); err != nil {
+			return nil, err
+		}
+		hf := p.Get("horizon", 8)
+		if hf < 1 || hf != math.Trunc(hf) {
+			return nil, fmt.Errorf("horizon %v must be a positive integer", hf)
+		}
+		sf := p.Get("samples", 9)
+		if sf < 2 || sf != math.Trunc(sf) {
+			return nil, fmt.Errorf("samples %v must be an integer >= 2", sf)
+		}
+		gamma := p.Get("discount", 0.9)
+		if gamma <= 0 || gamma > 1 {
+			return nil, fmt.Errorf("discount %v outside (0, 1]", gamma)
+		}
+		return RollingHorizon{
+			Tx: env.Tx, Mob: env.Mobility,
+			Horizon: int(hf), Discount: gamma, Samples: int(sf),
+		}, nil
+	})
+	Register("cluster-rotation", func(env Env, p Params) (Strategy, error) {
+		if err := p.Check("tiers"); err != nil {
+			return nil, err
+		}
+		tf := p.Get("tiers", 4)
+		if tf < 1 || tf != math.Trunc(tf) {
+			return nil, fmt.Errorf("tiers %v must be a positive integer", tf)
+		}
+		return ClusterRotation{Tiers: int(tf)}, nil
+	})
+}

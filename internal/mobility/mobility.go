@@ -20,7 +20,6 @@
 package mobility
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
@@ -296,29 +295,13 @@ func (Stationary) Aggregate(agg, node Perf) Perf {
 	return Perf{Bits: math.Min(agg.Bits, node.Bits), Resi: agg.Resi + node.Resi}
 }
 
-// ByName returns the named strategy configured from the given radio model
-// and power table. Recognized names: "min-energy", "max-lifetime",
-// "max-lifetime-exact", "stationary".
+// ByName returns the named registered strategy configured from the given
+// radio model and power table, with default parameters. It predates the
+// plug-in registry and remains as the convenience resolver for callers
+// that have no locomotion model or parameters to pass; new code should
+// build an Env and call New directly.
 func ByName(name string, tx energy.TxModel, table *energy.PowerTable) (Strategy, error) {
-	switch name {
-	case MinEnergy{}.Name():
-		return MinEnergy{}, nil
-	case MaxLifetime{}.Name():
-		if table == nil {
-			return nil, errors.New("mobility: max-lifetime requires a power table for the α′ fit")
-		}
-		alpha, err := table.FitAlphaPrime()
-		if err != nil {
-			return nil, err
-		}
-		return MaxLifetime{AlphaPrime: alpha}, nil
-	case MaxLifetimeExact{}.Name():
-		return MaxLifetimeExact{Tx: tx}, nil
-	case Stationary{}.Name():
-		return Stationary{}, nil
-	default:
-		return nil, fmt.Errorf("mobility: unknown strategy %q", name)
-	}
+	return New(name, Env{Tx: tx, Table: table}, nil)
 }
 
 // WeightedTarget combines per-flow preferred positions for a relay that

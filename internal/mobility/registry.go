@@ -1,0 +1,214 @@
+package mobility
+
+// The strategy plug-in registry: the extension point that turns the
+// move-decision logic into an open surface. A strategy is published by
+// registering a named Factory; everything above this package — the public
+// imobif.Config, scenario JSON, the CLIs, the service daemon, and the
+// experiment drivers — resolves strategies exclusively through New and
+// enumerates them through Names, so adding a competitor baseline is one
+// Register call plus an implementation of Strategy, with no switch
+// statements to edit.
+//
+// Factories receive an Env (the physical models the simulation is
+// configured with) plus free-form numeric Params, and must reject
+// parameters they do not understand — a misspelled knob is an error, not
+// a silent default.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/energy"
+	"repro/internal/routing"
+)
+
+// Env is the simulation context a strategy factory materializes against:
+// the radio transmission model, the communication range, the sampled
+// power table (for strategies that fit the α′ power-law approximation),
+// and the locomotion cost model (for strategies that weigh movement
+// energy in their decisions). Callers fill in what they have; factories
+// must check for what they need and fail with a clear error otherwise.
+type Env struct {
+	// Tx is the radio transmission model P(d) = A + B·dᵅ.
+	Tx energy.TxModel
+	// Range is the radio communication range in meters.
+	Range float64
+	// Table is the sampled power table over [0, Range]; nil when the
+	// caller has none. Factories needing an α′ fit must error on nil.
+	Table *energy.PowerTable
+	// Mobility is the locomotion cost model E_M(d) = K·d. The zero
+	// value (K = 0) models free movement.
+	Mobility energy.MobilityModel
+}
+
+// Params are a strategy's tuning knobs as free-form name → value pairs,
+// the wire-friendly shape carried by imobif.StrategyConfig and the
+// scenario JSON "strategy" spec. Factories validate them: unknown names
+// and out-of-range values are construction errors.
+type Params map[string]float64
+
+// Get returns the named parameter, or def when absent.
+func (p Params) Get(name string, def float64) float64 {
+	if v, ok := p[name]; ok {
+		return v
+	}
+	return def
+}
+
+// Check verifies that every parameter name is in the allowed set,
+// returning an error naming the first offender (in sorted order, so the
+// message is deterministic) and the accepted names.
+func (p Params) Check(allowed ...string) error {
+	if len(p) == 0 {
+		return nil
+	}
+	ok := make(map[string]bool, len(allowed))
+	for _, a := range allowed {
+		ok[a] = true
+	}
+	var bad []string
+	for name := range p {
+		if !ok[name] {
+			bad = append(bad, name)
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	if len(allowed) == 0 {
+		return fmt.Errorf("mobility: unknown parameter %q (strategy takes none)", bad[0])
+	}
+	return fmt.Errorf("mobility: unknown parameter %q (accepted: %s)", bad[0], strings.Join(allowed, ", "))
+}
+
+// Factory materializes a strategy against a simulation environment and
+// its tuning parameters. A factory must validate p — unknown names and
+// out-of-range values are errors — and may reject an Env missing a model
+// it depends on.
+type Factory func(env Env, p Params) (Strategy, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// Register publishes a strategy factory under a name. It is intended to
+// be called from package init functions (the built-ins below and any
+// third-party strategy package do exactly that) and panics on misuse:
+// an empty name, a nil factory, or a duplicate registration are
+// programming errors, not runtime conditions.
+func Register(name string, f Factory) {
+	if name == "" {
+		panic("mobility: Register with empty strategy name")
+	}
+	if f == nil {
+		panic(fmt.Sprintf("mobility: Register(%q) with nil factory", name))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("mobility: Register(%q) called twice", name))
+	}
+	registry[name] = f
+}
+
+// Names returns every registered strategy name in sorted order — the
+// set CLI help strings, unknown-name errors, and the cross-strategy
+// comparison driver enumerate.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Registered reports whether a strategy name is registered.
+func Registered(name string) bool {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	_, ok := registry[name]
+	return ok
+}
+
+// New resolves a registered strategy by name, materialized against env
+// with the given parameters (nil means all defaults). Unknown names
+// error with the available set, so a typo on any surface — flag,
+// scenario JSON, API — tells the user what exists.
+func New(name string, env Env, p Params) (Strategy, error) {
+	if name == "" {
+		return nil, fmt.Errorf("mobility: empty strategy name (registered: %s)", strings.Join(Names(), ", "))
+	}
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("mobility: unknown strategy %q (registered: %s)", name, strings.Join(Names(), ", "))
+	}
+	s, err := f(env, p)
+	if err != nil {
+		// Factory errors from this package already carry the prefix;
+		// strip it rather than stutter "mobility: ... mobility: ...".
+		return nil, fmt.Errorf("mobility: strategy %q: %s", name,
+			strings.TrimPrefix(err.Error(), "mobility: "))
+	}
+	return s, nil
+}
+
+// PlannerProvider is implemented by strategies that bundle a route
+// *selection* policy alongside (or instead of) a positioning policy —
+// the max-lifetime flow-routing baseline is the canonical case: its
+// whole contribution is which relays carry the flow, not where they
+// move. The simulator adopts the provided planner when its configuration
+// leaves the default greedy planner in place; an explicitly configured
+// planner always wins.
+type PlannerProvider interface {
+	// RoutePlanner returns the planner flows of this strategy should be
+	// routed with.
+	RoutePlanner() routing.Planner
+}
+
+// Built-in registrations: the paper's strategies (§3) plus the
+// stationary null strategy. Self-registering here — not switch cases in
+// a resolver — so they go through exactly the same surface as any
+// third-party plug-in.
+func init() {
+	Register("min-energy", func(env Env, p Params) (Strategy, error) {
+		if err := p.Check(); err != nil {
+			return nil, err
+		}
+		return MinEnergy{}, nil
+	})
+	Register("max-lifetime", func(env Env, p Params) (Strategy, error) {
+		if err := p.Check(); err != nil {
+			return nil, err
+		}
+		if env.Table == nil {
+			return nil, errors.New("requires a power table for the α′ fit")
+		}
+		alpha, err := env.Table.FitAlphaPrime()
+		if err != nil {
+			return nil, err
+		}
+		return MaxLifetime{AlphaPrime: alpha}, nil
+	})
+	Register("max-lifetime-exact", func(env Env, p Params) (Strategy, error) {
+		if err := p.Check(); err != nil {
+			return nil, err
+		}
+		return MaxLifetimeExact{Tx: env.Tx}, nil
+	})
+	Register("stationary", func(env Env, p Params) (Strategy, error) {
+		if err := p.Check(); err != nil {
+			return nil, err
+		}
+		return Stationary{}, nil
+	})
+}

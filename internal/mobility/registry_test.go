@@ -1,0 +1,324 @@
+package mobility
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/geom"
+	"repro/internal/routing"
+)
+
+func testEnv(t *testing.T) Env {
+	t.Helper()
+	tx := energy.DefaultTxModel()
+	table, err := energy.NewPowerTable(tx, 200, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Env{Tx: tx, Range: 200, Table: table, Mobility: energy.MobilityModel{K: 0.5}}
+}
+
+// TestRegistryBuiltins resolves every registered name with default
+// params and checks the instance reports the name it was registered
+// under.
+func TestRegistryBuiltins(t *testing.T) {
+	env := testEnv(t)
+	names := Names()
+	if len(names) < 5 {
+		t.Fatalf("registry has %d strategies, want at least 5: %v", len(names), names)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	for _, name := range names {
+		if !Registered(name) {
+			t.Errorf("Registered(%q) = false for a listed name", name)
+		}
+		s, err := New(name, env, nil)
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if s.Name() != name {
+			t.Errorf("strategy registered as %q reports Name() %q", name, s.Name())
+		}
+	}
+	if Registered("warp-drive") {
+		t.Error("Registered reports an unknown name")
+	}
+}
+
+// TestRegistryErrors covers the lookup error paths: unknown and empty
+// names must error and name the registered set.
+func TestRegistryErrors(t *testing.T) {
+	env := testEnv(t)
+	for _, name := range []string{"warp-drive", ""} {
+		_, err := New(name, env, nil)
+		if err == nil {
+			t.Fatalf("New(%q) succeeded", name)
+		}
+		if !strings.Contains(err.Error(), "registered:") || !strings.Contains(err.Error(), "min-energy") {
+			t.Errorf("New(%q) error %q does not name the registered set", name, err)
+		}
+	}
+	// max-lifetime needs a power table for the α′ fit.
+	if _, err := New("max-lifetime", Env{Tx: env.Tx}, nil); err == nil {
+		t.Error("max-lifetime without a power table succeeded")
+	}
+}
+
+// TestRegisterPanics pins registration misuse as programming errors:
+// empty name, nil factory, duplicate name.
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	f := func(Env, Params) (Strategy, error) { return Stationary{}, nil }
+	mustPanic("empty name", func() { Register("", f) })
+	mustPanic("nil factory", func() { Register("test-nil-factory", nil) })
+	Register("test-duplicate", f)
+	mustPanic("duplicate", func() { Register("test-duplicate", f) })
+}
+
+// TestParamsValidation covers params rejection: unknown names on every
+// built-in, out-of-range values on the parameterized baselines.
+func TestParamsValidation(t *testing.T) {
+	env := testEnv(t)
+	for _, name := range []string{"min-energy", "max-lifetime", "max-lifetime-exact", "stationary"} {
+		_, err := New(name, env, Params{"bogus": 1})
+		if err == nil || !strings.Contains(err.Error(), "strategy takes none") {
+			t.Errorf("New(%q, bogus param) error = %v", name, err)
+		}
+	}
+	cases := []struct {
+		strategy string
+		params   Params
+		wantErr  string
+	}{
+		{"rolling-horizon", Params{"warp": 9}, `unknown parameter "warp"`},
+		{"rolling-horizon", Params{"horizon": 0}, "horizon"},
+		{"rolling-horizon", Params{"horizon": 2.5}, "horizon"},
+		{"rolling-horizon", Params{"discount": 1.5}, "discount"},
+		{"rolling-horizon", Params{"samples": 1}, "samples"},
+		{"cluster-rotation", Params{"tiers": 0}, "tiers"},
+		{"cluster-rotation", Params{"tiers": 1.5}, "tiers"},
+		{"max-lifetime-routing", Params{"exponent": -1}, "exponent"},
+	}
+	for _, tc := range cases {
+		_, err := New(tc.strategy, env, tc.params)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("New(%q, %v) error = %v, want mention of %q", tc.strategy, tc.params, err, tc.wantErr)
+		}
+	}
+	// The error for an unknown param names the accepted set.
+	_, err := New("rolling-horizon", env, Params{"warp": 9})
+	if err == nil || !strings.Contains(err.Error(), "accepted: horizon, discount, samples") {
+		t.Errorf("unknown-param error %v does not name the accepted set", err)
+	}
+}
+
+// TestParamsGet covers the Params accessor.
+func TestParamsGet(t *testing.T) {
+	p := Params{"a": 2}
+	if got := p.Get("a", 7); got != 2 {
+		t.Errorf("Get(a) = %v", got)
+	}
+	if got := p.Get("b", 7); got != 7 {
+		t.Errorf("Get(b) default = %v", got)
+	}
+	if err := Params(nil).Check(); err != nil {
+		t.Errorf("nil params Check: %v", err)
+	}
+}
+
+// symmetricView is a relay halfway between its peers with equal
+// residuals everywhere.
+func symmetricView(bits float64) View {
+	return View{
+		Self:         Peer{ID: 1, Pos: geom.Pt(100, 40), Residual: 100},
+		Prev:         Peer{ID: 0, Pos: geom.Pt(0, 0), Residual: 100},
+		Next:         Peer{ID: 2, Pos: geom.Pt(200, 0), Residual: 100},
+		ResidualBits: bits,
+	}
+}
+
+// TestMaxLifetimeRoutingStationary pins the Lipiński baseline's
+// contract: the relay never moves, and the strategy provides the
+// max-lifetime planner.
+func TestMaxLifetimeRoutingStationary(t *testing.T) {
+	env := testEnv(t)
+	s, err := New("max-lifetime-routing", env, Params{"exponent": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := symmetricView(1e6)
+	got, err := s.NextPosition(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v.Self.Pos {
+		t.Errorf("relay moved to %v", got)
+	}
+	pp, ok := s.(PlannerProvider)
+	if !ok {
+		t.Fatal("max-lifetime-routing does not provide a planner")
+	}
+	mp, ok := pp.RoutePlanner().(routing.MaxLifetimePlanner)
+	if !ok || mp.Exponent != 2 {
+		t.Errorf("RoutePlanner() = %#v, want MaxLifetimePlanner{Exponent: 2}", pp.RoutePlanner())
+	}
+	// Lifetime aggregation: the bottleneck fold of MaxLifetime.
+	agg := s.Aggregate(s.InitPerf(), Perf{Bits: 5, Resi: 3})
+	agg = s.Aggregate(agg, Perf{Bits: 9, Resi: 1})
+	if agg.Bits != 5 || agg.Resi != 1 {
+		t.Errorf("aggregate = %+v, want (min, min)", agg)
+	}
+}
+
+// TestRollingHorizonLookahead pins the lookahead behavior: with a long
+// flow ahead the relay heads toward the transmission-optimal segment;
+// with nothing left to forward it stays parked (the cost-benefit
+// threshold emerging from the lookahead).
+func TestRollingHorizonLookahead(t *testing.T) {
+	env := testEnv(t)
+	s, err := New("rolling-horizon", env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := symmetricView(1e9)
+	got, err := s.NextPosition(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == long.Self.Pos {
+		t.Fatal("long flow: relay did not move")
+	}
+	// The chosen target sits on the prev→next segment, closer to the
+	// next hop than the off-line start (transmission dominates).
+	if got.Y != 0 {
+		t.Errorf("target %v is off the prev→next segment", got)
+	}
+	if got.Dist(long.Next.Pos) >= long.Self.Pos.Dist(long.Next.Pos) {
+		t.Errorf("target %v is no closer to the next hop than the start %v", got, long.Self.Pos)
+	}
+	// A drained flow keeps the relay parked.
+	idle := symmetricView(0)
+	got, err = s.NextPosition(idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != idle.Self.Pos {
+		t.Errorf("idle flow: relay moved to %v", got)
+	}
+	// A short flow must cost no more than the midpoint jump the greedy
+	// strategy would make: staying is always a candidate.
+	short := symmetricView(8192)
+	got, err = s.NextPosition(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh := s.(RollingHorizon)
+	if c, stay := rh.costToGo(short, got, short.ResidualBits), rh.costToGo(short, short.Self.Pos, short.ResidualBits); c > stay {
+		t.Errorf("chosen target costs %v, more than staying (%v)", c, stay)
+	}
+	// Misconfigured instances surface errors, not silent defaults.
+	if _, err := (RollingHorizon{Horizon: 0, Discount: 0.9, Samples: 3}).NextPosition(long); err == nil {
+		t.Error("zero horizon did not error")
+	}
+	if _, err := (RollingHorizon{Horizon: 2, Discount: 0, Samples: 3}).NextPosition(long); err == nil {
+		t.Error("zero discount did not error")
+	}
+	if _, err := (RollingHorizon{Horizon: 2, Discount: 0.9, Samples: 1}).NextPosition(long); err == nil {
+		t.Error("one sample did not error")
+	}
+}
+
+// TestClusterRotationElection pins the LEACH-style election: the
+// locally energy-richest relay repositions to the midpoint, lower-tier
+// relays hold, and ties go to the head (>= both peers).
+func TestClusterRotationElection(t *testing.T) {
+	env := testEnv(t)
+	s, err := New("cluster-rotation", env, Params{"tiers": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := symmetricView(1e6)
+	head.Self.Residual = 100
+	head.Prev.Residual = 10
+	head.Next.Residual = 10
+	got, err := s.NextPosition(head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := head.Prev.Pos.Mid(head.Next.Pos); got != want {
+		t.Errorf("head moved to %v, want midpoint %v", got, want)
+	}
+	follower := symmetricView(1e6)
+	follower.Self.Residual = 10
+	follower.Prev.Residual = 100
+	got, err = s.NextPosition(follower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != follower.Self.Pos {
+		t.Errorf("follower moved to %v", got)
+	}
+	// Equal tiers everywhere: everyone is a head (ties go up).
+	tie := symmetricView(1e6)
+	got, err = s.NextPosition(tie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := tie.Prev.Pos.Mid(tie.Next.Pos); got != want {
+		t.Errorf("tied relay at %v, want midpoint %v", got, want)
+	}
+	// All-dead neighborhood stays parked rather than dividing by zero.
+	dead := symmetricView(1e6)
+	dead.Self.Residual, dead.Prev.Residual, dead.Next.Residual = 0, 0, 0
+	got, err = s.NextPosition(dead)
+	if err != nil || got != dead.Self.Pos {
+		t.Errorf("dead neighborhood: %v, %v", got, err)
+	}
+	if _, err := (ClusterRotation{}).NextPosition(tie); err == nil {
+		t.Error("zero tiers did not error")
+	}
+}
+
+// TestByNameCompat pins the legacy resolver wrapper over the registry.
+func TestByNameCompat(t *testing.T) {
+	env := testEnv(t)
+	s, err := ByName("min-energy", env.Tx, env.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(MinEnergy); !ok {
+		t.Errorf("ByName(min-energy) = %T", s)
+	}
+	if _, err := ByName("warp-drive", env.Tx, env.Table); err == nil {
+		t.Error("ByName accepted an unknown name")
+	}
+}
+
+// TestMaxLifetimeRoutingExponentDefault pins the factory default x=1.
+func TestMaxLifetimeRoutingExponentDefault(t *testing.T) {
+	s, err := New("max-lifetime-routing", testEnv(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := s.(MaxLifetimeRouting)
+	if mp.Exponent != 1 {
+		t.Errorf("default exponent = %v, want 1", mp.Exponent)
+	}
+	if math.IsNaN(mp.Exponent) {
+		t.Error("NaN exponent")
+	}
+}

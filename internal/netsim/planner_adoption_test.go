@@ -1,0 +1,82 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/routing"
+)
+
+// diamondWorld builds a 4-node diamond: src 0 and dst 3 out of mutual
+// range, bridged by two relays. Relay 2 sits on the src→dst axis (the
+// greedy pick) but starts nearly depleted; relay 1 is slightly off-axis
+// with a full battery.
+func diamondWorld(t *testing.T, cfg Config) *World {
+	t.Helper()
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(48, 6), geom.Pt(52, 0), geom.Pt(100, 0)}
+	energies := []float64{1000, 1000, 0.001, 1000}
+	cfg.Radio.Range = 60
+	w, err := NewWorld(cfg, pts, energies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestPlannerProviderAdoption pins the strategy→planner handoff: a
+// strategy implementing mobility.PlannerProvider replaces the default
+// greedy planner, so the max-lifetime-routing baseline steers the flow
+// through the charged relay the greedy planner would skip.
+func TestPlannerProviderAdoption(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeNoMobility
+	cfg.Strategy = mobility.MaxLifetimeRouting{Tx: energy.DefaultTxModel()}
+	w := diamondWorld(t, cfg)
+	id, err := w.AddFlow(FlowSpec{Src: 0, Dst: 3, LengthBits: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := w.FlowPath(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[1] != 1 {
+		t.Errorf("max-lifetime-routing path %v, want relay 1 (the charged relay)", path)
+	}
+}
+
+// TestPlannerProviderGreedyControl pins the control case: without a
+// PlannerProvider strategy the default greedy planner stands, picking
+// the on-axis (depleted) relay in the same diamond.
+func TestPlannerProviderGreedyControl(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeNoMobility
+	w := diamondWorld(t, cfg)
+	id, err := w.AddFlow(FlowSpec{Src: 0, Dst: 3, LengthBits: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := w.FlowPath(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[1] != 2 {
+		t.Errorf("greedy path %v, want on-axis relay 2", path)
+	}
+}
+
+// TestPlannerProviderDoesNotOverrideExplicit pins that an explicitly
+// configured planner wins over the strategy's provider: the user's
+// routing choice is never silently replaced.
+func TestPlannerProviderDoesNotOverrideExplicit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeNoMobility
+	cfg.Strategy = mobility.MaxLifetimeRouting{Tx: energy.DefaultTxModel()}
+	cfg.Planner = routing.MinEnergyPlanner{Tx: energy.DefaultTxModel()}
+	w := diamondWorld(t, cfg)
+	if _, ok := w.cfg.Planner.(routing.MinEnergyPlanner); !ok {
+		t.Errorf("explicit planner replaced by %T", w.cfg.Planner)
+	}
+}

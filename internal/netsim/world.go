@@ -12,6 +12,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/hello"
 	"repro/internal/metrics"
+	"repro/internal/mobility"
 	"repro/internal/motion"
 	"repro/internal/radio"
 	"repro/internal/routing"
@@ -209,6 +210,15 @@ func NewWorld(cfg Config, positions []geom.Point, energies []float64) (*World, e
 	if len(positions) < 2 {
 		return nil, errors.New("netsim: need at least two nodes")
 	}
+	// Strategies that bundle a route-selection policy supply their planner
+	// when the configuration leaves the default greedy one in place; an
+	// explicitly chosen planner always wins. cfg is a copy, so the caller's
+	// Config is never mutated.
+	if pp, ok := cfg.Strategy.(mobility.PlannerProvider); ok {
+		if _, isDefault := cfg.Planner.(routing.GreedyPlanner); isDefault {
+			cfg.Planner = pp.RoutePlanner()
+		}
+	}
 	sched := sim.NewScheduler()
 	// Build the fault injector (nil config → nil injector → ideal channel)
 	// and install it as the medium's loss hook. The hook is set on a local
@@ -330,7 +340,7 @@ func (w *World) AddFlow(spec FlowSpec) (core.FlowID, error) {
 	}
 	path := spec.Path
 	if path == nil {
-		path, err = w.cfg.Planner.PlanRoute(g, spec.Src, spec.Dst)
+		path, err = w.planPath(g, spec.Src, spec.Dst, nil)
 		if err != nil {
 			return 0, fmt.Errorf("netsim: planning flow path: %w", err)
 		}
@@ -928,7 +938,7 @@ func (w *World) planLive(src, dst NodeID) ([]NodeID, error) {
 	if err != nil {
 		return nil, err
 	}
-	seg, err := w.cfg.Planner.PlanRoute(g, toNew[src], toNew[dst])
+	seg, err := w.planPath(g, toNew[src], toNew[dst], toOld)
 	if err != nil {
 		return nil, err
 	}
@@ -937,6 +947,31 @@ func (w *World) planLive(src, dst NodeID) ([]NodeID, error) {
 		out[i] = toOld[nid]
 	}
 	return out, nil
+}
+
+// planPath routes src→dst over g with the configured planner, feeding
+// current residual battery energies to energy-aware planners so their
+// routes chase the live energy landscape at both flow setup and route
+// repair. toOld maps graph indices back to world node IDs when g is a
+// compacted live-node graph (nil means identity).
+func (w *World) planPath(g *topo.Graph, src, dst NodeID, toOld []NodeID) ([]NodeID, error) {
+	ea, ok := w.cfg.Planner.(routing.EnergyAware)
+	if !ok {
+		return w.cfg.Planner.PlanRoute(g, src, dst)
+	}
+	var energies []float64
+	if toOld == nil {
+		energies = make([]float64, len(w.nodes))
+		for i, n := range w.nodes {
+			energies[i] = n.battery.Residual()
+		}
+	} else {
+		energies = make([]float64, len(toOld))
+		for i, id := range toOld {
+			energies[i] = w.nodes[id].battery.Residual()
+		}
+	}
+	return ea.PlanRouteEnergy(g, energies, src, dst)
 }
 
 // trace dispatches one event to the attached consumers. With no Tracer

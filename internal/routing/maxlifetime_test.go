@@ -1,0 +1,90 @@
+package routing
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/energy"
+)
+
+// TestMaxLifetimePlannerAvoidsDrainedRelay pins the Lipiński-style
+// weight: with residual energies in play the route crosses the charged
+// relay; with nil energies it degenerates to minimum-transmission-energy
+// routing and still produces a valid path.
+func TestMaxLifetimePlannerAvoidsDrainedRelay(t *testing.T) {
+	g := diamondGraph(t)
+	p := MaxLifetimePlanner{Tx: energy.DefaultTxModel()}
+	// Relay 1 charged, relay 2 nearly drained.
+	path, err := p.PlanRouteEnergy(g, []float64{1000, 1000, 1e-6, 1000}, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[1] != 1 {
+		t.Errorf("path %v, want src→1→dst through the charged relay", path)
+	}
+	// Flip the energy landscape: the route flips with it.
+	path, err = p.PlanRouteEnergy(g, []float64{1000, 1e-6, 1000, 1000}, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[1] != 2 {
+		t.Errorf("path %v, want src→2→dst after the flip", path)
+	}
+	// Uniform fallback still routes.
+	path, err = p.PlanRoute(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateRoute(g, path, 0, 3); err != nil {
+		t.Errorf("fallback route invalid: %v", err)
+	}
+	if p.Name() != "maxlifetime" {
+		t.Error("name mismatch")
+	}
+}
+
+// TestMaxLifetimePlannerDeadRelayLastResort pins the depleted-node
+// penalty: a dead relay is routed around whenever an alternative
+// exists, but still carries the flow when it is the only bridge.
+func TestMaxLifetimePlannerDeadRelayLastResort(t *testing.T) {
+	g := diamondGraph(t)
+	p := MaxLifetimePlanner{Tx: energy.DefaultTxModel()}
+	path, err := p.PlanRouteEnergy(g, []float64{1000, 1000, 0, 1000}, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[1] != 1 {
+		t.Errorf("path %v routed through a dead relay with an alternative up", path)
+	}
+	// Both relays dead: the planner still finds a (finite-weight) path
+	// rather than reporting the network partitioned.
+	path, err = p.PlanRouteEnergy(g, []float64{1000, 0, 0, 1000}, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateRoute(g, path, 0, 3); err != nil {
+		t.Errorf("all-dead route invalid: %v", err)
+	}
+}
+
+// TestMaxLifetimePlannerExponent pins exponent semantics: a larger x
+// penalizes the drained relay harder (same route here), zero defaults
+// to 1, and a negative exponent is a configuration error.
+func TestMaxLifetimePlannerExponent(t *testing.T) {
+	g := diamondGraph(t)
+	energies := []float64{1000, 100, 10, 1000}
+	for _, x := range []float64{0, 1, 4} {
+		p := MaxLifetimePlanner{Tx: energy.DefaultTxModel(), Exponent: x}
+		path, err := p.PlanRouteEnergy(g, energies, 0, 3)
+		if err != nil {
+			t.Fatalf("exponent %v: %v", x, err)
+		}
+		if len(path) != 3 || path[1] != 1 {
+			t.Errorf("exponent %v: path %v, want the higher-energy relay", x, path)
+		}
+	}
+	p := MaxLifetimePlanner{Tx: energy.DefaultTxModel(), Exponent: -2}
+	if _, err := p.PlanRouteEnergy(g, energies, 0, 3); err == nil || !strings.Contains(err.Error(), "exponent") {
+		t.Errorf("negative exponent error = %v", err)
+	}
+}

@@ -10,6 +10,7 @@ package routing
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/energy"
 	"repro/internal/topo"
@@ -78,6 +79,77 @@ func (p MinEnergyPlanner) PlanRoute(g *topo.Graph, src, dst NodeID) ([]NodeID, e
 
 // Name implements Planner.
 func (p MinEnergyPlanner) Name() string { return "minenergy" }
+
+// EnergyAware is implemented by planners whose route choice depends on
+// residual node energies in addition to the topology snapshot. The
+// simulator consults it at plan time — both initial flow setup and
+// mid-run route repair — passing the current residual energy of every
+// node in the graph's index space, so routes chase the live energy
+// landscape rather than the initial one.
+type EnergyAware interface {
+	// PlanRouteEnergy is PlanRoute with per-node residual energies,
+	// indexed like the graph's nodes.
+	PlanRouteEnergy(g *topo.Graph, energies []float64, src, dst NodeID) ([]NodeID, error)
+}
+
+// MaxLifetimePlanner plans max-lifetime flow routes (after Lipiński's
+// maximum-lifetime flow-routing formulation, in the Chang–Tassiulas
+// cost-function family): the route minimizes the total *relative* energy
+// drain Σ E_T(dᵢ, 1)/eᵢ^x over transmitters, steering flows away from
+// nearly depleted nodes. With x = 0 — or when no energies are available
+// through the EnergyAware path — it degenerates to minimum-transmission-
+// energy routing.
+type MaxLifetimePlanner struct {
+	Tx energy.TxModel
+	// Exponent is the residual-energy penalty exponent x (default 1).
+	// Larger values avoid low-energy relays more aggressively.
+	Exponent float64
+}
+
+var (
+	_ Planner     = MaxLifetimePlanner{}
+	_ EnergyAware = MaxLifetimePlanner{}
+)
+
+// PlanRoute implements Planner: the uniform-energy fallback, a pure
+// minimum-transmission-energy route.
+func (p MaxLifetimePlanner) PlanRoute(g *topo.Graph, src, dst NodeID) ([]NodeID, error) {
+	return p.PlanRouteEnergy(g, nil, src, dst)
+}
+
+// PlanRouteEnergy implements EnergyAware. A nil energies slice means
+// uniform batteries; depleted transmitters are penalized with a huge
+// (but finite) weight so they are routed around whenever any
+// alternative exists.
+func (p MaxLifetimePlanner) PlanRouteEnergy(g *topo.Graph, energies []float64, src, dst NodeID) ([]NodeID, error) {
+	if err := p.Tx.Validate(); err != nil {
+		return nil, fmt.Errorf("routing: max-lifetime planner: %w", err)
+	}
+	x := p.Exponent
+	if x == 0 {
+		x = 1
+	}
+	if x < 0 {
+		return nil, fmt.Errorf("routing: negative max-lifetime exponent %v", p.Exponent)
+	}
+	return g.MinCostPath(src, dst, func(i, j NodeID) float64 {
+		w := p.Tx.TxEnergy(g.Pos(i).Dist(g.Pos(j)), 1)
+		if energies == nil {
+			return w
+		}
+		e := energies[i]
+		if e <= 0 {
+			// A dead transmitter cannot carry the flow; make it the
+			// last resort without breaking Dijkstra's finite-weight
+			// contract.
+			return w * 1e30
+		}
+		return w / math.Pow(e, x)
+	})
+}
+
+// Name implements Planner.
+func (p MaxLifetimePlanner) Name() string { return "maxlifetime" }
 
 // ValidateRoute checks that a path is well-formed over the graph: no
 // repeats, consecutive nodes in range, endpoints as requested.

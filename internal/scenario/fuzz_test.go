@@ -35,6 +35,9 @@ func FuzzScenarioJSON(f *testing.F) {
 	for _, seed := range motionSpecSeeds {
 		f.Add(seed)
 	}
+	for _, seed := range strategySpecSeeds {
+		f.Add(seed)
+	}
 	f.Fuzz(func(t *testing.T, data string) {
 		s, err := Load(strings.NewReader(data))
 		if err != nil {
@@ -92,6 +95,28 @@ var motionSpecSeeds = []string{
 	`{"motion":{"model":"random-waypoint","speed_lo":5,"speed_hi":1,"field_w":100,"field_h":100}}`,
 }
 
+// strategySpecSeeds exercises the structured "strategy" spec: both JSON
+// spellings, per-strategy params, and the invalid shapes (unknown keys,
+// wrong value types) the loader must refuse without panicking.
+var strategySpecSeeds = []string{
+	`{"strategy":"max-lifetime","nodes":[{"x":0,"y":0,"joules":10},{"x":50,"y":0,"joules":10}],` +
+		`"flows":[{"src":0,"dst":1,"length_kb":1}]}`,
+	`{"strategy":{"name":"min-energy"},"nodes":[{"x":0,"y":0,"joules":10},{"x":50,"y":0,"joules":10}],` +
+		`"flows":[{"src":0,"dst":1,"length_kb":1}]}`,
+	`{"strategy":{"name":"rolling-horizon","params":{"horizon":12,"discount":0.8,"samples":5}},` +
+		`"nodes":[{"x":0,"y":0,"joules":10},{"x":50,"y":0,"joules":10}],"flows":[{"src":0,"dst":1,"length_kb":1}]}`,
+	`{"strategy":{"name":"cluster-rotation","params":{"tiers":3}},` +
+		`"nodes":[{"x":0,"y":0,"joules":10},{"x":50,"y":0,"joules":10}],"flows":[{"src":0,"dst":1,"length_kb":1}]}`,
+	`{"strategy":{"name":"max-lifetime-routing","params":{"exponent":2}},` +
+		`"nodes":[{"x":0,"y":0,"joules":10},{"x":50,"y":0,"joules":10}],"flows":[{"src":0,"dst":1,"length_kb":1}]}`,
+	`{"strategy":{"name":"rolling-horizon","params":{"warp":9}}}`,
+	`{"strategy":{"name":"min-energy","extra":true}}`,
+	`{"strategy":{"params":{"tiers":3}}}`,
+	`{"strategy":42}`,
+	`{"strategy":{"name":["min-energy"]}}`,
+	`{"strategy":null}`,
+}
+
 // FuzzScenarioFingerprint fuzzes the canonical fingerprint: any input
 // Load accepts must fingerprint without panicking, equal scenarios must
 // hash equally (the canonical form re-Loads to the same fingerprint —
@@ -104,6 +129,9 @@ func FuzzScenarioFingerprint(f *testing.F) {
 		f.Add(seed)
 	}
 	for _, seed := range motionSpecSeeds {
+		f.Add(seed)
+	}
+	for _, seed := range strategySpecSeeds {
 		f.Add(seed)
 	}
 	f.Add(`not json`)

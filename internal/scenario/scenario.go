@@ -6,11 +6,13 @@
 package scenario
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"repro/internal/energy"
 	"repro/internal/fault"
@@ -39,9 +41,12 @@ type Scenario struct {
 	PathLossExp  float64 `json:"path_loss_exp"`
 	MobilityCost float64 `json:"mobility_cost_j_per_m"`
 
-	// Strategy: "min-energy" (default), "max-lifetime",
-	// "max-lifetime-exact", "stationary".
-	Strategy string `json:"strategy"`
+	// Strategy selects any registered mobility strategy, in either the
+	// legacy plain-string spelling ("strategy": "min-energy") or the
+	// structured spelling with per-strategy parameters
+	// ("strategy": {"name": "rolling-horizon", "params": {"horizon": 12}}).
+	// Default "min-energy".
+	Strategy StrategySpec `json:"strategy"`
 	// Mode: "informed" (default), "no-mobility", "cost-unaware".
 	Mode string `json:"mode"`
 
@@ -88,6 +93,72 @@ type OutputSpec struct {
 	// SampleIntervalS samples time-resolved metrics every this many
 	// simulated seconds (plus once at t=0 and once at run end).
 	SampleIntervalS float64 `json:"sample_interval_s,omitempty"`
+}
+
+// StrategySpec selects a registered mobility strategy plus optional
+// per-strategy tuning parameters. Its JSON form is dual-spelled: a plain
+// registered name (the legacy form) or an object {"name": ..., "params":
+// {...}}. The two spellings canonicalize identically — a spec with no
+// params marshals back to the plain string — so a legacy scenario's
+// canonical fingerprint is unchanged by the structured form's existence
+// (the spelling-invariance test pins this).
+type StrategySpec struct {
+	// Name is the registered strategy name (mobility.Names lists them).
+	Name string `json:"name"`
+	// Params are the strategy's tuning knobs; strategies reject names
+	// they do not define.
+	Params map[string]float64 `json:"params,omitempty"`
+}
+
+// String renders the spec for run headers and logs.
+func (sp StrategySpec) String() string {
+	if len(sp.Params) == 0 {
+		return sp.Name
+	}
+	keys := make([]string, 0, len(sp.Params))
+	for k := range sp.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := sp.Name + "{"
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%v", k, sp.Params[k])
+	}
+	return out + "}"
+}
+
+// MarshalJSON implements json.Marshaler: parameterless specs emit the
+// legacy plain-string spelling, keeping canonical scenario bytes (and so
+// fingerprints) identical to pre-structured-form releases.
+func (sp StrategySpec) MarshalJSON() ([]byte, error) {
+	if len(sp.Params) == 0 {
+		return json.Marshal(sp.Name)
+	}
+	type raw StrategySpec
+	return json.Marshal(raw(sp))
+}
+
+// UnmarshalJSON implements json.Unmarshaler, accepting both spellings.
+// Unknown object keys are rejected (the top-level decoder's strictness
+// does not reach through a custom unmarshaler).
+func (sp *StrategySpec) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err == nil {
+		*sp = StrategySpec{Name: name}
+		return nil
+	}
+	type raw StrategySpec
+	var r raw
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return fmt.Errorf("strategy: want a name string or {name, params} object: %w", err)
+	}
+	*sp = StrategySpec(r)
+	return nil
 }
 
 // NodeSpec is one explicit node.
@@ -229,8 +300,8 @@ func (s *Scenario) applyDefaults() {
 	if s.MobilityCost == 0 {
 		s.MobilityCost = def.Mobility.K
 	}
-	if s.Strategy == "" {
-		s.Strategy = mobility.MinEnergy{}.Name()
+	if s.Strategy.Name == "" {
+		s.Strategy.Name = mobility.MinEnergy{}.Name()
 	}
 	if s.Mode == "" {
 		s.Mode = "informed"
@@ -428,7 +499,12 @@ func (s *Scenario) Build(opts ...BuildOption) (*netsim.World, []netsim.NodeID, e
 	if err != nil {
 		return nil, nil, err
 	}
-	strat, err := mobility.ByName(s.Strategy, tx, table)
+	strat, err := mobility.New(s.Strategy.Name, mobility.Env{
+		Tx:       tx,
+		Range:    s.RangeMeters,
+		Table:    table,
+		Mobility: energy.MobilityModel{K: s.MobilityCost},
+	}, mobility.Params(s.Strategy.Params))
 	if err != nil {
 		return nil, nil, err
 	}

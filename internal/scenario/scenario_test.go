@@ -28,7 +28,7 @@ func TestLoadAndBuildChain(t *testing.T) {
 		t.Errorf("name = %q", s.Name)
 	}
 	// Defaults applied.
-	if s.RangeMeters != 200 || s.Strategy != "min-energy" || s.Mode != "informed" {
+	if s.RangeMeters != 200 || s.Strategy.Name != "min-energy" || s.Mode != "informed" {
 		t.Errorf("defaults not applied: %+v", s)
 	}
 	w, flows, err := s.Build()
@@ -182,7 +182,7 @@ func TestBuildRejectsBadMode(t *testing.T) {
 		t.Error("bad mode should fail at Build")
 	}
 	s.Mode = "informed"
-	s.Strategy = "bogus"
+	s.Strategy = StrategySpec{Name: "bogus"}
 	if _, _, err := s.Build(); err == nil {
 		t.Error("bad strategy should fail at Build")
 	}

@@ -1,0 +1,49 @@
+package imobif
+
+import (
+	"testing"
+)
+
+// TestStrategiesListsRegistry pins the public discovery surface: every
+// named built-in appears in Strategies(), and each builds through
+// Config.Validate with default parameters.
+func TestStrategiesListsRegistry(t *testing.T) {
+	names := Strategies()
+	have := make(map[string]bool, len(names))
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, s := range []StrategyConfig{
+		StrategyMinEnergy, StrategyMaxLifetime, StrategyMaxLifetimeExact,
+		StrategyStationary, StrategyMaxLifetimeRouting, StrategyRollingHorizon,
+		StrategyClusterRotation,
+	} {
+		if !have[s.Name] {
+			t.Errorf("Strategies() is missing %q: %v", s.Name, names)
+		}
+		c := DefaultConfig()
+		c.Strategy = s
+		if err := c.Validate(); err != nil {
+			t.Errorf("default config with %q invalid: %v", s.Name, err)
+		}
+	}
+}
+
+// TestStrategyParamsRoundTrip pins the typed params path through the
+// public Config: valid params pass validation, bad ones name the knob.
+func TestStrategyParamsRoundTrip(t *testing.T) {
+	c := DefaultConfig()
+	c.Strategy = StrategyConfig{Name: "rolling-horizon",
+		Params: map[string]float64{"horizon": 6, "discount": 0.8, "samples": 5}}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("parameterized strategy invalid: %v", err)
+	}
+	c.Strategy.Params = map[string]float64{"discount": 2}
+	if err := c.Validate(); err == nil {
+		t.Fatal("out-of-range discount accepted")
+	}
+	c.Strategy = StrategyConfig{Name: "stationary", Params: map[string]float64{"x": 1}}
+	if err := c.Validate(); err == nil {
+		t.Fatal("params on a parameterless strategy accepted")
+	}
+}
