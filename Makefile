@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: build test race fuzz cover bench smoke serve sweep motion strategies \
-	vet doclint observability benchgate benchgate-quick bench-baseline ci
+	parallel vet doclint observability benchgate benchgate-quick bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -36,14 +36,19 @@ fuzz:
 	$(GO) test -fuzz=FuzzScenarioFingerprint -fuzztime=5s ./internal/scenario/
 	$(GO) test -fuzz=FuzzSeedDerive -fuzztime=5s ./internal/sweep/
 	$(GO) test -fuzz=FuzzSchedulerOps -fuzztime=5s ./internal/sim/
+	$(GO) test -fuzz=FuzzLookaheadWindow -fuzztime=5s ./internal/sim/
 	$(GO) test -fuzz=FuzzCheckpointManifest -fuzztime=5s ./internal/dsweep/
 
 # cover enforces per-package coverage floors on the packages whose
 # correctness burden is a test suite rather than a golden run: the seed
 # derivation, the service HTTP surface, and the distributed sweep
 # fabric. Floors sit just below current coverage so any substantial
-# untested addition fails here.
-COVER_FLOORS = repro/internal/sweep:88 repro/internal/serve:83 repro/internal/dsweep:80
+# untested addition fails here. The scheduler and world floors guard the
+# parallel-scheduler and struct-of-arrays paths: both are exercised almost
+# entirely by tests (the determinism battery), so a coverage drop there
+# means an unpinned scheduling path.
+COVER_FLOORS = repro/internal/sweep:88 repro/internal/serve:83 repro/internal/dsweep:80 \
+	repro/internal/sim:97 repro/internal/netsim:82
 
 cover:
 	@for spec in $(COVER_FLOORS); do \
@@ -63,15 +68,25 @@ bench:
 # disabled MotionOverhead rungs are gated — they pin the
 # zero-cost-when-off contract; the active rungs run to the horizon and
 # are too slow (and too scenario-dependent) for a ratchet.
-GATED_BENCH = BenchmarkSimulationRun$$|BenchmarkSchedulerSteadyState$$|BenchmarkSweep/|BenchmarkServeSubmit$$|BenchmarkMotionOverhead/(off|stationary)$$|BenchmarkStrategyOverhead/
+GATED_BENCH = BenchmarkSimulationRun$$|BenchmarkSchedulerSteadyState$$|BenchmarkSweep/|BenchmarkServeSubmit$$|BenchmarkMotionOverhead/(off|stationary)$$|BenchmarkStrategyOverhead/|BenchmarkWorld100k/n5k
 GATE_FLAGS  = -run '^$$' -benchmem -count=3
+
+# GATE_BENCH_RUN emits the full gated corpus: the multi-count gated set
+# plus a single sample of the headline 100k-node rung (serial and
+# 8-shard), which is too slow for count=3 but must stay pinned in the
+# baseline — benchgate fails on baseline entries missing from a run, so
+# every gate invocation reruns it once.
+define GATE_BENCH_RUN
+( $(GO) test $(GATE_FLAGS) -bench '$(GATED_BENCH)' -benchtime $(1) . ./internal/sim/ ./internal/serve/ ./internal/netsim/ \
+	&& $(GO) test -run '^$$' -benchmem -count=1 -bench 'BenchmarkWorld100k/n100k' -benchtime 1x ./internal/netsim/ )
+endef
 
 # benchgate is the performance ratchet: rerun the gated benchmarks and
 # fail if any metric is >25% worse than the committed baseline (generous
 # enough for shared-runner noise, far tighter than the 2x+ wins the
 # baseline records).
 benchgate:
-	$(GO) test $(GATE_FLAGS) -bench '$(GATED_BENCH)' -benchtime 10x . ./internal/sim/ ./internal/serve/ \
+	$(call GATE_BENCH_RUN,10x) \
 		| $(GO) run ./cmd/benchgate -baseline bench_baseline.txt -threshold 0.25
 
 # benchgate-quick is the short-iteration gate wired into ci: same
@@ -79,13 +94,13 @@ benchgate:
 # threshold that still catches order-of-magnitude regressions (a lost
 # zero-alloc property or an accidental O(n^2)).
 benchgate-quick:
-	$(GO) test $(GATE_FLAGS) -bench '$(GATED_BENCH)' -benchtime 3x . ./internal/sim/ ./internal/serve/ \
+	$(call GATE_BENCH_RUN,3x) \
 		| $(GO) run ./cmd/benchgate -baseline bench_baseline.txt -threshold 0.6
 
 # bench-baseline refreshes the committed baseline after an intentional
 # performance change. Review the diff before committing.
 bench-baseline:
-	$(GO) test $(GATE_FLAGS) -bench '$(GATED_BENCH)' -benchtime 10x . ./internal/sim/ ./internal/serve/ \
+	$(call GATE_BENCH_RUN,10x) \
 		| tee bench_baseline.txt
 
 # observability pins the observability layer's two contracts: the JSONL
@@ -153,4 +168,14 @@ motion:
 	$(GO) run -race ./cmd/imobif-sim -nodes 40 -field 800 -flow-kb 64 \
 		-motion rpgm -motion-groups 4 -motion-radius 60 -motion-seed 5 -seed 1
 
-ci: vet doclint build test race fuzz cover smoke serve sweep motion strategies observability benchgate-quick
+# parallel runs the cross-scheduler determinism battery: every golden
+# scenario (zero-fault, faulty, each ambient-motion model, each registered
+# strategy) serial versus the conservative-lookahead scheduler at shards
+# {1,2,8} must produce byte-identical results, the stale-neighbor budget
+# contracts must hold, and the parallel paths must be race-clean with
+# real worker counts.
+parallel:
+	$(GO) test -run 'TestDeterminism|TestScaleWorldSmoke' ./internal/netsim/
+	$(GO) test -race -run 'TestDeterminismRaceParallelShards' ./internal/netsim/
+
+ci: vet doclint build test race fuzz cover smoke serve sweep motion strategies parallel observability benchgate-quick

@@ -72,7 +72,7 @@ func (o runOpts) params(p experiments.Params) experiments.Params {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 6a, 6b, 6c, 6d, 6e, 6f, 7, 8, mobility, strategies, ablations, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 6a, 6b, 6c, 6d, 6e, 6f, 7, 8, mobility, strategies, ablations, scaling, all")
 	flows := flag.Int("flows", 100, "Monte-Carlo flow instances per figure")
 	seed := flag.Int64("seed", 1, "random seed")
 	concurrency := flag.Int("concurrency", 0, "parallel sweep workers (0 = all CPUs, 1 = serial; results are identical either way)")
@@ -133,10 +133,11 @@ func run(fig string, opts runOpts) error {
 		{"mobility", runMobility},
 		{"strategies", runStrategies},
 		{"ablations", runAblations},
+		{"scaling", runScaling},
 	}
 	start := time.Now()
 	for _, d := range dispatch {
-		if all && (d.name == "ablations" || d.name == "mobility" || d.name == "strategies") {
+		if all && (d.name == "ablations" || d.name == "mobility" || d.name == "strategies" || d.name == "scaling") {
 			continue // extensions only on request; they multiply runtime
 		}
 		if all || fig == d.name {
@@ -499,4 +500,44 @@ func runAblations(opts runOpts) error {
 	fmt.Printf("α′ = %.3f; lifetime ratio: approx %.3f vs exact %.3f\n\n",
 		a6.AlphaPrime, a6.AvgRatioApprox, a6.AvgRatioExact)
 	return nil
+}
+
+// runScaling measures the nodes × shards throughput table (the scaling
+// extension, EXPERIMENTS.md "Scaling to 100k"). -nodes caps the rungs so
+// quick runs can skip the 100k row.
+func runScaling(opts runOpts) error {
+	p := experiments.ParamsScaling()
+	p.Seed = opts.seed
+	if opts.nodes > 0 {
+		var rungs []int
+		for _, n := range p.Nodes {
+			if n <= opts.nodes {
+				rungs = append(rungs, n)
+			}
+		}
+		if len(rungs) == 0 {
+			rungs = []int{opts.nodes}
+		}
+		p.Nodes = rungs
+	}
+	res, err := experiments.RunScaling(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=== Extension: scaling — wall-clock throughput across nodes × shards (degree %.0f, horizon %.0fs) ===\n",
+		p.TargetDegree, float64(p.Horizon))
+	fmt.Println("(shards 0 = serial scheduler; node-sim/s = simulated node-seconds per wall second)")
+	fmt.Printf("%-9s %-8s %-8s %-10s %-13s %-10s\n",
+		"nodes", "shards", "flows", "wall(s)", "node-sim/s", "completed")
+	var rows [][]string
+	for _, c := range res.Cells {
+		fmt.Printf("%-9d %-8d %-8d %-10.2f %-13.3g %-10.2f\n",
+			c.Nodes, c.Shards, c.Flows, c.WallSeconds, c.NodeSimPerWall, c.Completed)
+		rows = append(rows, []string{
+			strconv.Itoa(c.Nodes), strconv.Itoa(c.Shards), strconv.Itoa(c.Flows),
+			f2s(c.WallSeconds), f2s(c.NodeSimPerWall), f2s(c.Completed), f2s(c.TotalJ),
+		})
+	}
+	return writeCSV(opts.csvDir, "scaling.csv",
+		[]string{"nodes", "shards", "flows", "wall_s", "node_sim_per_wall", "completed", "total_j"}, rows)
 }

@@ -144,6 +144,16 @@ type Config struct {
 	// arms no movement events, bit-identical to a build without the
 	// layer.
 	Motion *MotionConfig
+	// Parallel runs the simulation on the conservative-lookahead
+	// windowed scheduler, which precomputes independent per-node work
+	// (ambient motion steps, HELLO drift scans) across Shards worker
+	// goroutines while firing events in exact serial order — results
+	// are byte-identical to the default serial scheduler. Off by
+	// default.
+	Parallel bool
+	// Shards is the worker count for Parallel runs; zero picks
+	// min(GOMAXPROCS, 8). Ignored when Parallel is false.
+	Shards int
 }
 
 // DefaultConfig returns the paper's reconstructed evaluation parameters
@@ -241,6 +251,8 @@ func (c Config) netsim() (netsim.Config, error) {
 	cfg.NeighborIndex = spatial.Kind(c.NeighborIndex)
 	cfg.Faults = c.Faults.fault()
 	cfg.Motion = c.Motion.motion(c.FieldWidth, c.FieldHeight)
+	cfg.Parallel = c.Parallel
+	cfg.Shards = c.Shards
 	return cfg, nil
 }
 

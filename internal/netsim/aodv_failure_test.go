@@ -126,7 +126,7 @@ func TestDiscoveryControlTrafficFreeByDefault(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, n := range w.nodes {
-		if got := n.battery.TotalSpent(); got != 0 {
+		if got := n.battery().TotalSpent(); got != 0 {
 			t.Errorf("node %d spent %v J on free control traffic", i, got)
 		}
 	}

@@ -152,6 +152,28 @@ type Config struct {
 	// simulated seconds into Result.Series, plus one sample at t=0 and
 	// one when the run ends. Zero disables sampling.
 	SampleInterval sim.Time
+	// Parallel, when true, runs the world on the conservative-lookahead
+	// windowed scheduler (sim.RunUntilWindowed): events inside one
+	// lookahead window are batched, the pure per-node work (ambient
+	// motion steps, beacon drift scans) is precomputed across Shards
+	// worker goroutines, and the events then fire in exact (time, seq)
+	// order — so results stay byte-identical to the serial scheduler
+	// (the cross-scheduler determinism battery pins it). Off by default.
+	Parallel bool
+	// Shards is the worker-goroutine count for Parallel runs. Zero picks
+	// min(GOMAXPROCS, 8); negative is invalid. Ignored when Parallel is
+	// false.
+	Shards int
+	// NeighborStaleness, when positive, switches broadcast receiver sets
+	// to budget mode: a sender's cached receiver snapshot is reused until
+	// the sender crosses a grid cell or the snapshot is older than this
+	// budget, instead of being revalidated against the grid every
+	// broadcast. Receiver sets may then lag topology changes by up to one
+	// budget — a documented approximation that trades HELLO fidelity for
+	// throughput at large n. Zero (the default) keeps exact semantics:
+	// snapshots are revalidated by cell + region-stamp checks and results
+	// are byte-identical to querying the index every time.
+	NeighborStaleness sim.Time
 }
 
 // DefaultConfig returns the paper-reconstructed parameters (DESIGN.md §1):
@@ -230,6 +252,12 @@ func (c Config) Validate() error {
 	}
 	if c.SampleInterval < 0 {
 		return fmt.Errorf("netsim: negative sample interval %v", c.SampleInterval)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("netsim: negative shard count %d", c.Shards)
+	}
+	if c.NeighborStaleness < 0 {
+		return fmt.Errorf("netsim: negative neighbor staleness %v", c.NeighborStaleness)
 	}
 	return nil
 }

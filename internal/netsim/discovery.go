@@ -29,7 +29,7 @@ var _ routing.Transport = (*aodvTransport)(nil)
 func (t *aodvTransport) Broadcast(from routing.NodeID, msg any) error {
 	w := t.w
 	sender := w.nodes[from]
-	if sender.dead {
+	if sender.dead() {
 		return energy.ErrDepleted
 	}
 	if err := t.charge(sender, w.cfg.Radio.Range); err != nil {
@@ -38,15 +38,15 @@ func (t *aodvTransport) Broadcast(from routing.NodeID, msg any) error {
 	// The spatial index narrows the flood fan-out to in-range nodes in
 	// O(k); dead nodes are dropped before any delivery is queued (and the
 	// closure re-checks, since a node can die between queueing and pump).
-	t.scratch = w.index.AppendInRange(t.scratch[:0], sender.pos, w.cfg.Radio.Range)
+	t.scratch = w.index.AppendInRange(t.scratch[:0], sender.pos(), w.cfg.Radio.Range)
 	for _, id := range t.scratch {
 		n := w.nodes[id]
-		if n.id == from || n.dead {
+		if n.id == from || n.dead() {
 			continue
 		}
 		n, from := n, from
 		t.queue = append(t.queue, func() error {
-			if n.aodv == nil || n.dead {
+			if n.aodv == nil || n.dead() {
 				return nil
 			}
 			return n.aodv.Receive(from, msg)
@@ -59,10 +59,10 @@ func (t *aodvTransport) Broadcast(from routing.NodeID, msg any) error {
 func (t *aodvTransport) Unicast(from, to routing.NodeID, msg any) error {
 	w := t.w
 	sender, receiver := w.nodes[from], w.nodes[to]
-	if sender.dead {
+	if sender.dead() {
 		return energy.ErrDepleted
 	}
-	d := sender.pos.Dist(receiver.pos)
+	d := sender.pos().Dist(receiver.pos())
 	if d > w.cfg.Radio.Range {
 		return fmt.Errorf("netsim: AODV unicast %d -> %d out of range", from, to)
 	}
@@ -70,7 +70,7 @@ func (t *aodvTransport) Unicast(from, to routing.NodeID, msg any) error {
 		return err
 	}
 	t.queue = append(t.queue, func() error {
-		if receiver.aodv == nil || receiver.dead {
+		if receiver.aodv == nil || receiver.dead() {
 			return nil
 		}
 		return receiver.aodv.Receive(from, msg)
@@ -83,7 +83,7 @@ func (t *aodvTransport) charge(sender *node, dist float64) error {
 		return nil
 	}
 	cost := t.w.cfg.Radio.Tx.TxEnergy(dist, t.w.cfg.NotificationBits)
-	if err := sender.battery.Draw(cost, energy.CatControl); err != nil {
+	if err := sender.battery().Draw(cost, energy.CatControl); err != nil {
 		t.w.noteDepletion(sender, err)
 		return err
 	}

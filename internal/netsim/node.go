@@ -14,11 +14,14 @@ import (
 	"repro/internal/trace"
 )
 
+// node carries one node's protocol state: HELLO neighbor table, flow
+// table, last advertised beacon, AODV instance, and retry-transport maps.
+// The dense per-node state — position, battery, alive flag, grid cell —
+// lives in the world's struct-of-arrays nodeStore (see store.go) and is
+// reached through the pos/battery/dead accessors.
 type node struct {
 	id        NodeID
 	world     *World
-	pos       geom.Point
-	battery   *energy.Battery
 	neighbors *hello.Table
 	flows     *core.Table
 	// lastAdvert is the state this node last broadcast in a HELLO;
@@ -32,7 +35,6 @@ type node struct {
 	// transport is enabled (Config.Faults.RetryLimit > 0).
 	pending map[pendingKey]*pendingTx
 	seen    map[pendingKey]bool
-	dead    bool
 }
 
 // ackPacket is the hop-level acknowledgement of one data packet.
@@ -71,34 +73,41 @@ func retryFn(arg any) {
 var _ radio.Endpoint = (*node)(nil)
 
 // Position implements radio.Endpoint.
-func (n *node) Position() geom.Point { return n.pos }
+func (n *node) Position() geom.Point { return n.pos() }
 
 // Battery implements radio.Endpoint.
-func (n *node) Battery() *energy.Battery { return n.battery }
+func (n *node) Battery() *energy.Battery { return n.battery() }
 
 func (n *node) beacon() hello.Beacon {
-	return hello.Beacon{ID: n.id, Position: n.pos, Residual: n.battery.Residual()}
+	return hello.Beacon{ID: n.id, Position: n.pos(), Residual: n.battery().Residual()}
 }
 
-// maybeBeacon broadcasts the node's HELLO if its advertised state has
-// drifted past the triggered-update thresholds.
-func (n *node) maybeBeacon() {
+// shouldBeacon reports whether the node's advertised state has drifted
+// past the triggered-update thresholds. It only reads node state, which
+// is what lets the parallel beacon scan evaluate it off-thread (see
+// World.scanBeacons) with the same answers the serial round computes.
+func (n *node) shouldBeacon() bool {
 	w := n.world
 	// Most nodes are stationary between HELLO rounds (only on-path relays
 	// move), so skip the hypot for an unmoved position — Dist(p, p) is
 	// exactly 0, making this fast path bit-identical.
+	pos := n.pos()
 	var moved float64
-	if n.pos != n.lastAdvert.Position {
-		moved = n.pos.Dist(n.lastAdvert.Position)
+	if pos != n.lastAdvert.Position {
+		moved = pos.Dist(n.lastAdvert.Position)
 	}
-	drift := math.Abs(n.battery.Residual() - n.lastAdvert.Residual)
+	drift := math.Abs(n.battery().Residual() - n.lastAdvert.Residual)
 	ref := n.lastAdvert.Residual
 	if ref < 1 {
 		ref = 1
 	}
-	if moved < w.cfg.BeaconMoveEps && drift < w.cfg.BeaconEnergyFrac*ref {
-		return
-	}
+	return moved >= w.cfg.BeaconMoveEps || drift >= w.cfg.BeaconEnergyFrac*ref
+}
+
+// sendBeacon broadcasts the node's HELLO and records it as the last
+// advertised state.
+func (n *node) sendBeacon() {
+	w := n.world
 	b := w.getBeacon()
 	*b = n.beacon()
 	_, err := w.medium.Broadcast(n.id, w.cfg.HelloBits, energy.CatControl, b)
@@ -110,9 +119,17 @@ func (n *node) maybeBeacon() {
 	n.lastAdvert = *b
 }
 
+// maybeBeacon broadcasts the node's HELLO if its advertised state has
+// drifted past the triggered-update thresholds.
+func (n *node) maybeBeacon() {
+	if n.shouldBeacon() {
+		n.sendBeacon()
+	}
+}
+
 // Receive implements radio.Endpoint: dispatch on message type.
 func (n *node) Receive(from NodeID, msg any) {
-	if n.dead {
+	if n.dead() {
 		// A dead relay silently swallows traffic. Without the retry
 		// transport, in-flight accounting must still see the packet end;
 		// with it, the sender's retry timer owns the packet's fate (it will
@@ -253,7 +270,7 @@ func (n *node) onData(from NodeID, pkt *dataPacket) {
 		ack := ackPacket{flow: hdr.Flow, seq: hdr.Seq}
 		if err := w.medium.Unicast(n.id, from, w.cfg.Faults.EffectiveAckBits(), energy.CatControl, ack); err != nil {
 			w.noteDepletion(n, err)
-			if n.dead {
+			if n.dead() {
 				return
 			}
 		}
@@ -297,7 +314,7 @@ func (n *node) onData(from NodeID, pkt *dataPacket) {
 	// Forward first (from the current position), then move.
 	if w.retryEnabled() {
 		n.sendReliable(fr, *hdr)
-		if n.dead {
+		if n.dead() {
 			return
 		}
 	} else {
@@ -308,7 +325,7 @@ func (n *node) onData(from NodeID, pkt *dataPacket) {
 		if err != nil {
 			w.drop(fr)
 			w.noteDepletion(n, err)
-			if n.dead {
+			if n.dead() {
 				return
 			}
 		}
@@ -400,7 +417,7 @@ func (n *node) flowView(entry *core.FlowEntry, hdr *core.Header) (mobility.View,
 	}
 	return mobility.View{
 		Prev:         mobility.Peer{ID: prev.ID, Pos: prev.Position, Residual: prev.Residual},
-		Self:         mobility.Peer{ID: n.id, Pos: n.pos, Residual: n.battery.Residual()},
+		Self:         mobility.Peer{ID: n.id, Pos: n.pos(), Residual: n.battery().Residual()},
 		Next:         mobility.Peer{ID: next.ID, Pos: next.Position, Residual: next.Residual},
 		ResidualBits: hdr.ResidualBits,
 	}, true
@@ -414,7 +431,8 @@ func (n *node) move() {
 	if !ok {
 		return
 	}
-	desired := math.Min(w.cfg.MaxStep, n.pos.Dist(target))
+	cur := n.pos()
+	desired := math.Min(w.cfg.MaxStep, cur.Dist(target))
 	if desired < geom.Epsilon {
 		return
 	}
@@ -423,7 +441,7 @@ func (n *node) move() {
 	// the flows it is meant to optimize is always wrong). A small margin
 	// absorbs the neighbors' own concurrent movement.
 	for {
-		candidate, _ := geom.StepToward(n.pos, target, desired)
+		candidate, _ := geom.StepToward(cur, target, desired)
 		if n.linksSurvive(candidate) {
 			break
 		}
@@ -433,19 +451,19 @@ func (n *node) move() {
 		}
 	}
 	cost := w.cfg.Mobility.MoveEnergy(desired)
-	if cost > 0 && !n.battery.CanDraw(cost) {
+	if cost > 0 && !n.battery().CanDraw(cost) {
 		// Move as far as the battery allows, then die.
-		desired = n.battery.Residual() / w.cfg.Mobility.K
-		cost = n.battery.Residual()
+		desired = n.battery().Residual() / w.cfg.Mobility.K
+		cost = n.battery().Residual()
 	}
 	if cost > 0 {
-		if err := n.battery.Draw(cost, energy.CatMove); err != nil {
+		if err := n.battery().Draw(cost, energy.CatMove); err != nil {
 			w.noteDepletion(n, err)
 		}
 	}
-	n.pos, _ = geom.StepToward(n.pos, target, desired)
-	w.index.Move(n.id, n.pos)
-	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindNodeMoved, Node: n.id, Pos: n.pos})
+	next, _ := geom.StepToward(cur, target, desired)
+	w.moveNode(n.id, next)
+	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindNodeMoved, Node: n.id, Pos: next})
 }
 
 // linksSurvive reports whether, at the candidate position, every flow
@@ -469,7 +487,7 @@ func (n *node) linksSurvive(candidate geom.Point) bool {
 			// A link already past the margin (e.g. a hop at exactly the
 			// radio range) only constrains the step not to worsen it.
 			allowed := limit
-			if cur := n.pos.Dist(entry.Position); cur > allowed {
+			if cur := n.pos().Dist(entry.Position); cur > allowed {
 				allowed = cur
 			}
 			if candidate.Dist(entry.Position) > allowed {
@@ -500,7 +518,7 @@ func (n *node) combinedTarget() (geom.Point, bool) {
 	if len(targets) == 0 {
 		return geom.Point{}, false
 	}
-	combined, err := mobility.WeightedTarget(targets, weights, n.pos)
+	combined, err := mobility.WeightedTarget(targets, weights, n.pos())
 	if err != nil {
 		return geom.Point{}, false
 	}

@@ -112,7 +112,7 @@ func TestWorldIndexTracksMovement(t *testing.T) {
 	}
 	moved := false
 	for i, n := range w.nodes {
-		if int(n.pos.X/200) != int(pts[i].X/200) {
+		if int(n.pos().X/200) != int(pts[i].X/200) {
 			moved = true
 		}
 	}
@@ -121,15 +121,15 @@ func TestWorldIndexTracksMovement(t *testing.T) {
 	}
 	r := w.cfg.Radio.Range
 	for _, n := range w.nodes {
-		got := w.index.InRange(n.pos, r)
+		got := w.index.InRange(n.pos(), r)
 		var want []int
 		for _, m := range w.nodes {
-			if m.pos.Dist2(n.pos) <= r*r {
+			if m.pos().Dist2(n.pos()) <= r*r {
 				want = append(want, m.id)
 			}
 		}
 		if !reflect.DeepEqual(got, want) {
-			t.Errorf("node %d at %v: index neighbors %v, brute recompute %v", n.id, n.pos, got, want)
+			t.Errorf("node %d at %v: index neighbors %v, brute recompute %v", n.id, n.pos(), got, want)
 		}
 	}
 }
@@ -152,7 +152,7 @@ func TestDiscoveryBroadcastSkipsDeadNodes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.nodes[1].dead = true
+	w.store.dead[1] = true
 	path, err := w.DiscoverPath(0, 3)
 	if err != nil {
 		t.Fatal(err)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/energy"
@@ -73,6 +74,30 @@ type World struct {
 	// are responsible for ignoring traffic, exactly as in the reference
 	// scan.
 	index spatial.Index
+	// grid is the index downcast to the grid implementation when the
+	// configured kind is grid-backed; nil otherwise. Receiver-set caching
+	// (see appendReceivers) needs the grid's RegionStamp.
+	grid *spatial.Grid
+	// store holds the dense struct-of-arrays node state (position,
+	// battery, alive flag, grid cell); see store.go.
+	store    nodeStore
+	cellSize float64
+	// recv caches per-sender broadcast receiver sets; recvRefreshes
+	// counts snapshot recomputations (asserted by the stale-neighbor
+	// regression tests, like spatial.Grid's Rebuckets).
+	recv          []recvCache
+	recvRefreshes uint64
+	// shards is the worker count for parallel runs (1 when Parallel is
+	// off); pre and beaconMark are the precompute scratch tables of the
+	// lookahead window (see parallel.go).
+	shards     int
+	pre        []premove
+	beaconMark []bool
+	// topoGraph caches the t=0 connectivity graph across AddFlow calls:
+	// flows are added before Run, when no node has moved, so one graph
+	// serves them all (rebuilding it per flow is quadratic pain at 100k
+	// nodes and 1000 flows).
+	topoGraph *topo.Graph
 
 	beaconer   *hello.Beaconer
 	failures   []failure
@@ -173,11 +198,27 @@ type failure struct {
 // beaconRound runs one HELLO round: every live node whose advertised
 // state has drifted re-broadcasts its beacon.
 func (w *World) beaconRound() error {
-	for _, n := range w.nodes {
-		if n.dead {
-			continue
+	dead := w.store.dead
+	if w.canParallelScan() {
+		// Precompute every live node's drift decision across the shard
+		// workers, then send serially in id order — identical decisions
+		// and identical send order to the serial loop (shouldBeacon is
+		// read-only, and with control traffic uncharged the earlier sends
+		// of a round cannot change a later node's decision).
+		w.scanBeacons()
+		for i, n := range w.nodes {
+			if dead[i] || !w.beaconMark[i] {
+				continue
+			}
+			n.sendBeacon()
 		}
-		n.maybeBeacon()
+	} else {
+		for i, n := range w.nodes {
+			if dead[i] {
+				continue
+			}
+			n.maybeBeacon()
+		}
 	}
 	// Watchdog: when every source has finished (or died) and no flow
 	// event has happened for a while, the run is over even if in-flight
@@ -242,23 +283,37 @@ func NewWorld(cfg Config, positions []geom.Point, energies []float64) (*World, e
 	w := &World{cfg: cfg, sched: sched, medium: medium, index: index, firstDeath: -1, injector: injector,
 		observing: cfg.Tracer != nil || cfg.Sink != nil,
 		syncRadio: cfg.Radio.Bandwidth <= 0}
+	w.grid, _ = index.(*spatial.Grid)
+	w.cellSize = cfg.Radio.Range
+	w.shards = 1
+	if cfg.Parallel {
+		if w.shards = cfg.Shards; w.shards <= 0 {
+			w.shards = runtime.GOMAXPROCS(0)
+			if w.shards > 8 {
+				w.shards = 8
+			}
+		}
+	}
 	w.emitFn = func(arg any) { w.emit(arg.(*flowRuntime)) }
 	w.markDeadFn = func(arg any) { w.markDead(arg.(*node)) }
 	w.markAliveFn = func(arg any) { w.markAlive(arg.(*node)) }
-	w.motionFn = func(arg any) { w.ambientStep(arg.(*node)) }
+	w.motionFn = func(arg any) { w.ambientStep((*node)(arg.(motionArg))) }
 	if m := motion.New(cfg.Motion); m != nil {
 		m.Init(positions)
 		w.motionModel = m
 	}
-	for i, pos := range positions {
+	for i := range positions {
 		if energies[i] < 0 {
 			return nil, fmt.Errorf("netsim: negative energy %v for node %d", energies[i], i)
 		}
+	}
+	w.store = newNodeStore(positions, energies, w.cellSize)
+	w.recv = make([]recvCache, len(positions))
+	w.nodes = make([]*node, 0, len(positions))
+	for i, pos := range positions {
 		n := &node{
 			id:        i,
 			world:     w,
-			pos:       pos,
-			battery:   energy.NewBattery(energies[i]),
 			neighbors: hello.NewTable(cfg.NeighborTTL),
 			flows:     core.NewTable(),
 		}
@@ -268,7 +323,7 @@ func NewWorld(cfg Config, positions []geom.Point, energies []float64) (*World, e
 			return nil, err
 		}
 	}
-	medium.UseLocator(w.index)
+	medium.UseLocator(worldLocator{w})
 	w.seedNeighborTables()
 	// Adopt the fault layer's crash/recovery schedule (node IDs can only
 	// be range-checked here, once the node count is known).
@@ -298,7 +353,7 @@ func (w *World) seedNeighborTables() {
 	var buf []NodeID
 	for _, n := range w.nodes {
 		n.lastAdvert = n.beacon()
-		buf = w.index.AppendInRange(buf[:0], n.pos, w.cfg.Radio.Range)
+		buf = w.index.AppendInRange(buf[:0], n.pos(), w.cfg.Radio.Range)
 		for _, id := range buf {
 			if id == n.id {
 				continue
@@ -311,11 +366,7 @@ func (w *World) seedNeighborTables() {
 // Graph returns the unit-disk connectivity graph over current positions,
 // backed by the world's configured neighbor-index kind.
 func (w *World) Graph() (*topo.Graph, error) {
-	pos := make([]geom.Point, len(w.nodes))
-	for i, n := range w.nodes {
-		pos[i] = n.pos
-	}
-	return topo.NewGraphIndexed(pos, w.cfg.Radio.Range, w.cfg.NeighborIndex)
+	return topo.NewGraphIndexed(w.store.pos, w.cfg.Radio.Range, w.cfg.NeighborIndex)
 }
 
 // AddFlow registers a flow before Run. It plans (or validates) the path on
@@ -334,10 +385,17 @@ func (w *World) AddFlow(spec FlowSpec) (core.FlowID, error) {
 	if spec.LengthBits <= 0 {
 		return 0, fmt.Errorf("netsim: non-positive flow length %v", spec.LengthBits)
 	}
-	g, err := w.Graph()
-	if err != nil {
-		return 0, err
+	// All flows are added before Run on the unmoved t=0 placement, so one
+	// cached graph plans and validates every flow.
+	if w.topoGraph == nil {
+		g, err := w.Graph()
+		if err != nil {
+			return 0, err
+		}
+		w.topoGraph = g
 	}
+	g := w.topoGraph
+	var err error
 	path := spec.Path
 	if path == nil {
 		path, err = w.planPath(g, spec.Src, spec.Dst, nil)
@@ -489,6 +547,23 @@ func (w *World) RunContext(ctx context.Context) (Result, error) {
 	w.started = true
 	initial := w.snapshot()
 
+	// Arm ambient mobility: one recurring movement event per node, first
+	// firing one interval in (positions at t=0 are the placement). With
+	// the layer disabled no events exist at all. Motion events are armed
+	// before the beaconer on purpose: at a shared instant they then fire
+	// before the HELLO round (beacons advertise the already-moved
+	// positions), and — the point of the ordering — they form the leading
+	// prefix of each lookahead window, which is what the parallel
+	// scheduler precomputes (see prepareWindow).
+	if w.motionModel != nil {
+		interval := sim.Time(w.cfg.Motion.StepInterval())
+		for _, n := range w.nodes {
+			if _, err := w.sched.AtArg(interval, w.motionFn, motionArg(n)); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+
 	// Start HELLO beaconing: one world-level round per interval, with
 	// per-node triggered-update suppression (see Config.BeaconMoveEps).
 	if w.cfg.HelloInterval > 0 {
@@ -518,18 +593,6 @@ func (w *World) RunContext(ctx context.Context) (Result, error) {
 		}
 	}
 
-	// Arm ambient mobility: one recurring movement event per node, first
-	// firing one interval in (positions at t=0 are the placement). With
-	// the layer disabled no events exist at all.
-	if w.motionModel != nil {
-		interval := sim.Time(w.cfg.Motion.StepInterval())
-		for _, n := range w.nodes {
-			if _, err := w.sched.AtArg(interval, w.motionFn, n); err != nil {
-				return Result{}, err
-			}
-		}
-	}
-
 	// Arm scheduled failures and recoveries.
 	for _, f := range w.failures {
 		if _, err := w.sched.AtArg(f.at, w.markDeadFn, w.nodes[f.node]); err != nil {
@@ -550,7 +613,13 @@ func (w *World) RunContext(ctx context.Context) (Result, error) {
 	}
 
 	canceled := false
-	if err := w.sched.RunUntilContext(ctx, w.cfg.Horizon); err != nil {
+	var runErr error
+	if w.cfg.Parallel {
+		runErr = w.sched.RunUntilWindowed(ctx, w.cfg.Horizon, w.lookahead(), w.prepareWindow)
+	} else {
+		runErr = w.sched.RunUntilContext(ctx, w.cfg.Horizon)
+	}
+	if err := runErr; err != nil {
 		switch {
 		case errors.Is(err, sim.ErrStopped):
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
@@ -576,8 +645,8 @@ func (w *World) RunContext(ctx context.Context) (Result, error) {
 		Series:     w.series,
 		Canceled:   canceled,
 	}
-	for _, n := range w.nodes {
-		res.Energy = res.Energy.Add(metrics.FromBattery(n.battery))
+	for i := range w.store.batteries {
+		res.Energy = res.Energy.Add(metrics.FromBattery(&w.store.batteries[i]))
 	}
 	for _, fr := range w.flows {
 		dur := fr.lastDelivery
@@ -606,16 +675,17 @@ func (w *World) RunContext(ctx context.Context) (Result, error) {
 func (w *World) sample() {
 	s := metrics.Sample{At: w.sched.Now(), ResidualMin: math.Inf(1)}
 	var residualTotal float64
-	for _, n := range w.nodes {
-		r := n.battery.Residual()
+	for i := range w.store.batteries {
+		b := &w.store.batteries[i]
+		r := b.Residual()
 		residualTotal += r
 		if r < s.ResidualMin {
 			s.ResidualMin = r
 		}
-		if !n.dead {
+		if !w.store.dead[i] {
 			s.AliveNodes++
 		}
-		s.Energy = s.Energy.Add(metrics.FromBattery(n.battery))
+		s.Energy = s.Energy.Add(metrics.FromBattery(b))
 	}
 	s.ResidualMean = residualTotal / float64(len(w.nodes))
 	for _, fr := range w.flows {
@@ -629,8 +699,9 @@ func (w *World) sample() {
 // snapshot captures all node states.
 func (w *World) snapshot() metrics.Snapshot {
 	s := metrics.Snapshot{At: w.sched.Now()}
-	for _, n := range w.nodes {
-		s.Nodes = append(s.Nodes, metrics.NodeSnapshot{ID: n.id, Pos: n.pos, Residual: n.battery.Residual()})
+	s.Nodes = make([]metrics.NodeSnapshot, len(w.store.pos))
+	for i := range w.store.pos {
+		s.Nodes[i] = metrics.NodeSnapshot{ID: i, Pos: w.store.pos[i], Residual: w.store.batteries[i].Residual()}
 	}
 	return s
 }
@@ -642,7 +713,7 @@ func (w *World) PathSnapshot(id core.FlowID) ([]geom.Point, error) {
 		if fr.id == id {
 			out := make([]geom.Point, len(fr.path))
 			for i, nid := range fr.path {
-				out[i] = w.nodes[nid].pos
+				out[i] = w.store.pos[nid]
 			}
 			return out, nil
 		}
@@ -667,7 +738,7 @@ func (w *World) emit(fr *flowRuntime) {
 		return
 	}
 	srcNode := w.nodes[fr.spec.Src]
-	if srcNode.dead {
+	if srcNode.dead() {
 		// The source died: the flow can never finish. Mark it stalled so
 		// the run can end instead of idling to the horizon.
 		fr.stalled = true
@@ -684,7 +755,7 @@ func (w *World) emit(fr *flowRuntime) {
 	if entry, err := srcNode.flows.Get(fr.id); err == nil {
 		next = entry.Next
 	}
-	core.AggregateSource(&hdr, w.cfg.Strategy, w.cfg.Radio.Tx, srcNode.pos, w.nodes[next].pos, srcNode.battery.Residual())
+	core.AggregateSource(&hdr, w.cfg.Strategy, w.cfg.Radio.Tx, srcNode.pos(), w.store.pos[next], srcNode.battery().Residual())
 	fr.emitted++
 	fr.inflight++
 	w.lastActivity = w.sched.Now()
@@ -751,14 +822,14 @@ func (w *World) noteDepletion(n *node, err error) {
 }
 
 func (w *World) markDead(n *node) {
-	if n.dead {
+	if n.dead() {
 		return
 	}
-	n.dead = true
+	w.store.dead[n.id] = true
 	if w.firstDeath < 0 {
 		w.firstDeath = w.sched.Now()
 	}
-	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindNodeDied, Node: n.id, Pos: n.pos})
+	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindNodeDied, Node: n.id, Pos: n.pos()})
 	if w.cfg.StopOnFirstDeath {
 		w.sched.Stop()
 		return
@@ -774,11 +845,11 @@ func (w *World) markDead(n *node) {
 // markAlive reverses a scheduled crash: the node resumes participating
 // and immediately re-broadcasts its HELLO so neighbors relearn it.
 func (w *World) markAlive(n *node) {
-	if !n.dead {
+	if !n.dead() {
 		return
 	}
-	n.dead = false
-	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindNodeRecovered, Node: n.id, Pos: n.pos})
+	w.store.dead[n.id] = false
+	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindNodeRecovered, Node: n.id, Pos: n.pos()})
 	b := w.getBeacon()
 	*b = n.beacon()
 	_, err := w.medium.Broadcast(n.id, w.cfg.HelloBits, energy.CatControl, b)
@@ -799,25 +870,29 @@ func (w *World) markAlive(n *node) {
 // category as iMobif relay movement.
 func (w *World) ambientStep(n *node) {
 	interval := sim.Time(w.cfg.Motion.StepInterval())
-	_, _ = w.sched.AfterArg(interval, w.motionFn, n)
-	if n.dead {
+	_, _ = w.sched.AfterArg(interval, w.motionFn, motionArg(n))
+	if n.dead() {
 		return
 	}
-	next := w.motionModel.Step(n.id, n.pos, float64(interval))
-	d := n.pos.Dist(next)
+	cur := n.pos()
+	next, ok := w.takePremove(n.id, cur)
+	if !ok {
+		next = w.motionModel.Step(n.id, cur, float64(interval))
+	}
+	d := cur.Dist(next)
 	if d < geom.Epsilon {
 		return
 	}
 	if w.cfg.Motion.ChargeBattery {
 		cost := w.cfg.Mobility.MoveEnergy(d)
-		if cost > 0 && !n.battery.CanDraw(cost) {
+		if cost > 0 && !n.battery().CanDraw(cost) {
 			// Drift as far as the battery allows, then die.
-			afford := n.battery.Residual() / w.cfg.Mobility.K
-			next, d = geom.StepToward(n.pos, next, afford)
-			cost = n.battery.Residual()
+			afford := n.battery().Residual() / w.cfg.Mobility.K
+			next, d = geom.StepToward(cur, next, afford)
+			cost = n.battery().Residual()
 		}
 		if cost > 0 {
-			if err := n.battery.Draw(cost, energy.CatMove); err != nil {
+			if err := n.battery().Draw(cost, energy.CatMove); err != nil {
 				w.noteDepletion(n, err)
 			}
 		}
@@ -825,9 +900,8 @@ func (w *World) ambientStep(n *node) {
 			return
 		}
 	}
-	n.pos = next
-	w.index.Move(n.id, n.pos)
-	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindNodeMoved, Node: n.id, Pos: n.pos})
+	w.moveNode(n.id, next)
+	w.trace(trace.Event{At: w.sched.Now(), Kind: trace.KindNodeMoved, Node: n.id, Pos: next})
 }
 
 // repairAroundDead re-plans every unfinished flow whose pinned path uses
@@ -842,7 +916,7 @@ func (w *World) repairAroundDead(n *node) {
 			if fr.path[i] != n.id {
 				continue
 			}
-			if prev := w.nodes[fr.path[i-1]]; !prev.dead {
+			if prev := w.nodes[fr.path[i-1]]; !prev.dead() {
 				w.repairFlow(fr, prev.id)
 			}
 			break
@@ -864,7 +938,7 @@ func (w *World) repairFlow(fr *flowRuntime, at NodeID) bool {
 			break
 		}
 	}
-	if idx < 0 || w.nodes[at].dead {
+	if idx < 0 || w.nodes[at].dead() {
 		return false
 	}
 	seg, err := w.planLive(at, fr.spec.Dst)
@@ -911,7 +985,7 @@ func (w *World) repairFlow(fr *flowRuntime, at NodeID) bool {
 // Node IDs are preserved by remapping in and out of the compacted live
 // graph.
 func (w *World) planLive(src, dst NodeID) ([]NodeID, error) {
-	if w.nodes[src].dead || w.nodes[dst].dead {
+	if w.nodes[src].dead() || w.nodes[dst].dead() {
 		return nil, errors.New("netsim: live planning from or to a dead node")
 	}
 	// Compact into World-owned scratch: the graph built below does not
@@ -924,14 +998,14 @@ func (w *World) planLive(src, dst NodeID) ([]NodeID, error) {
 	} else {
 		toNew = toNew[:len(w.nodes)]
 	}
-	for _, n := range w.nodes {
-		if n.dead {
-			toNew[n.id] = -1
+	for i := range w.store.pos {
+		if w.store.dead[i] {
+			toNew[i] = -1
 			continue
 		}
-		toNew[n.id] = len(live)
-		live = append(live, n.pos)
-		toOld = append(toOld, n.id)
+		toNew[i] = len(live)
+		live = append(live, w.store.pos[i])
+		toOld = append(toOld, i)
 	}
 	w.livePos, w.liveToOld, w.liveToNew = live, toOld, toNew
 	g, err := topo.NewGraphIndexed(live, w.cfg.Radio.Range, w.cfg.NeighborIndex)
@@ -961,14 +1035,14 @@ func (w *World) planPath(g *topo.Graph, src, dst NodeID, toOld []NodeID) ([]Node
 	}
 	var energies []float64
 	if toOld == nil {
-		energies = make([]float64, len(w.nodes))
-		for i, n := range w.nodes {
-			energies[i] = n.battery.Residual()
+		energies = make([]float64, len(w.store.batteries))
+		for i := range w.store.batteries {
+			energies[i] = w.store.batteries[i].Residual()
 		}
 	} else {
 		energies = make([]float64, len(toOld))
 		for i, id := range toOld {
-			energies[i] = w.nodes[id].battery.Residual()
+			energies[i] = w.store.batteries[id].Residual()
 		}
 	}
 	return ea.PlanRouteEnergy(g, energies, src, dst)

@@ -116,6 +116,21 @@ type Locator interface {
 	AppendInRange(dst []int, p geom.Point, r float64) []int
 }
 
+// SenderLocator is an optional Locator extension: when the installed
+// locator also implements it, Broadcast resolves receivers through
+// AppendReceivers, passing the sending node's ID so the locator can
+// serve a per-sender cached neighbor snapshot (netsim's lazy HELLO
+// receiver sets) instead of re-running the range query per broadcast.
+// The result contract is AppendInRange's — ascending IDs, the sender
+// itself may be included (Broadcast skips it).
+type SenderLocator interface {
+	Locator
+	// AppendReceivers appends the broadcast receiver set of node from,
+	// currently at p with radio range r, to dst and returns the extended
+	// slice.
+	AppendReceivers(dst []int, from NodeID, p geom.Point, r float64) []int
+}
+
 // Medium is the shared wireless channel. It is single-threaded, driven by
 // the simulation scheduler.
 type Medium struct {
@@ -128,8 +143,10 @@ type Medium struct {
 	// broadcast order.
 	endpoints []Endpoint
 	// locator, when installed, serves broadcast receiver lookups; nil
-	// falls back to the linear scan over endpoints.
-	locator Locator
+	// falls back to the linear scan over endpoints. senderLoc is the
+	// same locator when it also implements SenderLocator.
+	locator   Locator
+	senderLoc SenderLocator
 	// scratch is the reusable receiver-ID buffer for locator broadcasts;
 	// pool recycles the deferred-delivery slots of the positive-bandwidth
 	// path so in-flight messages do not allocate per hop.
@@ -185,7 +202,10 @@ func (m *Medium) endpoint(id NodeID) Endpoint {
 // their current positions (netsim.World maintains this through its
 // spatial index, updating it on every node move). A nil loc reverts to
 // the built-in scan over all registered endpoints.
-func (m *Medium) UseLocator(loc Locator) { m.locator = loc }
+func (m *Medium) UseLocator(loc Locator) {
+	m.locator = loc
+	m.senderLoc, _ = loc.(SenderLocator)
+}
 
 // Stats returns a copy of the activity counters.
 func (m *Medium) Stats() Stats { return m.stats }
@@ -263,7 +283,11 @@ func (m *Medium) Broadcast(from NodeID, bits float64, cat energy.Category, msg a
 		// iterating so a reentrant broadcast cannot clobber it.
 		ids := m.scratch[:0]
 		m.scratch = nil
-		ids = m.locator.AppendInRange(ids, origin, m.cfg.Range)
+		if m.senderLoc != nil {
+			ids = m.senderLoc.AppendReceivers(ids, from, origin, m.cfg.Range)
+		} else {
+			ids = m.locator.AppendInRange(ids, origin, m.cfg.Range)
+		}
 		for _, id := range ids {
 			if id == from {
 				continue

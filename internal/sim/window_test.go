@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// This file checks RunUntilWindowed against the serial scheduler as
+// reference: two schedulers are driven by an identical deterministic
+// script — events that schedule children at sub-lookahead delays (forcing
+// the merge step to interleave heap and window), cancel earlier events
+// (including events already collected into the live window), and call
+// Stop mid-window (forcing the requeue path) — and must agree on firing
+// order, cancel outcomes, Pending, Fired, and Now at every run boundary.
+
+// windowScriptWorld owns one scheduler's side of the mirrored script. An
+// event's behavior is a pure function of (seed, id), so as long as both
+// schedulers fire the same ids in the same order they perform identical
+// operations; any divergence shows up in the recorded order stream.
+type windowScriptWorld struct {
+	t    *testing.T
+	s    *Scheduler
+	seed int64
+	// order records fired event ids, and -(id+1) for each successful
+	// cancel, so cancel outcomes are compared along with fire order.
+	order   []int32
+	handles []Handle
+	depth   []int
+}
+
+func (w *windowScriptWorld) newEvent(depth int) (int, func()) {
+	id := len(w.handles)
+	w.handles = append(w.handles, Handle{})
+	w.depth = append(w.depth, depth)
+	return id, func() { w.fire(id) }
+}
+
+func (w *windowScriptWorld) schedule(at Time, depth int) {
+	id, fn := w.newEvent(depth)
+	h, err := w.s.At(at, fn)
+	if err != nil {
+		w.t.Fatalf("At(%v): %v", at, err)
+	}
+	w.handles[id] = h
+}
+
+func (w *windowScriptWorld) fire(id int) {
+	w.order = append(w.order, int32(id))
+	r := rand.New(rand.NewSource(w.seed<<20 ^ int64(id)*2654435761))
+	if w.depth[id] < 3 {
+		for c := r.Intn(3); c > 0; c-- {
+			// Sub-lookahead (including zero) delays land children inside
+			// the currently firing window.
+			delay := Time(r.Intn(8)) / 4
+			cid, fn := w.newEvent(w.depth[id] + 1)
+			h, err := w.s.After(delay, fn)
+			if err != nil {
+				w.t.Fatalf("After(%v): %v", delay, err)
+			}
+			w.handles[cid] = h
+		}
+	}
+	if r.Intn(3) == 0 {
+		target := r.Intn(id + 1)
+		if w.handles[target].Cancel() {
+			w.order = append(w.order, -int32(target)-1)
+		}
+	}
+	if r.Intn(16) == 0 {
+		w.s.Stop()
+	}
+}
+
+func TestWindowedMatchesSerial(t *testing.T) {
+	lookaheads := []Time{0.25, 1, 10, 1e9}
+	for seed := int64(0); seed < 25; seed++ {
+		for _, la := range lookaheads {
+			t.Run(fmt.Sprintf("seed=%d/L=%v", seed, la), func(t *testing.T) {
+				testWindowedAgainstSerial(t, seed, la)
+			})
+		}
+	}
+}
+
+func testWindowedAgainstSerial(t *testing.T, seed int64, lookahead Time) {
+	serial := &windowScriptWorld{t: t, s: NewScheduler(), seed: seed}
+	windowed := &windowScriptWorld{t: t, s: NewScheduler(), seed: seed}
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < 30; i++ {
+		at := Time(r.Intn(40)) / 2
+		serial.schedule(at, 0)
+		windowed.schedule(at, 0)
+	}
+
+	check := func(ctx string) {
+		t.Helper()
+		if serial.s.Now() != windowed.s.Now() {
+			t.Fatalf("%s: windowed Now = %v, serial %v", ctx, windowed.s.Now(), serial.s.Now())
+		}
+		if serial.s.Pending() != windowed.s.Pending() {
+			t.Fatalf("%s: windowed Pending = %d, serial %d", ctx, windowed.s.Pending(), serial.s.Pending())
+		}
+		if serial.s.Fired() != windowed.s.Fired() {
+			t.Fatalf("%s: windowed Fired = %d, serial %d", ctx, windowed.s.Fired(), serial.s.Fired())
+		}
+	}
+
+	for _, horizon := range []Time{5, 12.5, 40, 1e6} {
+		for round := 0; ; round++ {
+			errS := serial.s.RunUntil(horizon)
+			errW := windowed.s.RunUntilWindowed(context.Background(), horizon, lookahead, nil)
+			if errors.Is(errS, ErrStopped) != errors.Is(errW, ErrStopped) {
+				t.Fatalf("horizon %v round %d: windowed err = %v, serial err = %v", horizon, round, errW, errS)
+			}
+			check(fmt.Sprintf("horizon %v round %d", horizon, round))
+			if errS == nil {
+				break
+			}
+		}
+	}
+
+	if len(serial.order) != len(windowed.order) {
+		t.Fatalf("windowed ran %d ops, serial %d", len(windowed.order), len(serial.order))
+	}
+	for i := range serial.order {
+		if serial.order[i] != windowed.order[i] {
+			t.Fatalf("op %d: windowed %d, serial %d\nwindowed: %v\nserial:   %v",
+				i, windowed.order[i], serial.order[i], windowed.order, serial.order)
+		}
+	}
+}
+
+// TestWindowedPrepareSeesSortedBatches pins the Prepare contract: every
+// batch arrives sorted by (At, Seq), carries the scheduled args, and no
+// event outside the batch fires before the batch is prepared.
+func TestWindowedPrepareSeesSortedBatches(t *testing.T) {
+	s := NewScheduler()
+	var scheduled []int
+	for i := 0; i < 50; i++ {
+		arg := i
+		if _, err := s.AtArg(Time(i%10), func(a any) { scheduled = append(scheduled, a.(int)) }, arg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batches := 0
+	prepare := func(batch []QueuedEvent) {
+		batches++
+		for i := range batch {
+			if i > 0 {
+				prev, cur := &batch[i-1], &batch[i]
+				if cur.At < prev.At || (cur.At == prev.At && cur.Seq < prev.Seq) {
+					t.Fatalf("batch not sorted at %d: (%v,%d) before (%v,%d)", i, prev.At, prev.Seq, cur.At, cur.Seq)
+				}
+			}
+			if _, ok := batch[i].Arg().(int); !ok {
+				t.Fatalf("batch entry %d: arg %T, want int", i, batch[i].Arg())
+			}
+		}
+	}
+	if err := s.RunUntilWindowed(context.Background(), 100, 2.5, prepare); err != nil {
+		t.Fatal(err)
+	}
+	if len(scheduled) != 50 {
+		t.Fatalf("fired %d events, want 50", len(scheduled))
+	}
+	if batches < 2 {
+		t.Fatalf("expected multiple windows, got %d", batches)
+	}
+	// Events at times 0..9 with lookahead 2.5 should group 0+1+2, 3+4+5, ...
+	for i := 1; i < len(scheduled); i++ {
+		a, b := scheduled[i-1], scheduled[i]
+		if a%10 > b%10 || (a%10 == b%10 && a > b) {
+			t.Fatalf("fire order violated (time, seq): %d before %d", a, b)
+		}
+	}
+}
+
+// TestWindowedRejectsBadLookahead pins the argument validation.
+func TestWindowedRejectsBadLookahead(t *testing.T) {
+	s := NewScheduler()
+	for _, la := range []Time{0, -1, Time(math.NaN()), Time(math.Inf(1))} {
+		if err := s.RunUntilWindowed(context.Background(), 10, la, nil); err == nil {
+			t.Errorf("lookahead %v: expected error", la)
+		}
+	}
+	if err := s.RunUntilWindowed(context.Background(), -1, 1, nil); err == nil {
+		t.Error("past horizon: expected error")
+	}
+}
+
+// TestWindowedContextCancel pins that a canceled context stops the run at
+// a window boundary with the context's error.
+func TestWindowedContextCancel(t *testing.T) {
+	s := NewScheduler()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if _, err := s.At(Time(i)*10, func() { fired++; cancel() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := s.RunUntilWindowed(ctx, 1000, 1, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if fired == 0 || fired == 10 {
+		t.Fatalf("fired = %d, want a partial run", fired)
+	}
+	if s.Pending() != 10-fired {
+		t.Fatalf("Pending = %d after %d fired", s.Pending(), fired)
+	}
+}

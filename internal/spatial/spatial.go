@@ -149,6 +149,12 @@ type Grid struct {
 	// motion at ~1 m/s against radio-range-sized cells) O(1) map-free on
 	// the common path.
 	rebuckets uint64
+	// epochs counts modifications per cell: every insert, removal, and
+	// position update (including in-place same-cell updates) bumps the
+	// touched cell's epoch. Epochs are never deleted — a vacated cell
+	// keeps its count — so RegionStamp sums are monotone and a cached
+	// range query can be revalidated by comparing stamps.
+	epochs map[cellKey]uint64
 }
 
 var _ Index = (*Grid)(nil)
@@ -161,9 +167,10 @@ func NewGrid(cellSize float64) (*Grid, error) {
 		return nil, fmt.Errorf("spatial: invalid grid cell size %v", cellSize)
 	}
 	return &Grid{
-		cell:  cellSize,
-		cells: make(map[cellKey][]gridEntry),
-		where: make(map[int]gridSlot),
+		cell:   cellSize,
+		cells:  make(map[cellKey][]gridEntry),
+		where:  make(map[int]gridSlot),
+		epochs: make(map[cellKey]uint64),
 	}, nil
 }
 
@@ -188,6 +195,7 @@ func (g *Grid) keyOf(p geom.Point) cellKey {
 // Insert implements Index.
 func (g *Grid) Insert(id int, p geom.Point) {
 	k := g.keyOf(p)
+	g.epochs[k]++
 	if slot, ok := g.where[id]; ok {
 		if slot.key == k {
 			// Same cell: update the bucketed position in place.
@@ -195,6 +203,7 @@ func (g *Grid) Insert(id int, p geom.Point) {
 			return
 		}
 		g.rebuckets++
+		g.epochs[slot.key]++
 		g.unbucket(slot)
 	}
 	bucket := g.cells[k]
@@ -212,6 +221,7 @@ func (g *Grid) Remove(id int) {
 	if !ok {
 		return
 	}
+	g.epochs[slot.key]++
 	g.unbucket(slot)
 	delete(g.where, id)
 }
@@ -296,6 +306,43 @@ func (g *Grid) AppendInRange(dst []int, p geom.Point, r float64) []int {
 	}
 	sort.Ints(dst[start:])
 	return dst
+}
+
+// RegionStamp returns a monotone fingerprint of the cells a range query
+// at (p, r) would visit: the sum of their modification epochs, clamped to
+// the occupied-cell bounds exactly like AppendInRange. Any insert,
+// removal, or position change (including an in-place same-cell update)
+// of a point inside those cells strictly increases the stamp, and no
+// point within distance r of p can live outside them, so a cached
+// InRange(p, r) result is still exact whenever its stamp is unchanged —
+// provided p's own cell is unchanged too, since the visited rectangle is
+// derived from p. netsim's lazy HELLO receiver snapshots revalidate on
+// this instead of re-running the query every beacon round.
+func (g *Grid) RegionStamp(p geom.Point, r float64) uint64 {
+	if r < 0 || !g.hasBounds {
+		return 0
+	}
+	lo := g.keyOf(geom.Pt(p.X-r, p.Y-r))
+	hi := g.keyOf(geom.Pt(p.X+r, p.Y+r))
+	if lo.cx < g.minC.cx {
+		lo.cx = g.minC.cx
+	}
+	if lo.cy < g.minC.cy {
+		lo.cy = g.minC.cy
+	}
+	if hi.cx > g.maxC.cx {
+		hi.cx = g.maxC.cx
+	}
+	if hi.cy > g.maxC.cy {
+		hi.cy = g.maxC.cy
+	}
+	var sum uint64
+	for cx := lo.cx; cx <= hi.cx; cx++ {
+		for cy := lo.cy; cy <= hi.cy; cy++ {
+			sum += g.epochs[cellKey{cx: cx, cy: cy}]
+		}
+	}
+	return sum
 }
 
 // Brute is the exhaustive-scan Index: every query walks every indexed
